@@ -1,0 +1,45 @@
+# Convenience targets for the PAO reproduction. Everything is plain `go`
+# underneath; see README.md.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments experiments-full examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark run per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Laptop-scale experiment sweep (~4 minutes).
+experiments:
+	$(GO) run ./cmd/paoexp -exp all -scale 0.05
+
+# Full Table-I-scale sweep (~15 minutes, several GB of RAM for test10).
+experiments-full:
+	$(GO) run ./cmd/paoexp -exp table1 -scale 1.0
+	$(GO) run ./cmd/paoexp -exp 1      -scale 1.0
+	$(GO) run ./cmd/paoexp -exp 2      -scale 1.0
+	$(GO) run ./cmd/paoexp -exp 14nm   -scale 1.0
+	$(GO) run ./cmd/paoexp -exp 3      -scale 0.005
+	$(GO) run ./cmd/paoexp -exp ablate -scale 0.2
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ispd18flow
+	$(GO) run ./examples/advanced14nm
+	$(GO) run ./examples/routerflow
+	$(GO) run ./examples/placementloop
+	$(GO) run ./examples/figures -out /tmp/pao-figures
+
+clean:
+	$(GO) clean ./...

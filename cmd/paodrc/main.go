@@ -1,0 +1,76 @@
+// Command paodrc runs the standalone design rule check over a LEF/DEF pair's
+// fixed geometry (pins, obstructions, power shapes) and prints every
+// violation.
+//
+// Usage:
+//
+//	paodrc -lef design.lef -def design.def [-max 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/def"
+	"repro/internal/lef"
+	"repro/internal/pao"
+)
+
+func main() {
+	lefPath := flag.String("lef", "", "LEF file")
+	defPath := flag.String("def", "", "DEF file")
+	maxPrint := flag.Int("max", 50, "maximum violations to print")
+	flag.Parse()
+
+	if *lefPath == "" || *defPath == "" {
+		fmt.Fprintln(os.Stderr, "paodrc: -lef and -def are required")
+		os.Exit(2)
+	}
+	if err := run(*lefPath, *defPath, *maxPrint); err != nil {
+		fmt.Fprintln(os.Stderr, "paodrc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lefPath, defPath string, maxPrint int) error {
+	lf, err := os.Open(lefPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	lib, err := lef.Parse(lf)
+	if err != nil {
+		return err
+	}
+	df, err := os.Open(defPath)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	d, err := def.Parse(df, lib.Tech, lib.Masters)
+	if err != nil {
+		return err
+	}
+
+	if problems := d.Validate(maxPrint); len(problems) > 0 {
+		fmt.Printf("%s: %d structural problems\n", d.Name, len(problems))
+		for _, p := range problems {
+			fmt.Println(" ", p)
+		}
+	}
+	eng := pao.NewAnalyzer(d, pao.DefaultConfig()).GlobalEngine()
+	vs := eng.CheckAll()
+	fmt.Printf("%s: %d shapes, %d violations\n", d.Name, eng.NumObjs(), len(vs))
+	for i, v := range vs {
+		if i >= maxPrint {
+			fmt.Printf("... and %d more\n", len(vs)-maxPrint)
+			break
+		}
+		fmt.Println(" ", v)
+	}
+	if len(vs) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Command paoexp reproduces the paper's experiments on the synthetic
+// ISPD-2018-style suite and prints the corresponding tables.
+//
+// Usage:
+//
+//	paoexp -exp table1|1|2|3|14nm|ablate|all [-scale 0.05] [-cases pao_test1,pao_test5]
+//
+// Scale proportionally shrinks every testcase (1.0 runs the full Table I
+// sizes; expect minutes of runtime and several GB of memory at full scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/suite"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: table1, 1, 2, 3, 14nm, ablate, all")
+	scale := flag.Float64("scale", 0.05, "testcase scale factor (1.0 = full Table I sizes)")
+	cases := flag.String("cases", "", "comma-separated testcase subset (default: all)")
+	flag.Parse()
+
+	if err := run(*expName, *scale, *cases); err != nil {
+		fmt.Fprintln(os.Stderr, "paoexp:", err)
+		os.Exit(1)
+	}
+}
+
+func selectedSpecs(cases string) ([]suite.Spec, error) {
+	if cases == "" {
+		return suite.Testcases, nil
+	}
+	var out []suite.Spec
+	for _, name := range strings.Split(cases, ",") {
+		s, err := suite.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func run(expName string, scale float64, cases string) error {
+	specs, err := selectedSpecs(cases)
+	if err != nil {
+		return err
+	}
+	all := expName == "all"
+	if all || expName == "table1" {
+		rows, err := exp.RunTable1(scale)
+		if err != nil {
+			return err
+		}
+		exp.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || expName == "1" {
+		var rows []exp.Exp1Row
+		for _, s := range specs {
+			r, err := exp.RunExp1(s, scale)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		exp.RenderExp1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || expName == "2" {
+		var rows []exp.Exp2Row
+		for _, s := range specs {
+			r, err := exp.RunExp2(s, scale)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+		}
+		exp.RenderExp2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || expName == "3" {
+		rows, err := exp.RunExp3(minF(scale, 0.02))
+		if err != nil {
+			return err
+		}
+		exp.RenderExp3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || expName == "14nm" {
+		r, err := exp.RunAES14(scale)
+		if err != nil {
+			return err
+		}
+		exp.RenderAES14(os.Stdout, r)
+		fmt.Println()
+	}
+	if all || expName == "ablate" {
+		rows, err := exp.RunAblations(suite.Testcases[0], scale)
+		if err != nil {
+			return err
+		}
+		exp.RenderAblations(os.Stdout, "pao_test1", rows)
+	}
+	if !all {
+		switch expName {
+		case "table1", "1", "2", "3", "14nm", "ablate":
+		default:
+			return fmt.Errorf("unknown experiment %q", expName)
+		}
+	}
+	return nil
+}
+
+// minF caps the routing experiment's scale: the track-graph router is a
+// substrate, not a contest router, and full-size mazes are out of scope.
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

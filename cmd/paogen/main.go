@@ -1,0 +1,93 @@
+// Command paogen generates a synthetic benchmark testcase and writes it as a
+// LEF/DEF pair.
+//
+// Usage:
+//
+//	paogen -case pao_test1 [-scale 0.1] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/def"
+	"repro/internal/guide"
+	"repro/internal/lef"
+	"repro/internal/render"
+	"repro/internal/suite"
+)
+
+func main() {
+	name := flag.String("case", "pao_test1", "testcase name (pao_test1..pao_test10, aes_14nm)")
+	scale := flag.Float64("scale", 1.0, "scale factor")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if err := run(*name, *scale, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "paogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, scale float64, out string) error {
+	spec, err := suite.ByName(name)
+	if err != nil {
+		return err
+	}
+	d, err := suite.Generate(spec.Scale(scale))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	lefPath := filepath.Join(out, d.Name+".lef")
+	defPath := filepath.Join(out, d.Name+".def")
+
+	lf, err := os.Create(lefPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	if err := lef.Write(lf, d.Tech, d.Masters); err != nil {
+		return err
+	}
+	df, err := os.Create(defPath)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := def.Write(df, d); err != nil {
+		return err
+	}
+	// Global-route and emit the contest-style guide file alongside.
+	guidePath := filepath.Join(out, d.Name+".guide")
+	gr := guide.New(d, guide.Config{})
+	guides := gr.Route()
+	gf, err := os.Create(guidePath)
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	if err := guide.Write(gf, guides, d.Tech); err != nil {
+		return err
+	}
+	// Congestion heatmap of the global-routing solution.
+	heatPath := filepath.Join(out, d.Name+"_congestion.svg")
+	hf, err := os.Create(heatPath)
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	_, _, gcell := gr.Dims()
+	if err := render.CongestionHeatmap(hf, d.Die, gcell, gr.CellLoad,
+		d.Name+" global-routing congestion"); err != nil {
+		return err
+	}
+	over, maxOver := gr.CongestionReport()
+	fmt.Printf("wrote %s (%d masters), %s (%d instances, %d nets), %s and %s (overflow edges: %d, max %d)\n",
+		lefPath, len(d.Masters), defPath, len(d.Instances), len(d.Nets), guidePath, heatPath, over, maxOver)
+	return nil
+}

@@ -1,0 +1,131 @@
+// Command paoroute routes a LEF/DEF design on the track-graph substrate
+// router, using either PAAF or ad-hoc pin access, reports the post-route DRC
+// summary, and optionally writes the routed DEF and a Fig. 8-style SVG of the
+// densest violation window.
+//
+// Usage:
+//
+//	paoroute -lef d.lef -def d.def [-access paaf|adhoc] [-out routed.def] [-svg win.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/def"
+	"repro/internal/guide"
+	"repro/internal/lef"
+	"repro/internal/pao"
+	"repro/internal/render"
+	"repro/internal/report"
+	"repro/internal/router"
+)
+
+func main() {
+	lefPath := flag.String("lef", "", "LEF file")
+	defPath := flag.String("def", "", "DEF file")
+	access := flag.String("access", "paaf", "pin access mode: paaf or adhoc")
+	guidePath := flag.String("guide", "", "route-guide file (contest format; empty: unguided)")
+	outPath := flag.String("out", "", "write the routed DEF here")
+	svgPath := flag.String("svg", "", "write a violation-window SVG here")
+	flag.Parse()
+
+	if *lefPath == "" || *defPath == "" {
+		fmt.Fprintln(os.Stderr, "paoroute: -lef and -def are required")
+		os.Exit(2)
+	}
+	if err := run(*lefPath, *defPath, *access, *guidePath, *outPath, *svgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "paoroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lefPath, defPath, access, guidePath, outPath, svgPath string) error {
+	lf, err := os.Open(lefPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	lib, err := lef.Parse(lf)
+	if err != nil {
+		return err
+	}
+	df, err := os.Open(defPath)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	d, err := def.Parse(df, lib.Tech, lib.Masters)
+	if err != nil {
+		return err
+	}
+
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	cfg := router.Config{}
+	if guidePath != "" {
+		gf, err := os.Open(guidePath)
+		if err != nil {
+			return err
+		}
+		guides, err := guide.Parse(gf, lib.Tech)
+		gf.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Guides = make(map[string][]guide.Box, len(guides))
+		for _, g := range guides {
+			cfg.Guides[g.Net] = g.Boxes
+		}
+	}
+	switch access {
+	case "paaf":
+		cfg.Mode = router.AccessPAAF
+		cfg.Access = a.Run()
+	case "adhoc":
+		cfg.Mode = router.AccessAdHoc
+	default:
+		return fmt.Errorf("unknown access mode %q", access)
+	}
+	r, err := router.New(d, cfg)
+	if err != nil {
+		return err
+	}
+	res := r.Route()
+	router.Check(a, res)
+
+	t := report.New(fmt.Sprintf("Routing summary for %s (%s access)", d.Name, access),
+		"Routed", "Failed", "WL (um)", "#Vias", "#DRCs", "#Access DRCs")
+	t.AddRow(res.Routed, res.Failed, res.WireLength/1000, len(res.Vias),
+		len(res.Violations), res.AccessViolations)
+	t.Render(os.Stdout)
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := def.WriteRouted(f, d, router.ExportRouting(d, res)); err != nil {
+			return err
+		}
+		fmt.Println("routed DEF written to", outPath)
+	}
+	if svgPath != "" {
+		win := render.ViolationWindow(d, res.Violations, 12000)
+		c := render.NewCanvas(win)
+		c.DrawDesign(d, 3)
+		c.DrawRouting(res, 3)
+		c.DrawViolations(res.Violations)
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.WriteSVG(f, d.Name+" ("+access+" access)"); err != nil {
+			return err
+		}
+		fmt.Println("SVG written to", svgPath)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command paoview renders one cell master from a LEF library as SVG, with
+// the access points the framework would generate for a track-aligned
+// placement — the per-cell view used to inspect library pin access quality
+// (the paper's Figs. 2 and 9 style).
+//
+// Usage:
+//
+//	paoview -lef lib.lef -cell NAND2X1 -out nand2.svg [-orient N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/lef"
+	"repro/internal/pao"
+	"repro/internal/render"
+	"repro/internal/tech"
+)
+
+func main() {
+	lefPath := flag.String("lef", "", "LEF file")
+	cell := flag.String("cell", "", "master name")
+	out := flag.String("out", "", "output SVG path")
+	orientName := flag.String("orient", "N", "placement orientation (N, S, FN, FS, ...)")
+	flag.Parse()
+
+	if *lefPath == "" || *cell == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "paoview: -lef, -cell and -out are required")
+		os.Exit(2)
+	}
+	if err := run(*lefPath, *cell, *out, *orientName); err != nil {
+		fmt.Fprintln(os.Stderr, "paoview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lefPath, cell, out, orientName string) error {
+	lf, err := os.Open(lefPath)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	lib, err := lef.Parse(lf)
+	if err != nil {
+		return err
+	}
+	var master *db.Master
+	for _, m := range lib.Masters {
+		if m.Name == cell {
+			master = m
+		}
+	}
+	if master == nil {
+		return fmt.Errorf("master %q not in %s", cell, lefPath)
+	}
+	orient, err := geom.ParseOrient(orientName)
+	if err != nil {
+		return err
+	}
+
+	// A one-cell design with track-aligned placement.
+	d := db.NewDesign("paoview", lib.Tech)
+	size := geom.Transform{Orient: orient, Size: master.Size}.PlacedSize()
+	d.Die = geom.R(0, 0, size.X+4*lib.Tech.Metal(1).Pitch, size.Y+4*lib.Tech.Metal(1).Pitch)
+	for _, l := range lib.Tech.Metals {
+		extent := d.Die.XH
+		if l.Dir == tech.Horizontal {
+			extent = d.Die.YH
+		}
+		d.Tracks = append(d.Tracks, db.TrackPattern{
+			Layer: l.Num, WireDir: l.Dir, Start: l.Pitch / 2,
+			Num: int(extent / l.Pitch), Step: l.Pitch,
+		})
+	}
+	if err := d.AddMaster(master); err != nil {
+		return err
+	}
+	inst := &db.Instance{Name: "u", Master: master, Pos: geom.Pt(0, 0), Orient: orient}
+	if err := d.AddInstance(inst); err != nil {
+		return err
+	}
+	net := &db.Net{Name: "view"}
+	for _, p := range master.SignalPins() {
+		net.Terms = append(net.Terms, db.Term{Inst: inst, Pin: p})
+	}
+	d.Nets = []*db.Net{net}
+
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	fmt.Printf("%s (%s): %d signal pins, %d access points, %d failed\n",
+		cell, orient, len(master.SignalPins()), res.Stats.TotalAPs, res.Stats.FailedPins)
+	for _, p := range master.SignalPins() {
+		ap := res.AccessPointFor(inst, p)
+		if ap == nil {
+			fmt.Printf("  %-6s FAILED\n", p.Name)
+			continue
+		}
+		via := "planar"
+		if v := ap.Primary(); v != nil {
+			via = v.Name
+		}
+		fmt.Printf("  %-6s %v via %s\n", p.Name, ap, via)
+	}
+
+	c := render.NewCanvas(inst.BBox().Bloat(lib.Tech.Metal(1).Pitch))
+	c.PixelsPerMicron = 400
+	c.DrawDesign(d, 2)
+	c.DrawAccess(d, res)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.WriteSVG(f, fmt.Sprintf("%s (%s) pin access", cell, orient))
+}

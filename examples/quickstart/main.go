@@ -1,0 +1,135 @@
+// Quickstart: build a two-cell design in code, run the three-step pin access
+// analysis, and print the selected access points with a small ASCII render of
+// one cell — the fastest way to see the framework's moving parts.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/pao"
+	"repro/internal/tech"
+)
+
+func main() {
+	tt := tech.N45()
+	d := db.NewDesign("quickstart", tt)
+	d.Die = geom.R(0, 0, 28000, 14000)
+	// Track patterns: every layer's preferred direction, aligned with the
+	// cell-internal grid (pitch/2 phase).
+	for _, l := range tt.Metals {
+		extent := d.Die.XH
+		if l.Dir == tech.Horizontal {
+			extent = d.Die.YH
+		}
+		d.Tracks = append(d.Tracks, db.TrackPattern{
+			Layer: l.Num, WireDir: l.Dir, Start: l.Pitch / 2,
+			Num: int(extent / l.Pitch), Step: l.Pitch,
+		})
+	}
+
+	// A hand-built cell: two single-track pins on one row (B near the left
+	// edge, Z near the right edge) — the geometry where boundary conflict
+	// awareness earns its keep.
+	master := &db.Master{
+		Name: "DEMO", Class: db.ClassCore, Size: geom.Pt(560, 1400),
+		Pins: []*db.MPin{
+			{Name: "B", Dir: db.DirInput, Use: db.UseSignal,
+				Shapes: []db.Shape{{Layer: 1, Rect: geom.R(70, 455, 210, 525)}}},
+			{Name: "Z", Dir: db.DirOutput, Use: db.UseSignal,
+				Shapes: []db.Shape{{Layer: 1, Rect: geom.R(350, 455, 490, 525)}}},
+			{Name: "VSS", Dir: db.DirInout, Use: db.UseGround,
+				Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, 0, 560, 70)}}},
+			{Name: "VDD", Dir: db.DirInout, Use: db.UsePower,
+				Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, 1330, 560, 1400)}}},
+		},
+	}
+	must(d.AddMaster(master))
+	i0 := place(d, "u0", master, 0)
+	i1 := place(d, "u1", master, 560) // abuts u0: same unique instance, Step-3 material
+	d.Nets = []*db.Net{
+		{Name: "n0", Terms: []db.Term{{Inst: i0, Pin: master.PinByName("Z")}, {Inst: i1, Pin: master.PinByName("B")}}},
+		{Name: "n1", Terms: []db.Term{{Inst: i0, Pin: master.PinByName("B")}}},
+		{Name: "n2", Terms: []db.Term{{Inst: i1, Pin: master.PinByName("Z")}}},
+	}
+
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+
+	fmt.Printf("unique instances: %d (u0 and u1 share one class)\n", res.Stats.NumUnique)
+	fmt.Printf("access points:    %d (%d off-track)\n", res.Stats.TotalAPs, res.Stats.OffTrackAPs)
+	fmt.Printf("patterns built:   %d\n", res.Stats.PatternsBuilt)
+	fmt.Printf("failed pins:      %d of %d\n\n", res.Stats.FailedPins, res.Stats.TotalPins)
+
+	for _, inst := range d.Instances {
+		for _, pinName := range []string{"B", "Z"} {
+			pin := master.PinByName(pinName)
+			ap := res.AccessPointFor(inst, pin)
+			fmt.Printf("%s/%s -> %s (primary via %s)\n", inst.Name, pinName, ap, ap.Primary().Name)
+		}
+	}
+
+	fmt.Println("\nASCII render of u0 (M1, # = pin, * = selected access point):")
+	fmt.Println(render(d, i0, res))
+}
+
+func place(d *db.Design, name string, m *db.Master, x int64) *db.Instance {
+	inst := &db.Instance{Name: name, Master: m, Pos: geom.Pt(x, 0), Orient: geom.OrientN}
+	must(d.AddInstance(inst))
+	return inst
+}
+
+// render draws the instance's M1 pin shapes and selected access points on a
+// character grid (one cell per 70x70 nm).
+func render(d *db.Design, inst *db.Instance, res *pao.Result) string {
+	const cell = 70
+	bbox := inst.BBox()
+	w := int(bbox.Width() / cell)
+	h := int(bbox.Height() / cell)
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", w))
+	}
+	plot := func(r geom.Rect, ch byte) {
+		for y := (r.YL - bbox.YL) / cell; y < (r.YH-bbox.YL)/cell && int(y) < h; y++ {
+			for x := (r.XL - bbox.XL) / cell; x < (r.XH-bbox.XL)/cell && int(x) < w; x++ {
+				if x >= 0 && y >= 0 {
+					grid[h-1-int(y)][x] = ch
+				}
+			}
+		}
+	}
+	for _, pin := range inst.Master.Pins {
+		ch := byte('#')
+		if pin.Use != db.UseSignal {
+			ch = '='
+		}
+		for _, s := range inst.PinShapes(pin) {
+			if s.Layer == 1 {
+				plot(s.Rect, ch)
+			}
+		}
+	}
+	for _, pin := range inst.Master.SignalPins() {
+		if ap := res.AccessPointFor(inst, pin); ap != nil {
+			x := (ap.Pos.X - bbox.XL) / cell
+			y := (ap.Pos.Y - bbox.YL) / cell
+			if int(x) < w && int(y) < h {
+				grid[h-1-int(y)][x] = '*'
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+func TestBaselineVsPAAF(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.02)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Analyze(d)
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	paaf := a.Run()
+
+	if base.Stats.NumUnique != paaf.Stats.NumUnique {
+		t.Errorf("unique instance counts differ: %d vs %d", base.Stats.NumUnique, paaf.Stats.NumUnique)
+	}
+	if base.Stats.TotalAPs == 0 {
+		t.Fatal("baseline generated no APs")
+	}
+	// Table II shape: PAAF generates at least as many APs and strictly fewer
+	// dirty ones (zero).
+	if base.Stats.TotalAPs > paaf.Stats.TotalAPs {
+		t.Errorf("baseline APs %d > PAAF APs %d (paper shape: PAAF generates more)",
+			base.Stats.TotalAPs, paaf.Stats.TotalAPs)
+	}
+	baseDirty := a.CountDirtyAPs(base)
+	paafDirty := a.CountDirtyAPs(paaf)
+	if paafDirty != 0 {
+		t.Errorf("PAAF dirty APs = %d, want 0", paafDirty)
+	}
+	if baseDirty == 0 {
+		t.Error("baseline produced no dirty APs; the overlap-only validation should miss real violations")
+	}
+
+	// Table III shape: baseline leaves failed pins, PAAF leaves none.
+	eng := a.GlobalEngine()
+	a.CountFailedPins(base, eng)
+	if base.Stats.FailedPins == 0 {
+		t.Error("baseline FailedPins = 0; no-compatibility selection should fail pins")
+	}
+	if paaf.Stats.FailedPins != 0 {
+		t.Errorf("PAAF FailedPins = %d", paaf.Stats.FailedPins)
+	}
+	if base.Stats.TotalPins != paaf.Stats.TotalPins {
+		t.Errorf("pin totals differ: %d vs %d", base.Stats.TotalPins, paaf.Stats.TotalPins)
+	}
+}
+
+func TestBaselineDeterministic(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.01)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := Analyze(d)
+	r2 := Analyze(d)
+	if r1.Stats != r2.Stats {
+		t.Fatalf("nondeterministic: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestBaselineAPsOnPin(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.01)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(d)
+	for _, ua := range res.Unique {
+		pivot := ua.UI.Pivot()
+		for _, pa := range ua.Pins {
+			if len(pa.APs) > K {
+				t.Fatalf("pin %s has %d APs, budget %d", pa.Pin.Name, len(pa.APs), K)
+			}
+			for _, ap := range pa.APs {
+				on := false
+				for _, s := range pivot.PinShapes(pa.Pin) {
+					if s.Layer == ap.Layer && s.Rect.ContainsPt(ap.Pos) {
+						on = true
+					}
+				}
+				if !on {
+					t.Fatalf("AP %v not on pin %s/%s", ap, pivot.Master.Name, pa.Pin.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestBaselineMemberTranslation: access points reported for non-pivot
+// members must land on the member's own pin shapes (regression: the result
+// type's pivot-position contract).
+func TestBaselineMemberTranslation(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.02)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(d)
+	checked := 0
+	for _, net := range d.Nets {
+		for _, term := range net.Terms {
+			ap := res.AccessPointFor(term.Inst, term.Pin)
+			if ap == nil {
+				continue
+			}
+			on := false
+			for _, s := range term.Inst.PinShapes(term.Pin) {
+				if s.Layer == ap.Layer && s.Rect.ContainsPt(ap.Pos) {
+					on = true
+				}
+			}
+			if !on {
+				t.Fatalf("%s/%s: AP %v not on the member's pin", term.Inst.Name, term.Pin.Name, ap.Pos)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}

@@ -1,0 +1,110 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// UniqueInstance is an equivalence class of instances sharing a signature:
+// the same cell master, the same orientation and the same offsets to every
+// track pattern in the design (Section II-A of the paper). All members see
+// identical on-track/off-track conditions, so intra-cell pin access analysis
+// runs once per unique instance and its result applies to every member.
+type UniqueInstance struct {
+	Master  *Master
+	Orient  geom.Orient
+	Offsets []int64     // per design track pattern, phase of the pivot's origin
+	Insts   []*Instance // members, in design order
+}
+
+// Pivot returns the representative member whose coordinates the analysis uses.
+func (u *UniqueInstance) Pivot() *Instance { return u.Insts[0] }
+
+// Signature renders the unique-instance key as a readable string.
+func (u *UniqueInstance) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s", u.Master.Name, u.Orient)
+	for _, off := range u.Offsets {
+		fmt.Fprintf(&b, "/%d", off)
+	}
+	return b.String()
+}
+
+// instanceOffsets computes the phase of an instance's placement against every
+// track pattern: the x phase for vertical-wire patterns (tracks are x
+// coordinates) and the y phase for horizontal-wire patterns.
+func instanceOffsets(d *Design, inst *Instance) []int64 {
+	out := make([]int64, 0, len(d.Tracks))
+	for _, tp := range d.Tracks {
+		if d.SigMaxLayer > 0 && tp.Layer > d.SigMaxLayer {
+			out = append(out, 0) // pattern excluded from the signature
+			continue
+		}
+		coord := inst.Pos.Y // horizontal wires: tracks are y coordinates
+		if tp.WireDir == tech.Vertical {
+			coord = inst.Pos.X
+		}
+		out = append(out, tp.Offset(coord))
+	}
+	return out
+}
+
+// UniqueInstances partitions the design's CORE and BLOCK instances into
+// unique-instance classes. The result is deterministic: classes are sorted by
+// master name, then orientation, then offsets; members keep design order.
+func (d *Design) UniqueInstances() []*UniqueInstance {
+	type key struct {
+		master string
+		orient geom.Orient
+		offs   string
+	}
+	classes := make(map[key]*UniqueInstance)
+	var order []key
+	for _, inst := range d.Instances {
+		offs := instanceOffsets(d, inst)
+		var sb strings.Builder
+		for _, o := range offs {
+			fmt.Fprintf(&sb, "%d,", o)
+		}
+		k := key{inst.Master.Name, inst.Orient, sb.String()}
+		u, seen := classes[k]
+		if !seen {
+			u = &UniqueInstance{Master: inst.Master, Orient: inst.Orient, Offsets: offs}
+			classes[k] = u
+			order = append(order, k)
+		}
+		u.Insts = append(u.Insts, inst)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := order[a], order[b]
+		if ka.master != kb.master {
+			return ka.master < kb.master
+		}
+		if ka.orient != kb.orient {
+			return ka.orient < kb.orient
+		}
+		return ka.offs < kb.offs
+	})
+	out := make([]*UniqueInstance, len(order))
+	for i, k := range order {
+		out[i] = classes[k]
+	}
+	return out
+}
+
+// InstanceSignature computes the unique-instance signature an instance would
+// belong to under its current placement, in the same format as
+// UniqueInstance.Signature. Incremental flows use it to rebind a moved
+// instance to an existing class without re-partitioning the whole design.
+func (d *Design) InstanceSignature(inst *Instance) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s", inst.Master.Name, inst.Orient)
+	for _, off := range instanceOffsets(d, inst) {
+		fmt.Fprintf(&b, "/%d", off)
+	}
+	return b.String()
+}

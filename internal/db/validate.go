@@ -1,0 +1,96 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Problem is one design-consistency finding from Design.Validate.
+type Problem struct {
+	Kind string // OverlappingInstances, OffDie, OffRowGrid, DanglingTerm, EmptyNet, DuplicateTerm
+	Note string
+}
+
+func (p Problem) String() string { return p.Kind + ": " + p.Note }
+
+// Validate checks the placed design's structural consistency (not design
+// rules — that is the drc package's job): instances inside the die and free
+// of mutual overlap, core cells on the row grid, nets with at least two
+// terminals and no dangling or duplicate terminals. At most limit problems
+// are collected (0 means no cap).
+func (d *Design) Validate(limit int) []Problem {
+	var out []Problem
+	add := func(kind, format string, args ...interface{}) bool {
+		out = append(out, Problem{Kind: kind, Note: fmt.Sprintf(format, args...)})
+		return limit > 0 && len(out) >= limit
+	}
+
+	// Instance overlap via a sweep over x-sorted bboxes.
+	type placed struct {
+		inst *Instance
+		bbox geom.Rect
+	}
+	insts := make([]placed, 0, len(d.Instances))
+	for _, inst := range d.Instances {
+		insts = append(insts, placed{inst, inst.BBox()})
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].bbox.XL < insts[j].bbox.XL })
+	for i, a := range insts {
+		if !d.Die.Empty() && !d.Die.ContainsRect(a.bbox) {
+			if add("OffDie", "instance %s bbox %v escapes die %v", a.inst.Name, a.bbox, d.Die) {
+				return out
+			}
+		}
+		if a.inst.Master.Class == ClassCore && d.Tech != nil && d.Tech.SiteHeight > 0 {
+			if a.inst.Pos.Y%d.Tech.SiteHeight != 0 {
+				if add("OffRowGrid", "instance %s at y=%d (site height %d)", a.inst.Name, a.inst.Pos.Y, d.Tech.SiteHeight) {
+					return out
+				}
+			}
+		}
+		for j := i + 1; j < len(insts); j++ {
+			b := insts[j]
+			if b.bbox.XL >= a.bbox.XH {
+				break
+			}
+			if a.bbox.Overlaps(b.bbox) {
+				if add("OverlappingInstances", "%s overlaps %s", a.inst.Name, b.inst.Name) {
+					return out
+				}
+			}
+		}
+	}
+
+	// Net sanity.
+	for _, net := range d.Nets {
+		if net.NumTerms() < 2 {
+			if add("EmptyNet", "net %s has %d terminals", net.Name, net.NumTerms()) {
+				return out
+			}
+		}
+		seen := map[string]bool{}
+		for _, t := range net.Terms {
+			if t.Inst == nil || t.Pin == nil {
+				if add("DanglingTerm", "net %s has a nil terminal", net.Name) {
+					return out
+				}
+				continue
+			}
+			if t.Inst.Master.PinByName(t.Pin.Name) != t.Pin {
+				if add("DanglingTerm", "net %s: pin %s not on master %s", net.Name, t.Pin.Name, t.Inst.Master.Name) {
+					return out
+				}
+			}
+			key := t.Inst.Name + "/" + t.Pin.Name
+			if seen[key] {
+				if add("DuplicateTerm", "net %s lists %s twice", net.Name, key) {
+					return out
+				}
+			}
+			seen[key] = true
+		}
+	}
+	return out
+}

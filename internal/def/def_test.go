@@ -1,0 +1,138 @@
+package def
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func buildDesign(t *testing.T) *db.Design {
+	t.Helper()
+	tt := tech.N45()
+	d := db.NewDesign("unit_top", tt)
+	d.Die = geom.R(0, 0, 190000, 140000)
+	m := &db.Master{Name: "INVX1", Class: db.ClassCore, Size: geom.Pt(380, 1400),
+		Pins: []*db.MPin{
+			{Name: "A", Use: db.UseSignal, Shapes: []db.Shape{{Layer: 1, Rect: geom.R(70, 455, 210, 525)}}},
+			{Name: "Y", Dir: db.DirOutput, Use: db.UseSignal, Shapes: []db.Shape{{Layer: 1, Rect: geom.R(240, 455, 310, 525)}}},
+		}}
+	if err := d.AddMaster(m); err != nil {
+		t.Fatal(err)
+	}
+	d.Rows = []*db.Row{
+		{Name: "ROW_0", Origin: geom.Pt(0, 0), NumSites: 100, SiteW: 190, SiteH: 1400, Orient: geom.OrientN},
+		{Name: "ROW_1", Origin: geom.Pt(0, 1400), NumSites: 100, SiteW: 190, SiteH: 1400, Orient: geom.OrientFS},
+	}
+	d.Tracks = []db.TrackPattern{
+		{Layer: 1, WireDir: tech.Horizontal, Start: 70, Num: 1000, Step: 140},
+		{Layer: 2, WireDir: tech.Vertical, Start: 70, Num: 1357, Step: 140},
+	}
+	i0 := &db.Instance{Name: "u0", Master: m, Pos: geom.Pt(0, 0), Orient: geom.OrientN}
+	i1 := &db.Instance{Name: "u1", Master: m, Pos: geom.Pt(380, 0), Orient: geom.OrientFN}
+	for _, i := range []*db.Instance{i0, i1} {
+		if err := d.AddInstance(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	io := &db.IOPin{Name: "clk", Dir: db.DirInput, Shape: db.Shape{Layer: 2, Rect: geom.R(9965, 0, 10035, 140)}}
+	d.IOPins = []*db.IOPin{io}
+	d.Nets = []*db.Net{
+		{Name: "n1", Terms: []db.Term{{Inst: i0, Pin: m.PinByName("Y")}, {Inst: i1, Pin: m.PinByName("A")}}},
+		{Name: "clk", Terms: []db.Term{{Inst: i0, Pin: m.PinByName("A")}}, IOPins: []*db.IOPin{io}},
+	}
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := buildDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()), d.Tech, d.Masters)
+	if err != nil {
+		t.Fatalf("Parse: %v\nDEF:\n%s", err, buf.String())
+	}
+	if got.Name != d.Name {
+		t.Errorf("name %q != %q", got.Name, d.Name)
+	}
+	if got.Die != d.Die {
+		t.Errorf("die %v != %v", got.Die, d.Die)
+	}
+	if len(got.Rows) != len(d.Rows) {
+		t.Fatalf("rows %d != %d", len(got.Rows), len(d.Rows))
+	}
+	for i, r := range got.Rows {
+		o := d.Rows[i]
+		if r.Name != o.Name || r.Origin != o.Origin || r.NumSites != o.NumSites ||
+			r.SiteW != o.SiteW || r.Orient != o.Orient {
+			t.Errorf("row %d: %+v != %+v", i, r, o)
+		}
+	}
+	if len(got.Tracks) != len(d.Tracks) {
+		t.Fatalf("tracks %d != %d", len(got.Tracks), len(d.Tracks))
+	}
+	for i, tp := range got.Tracks {
+		if tp != d.Tracks[i] {
+			t.Errorf("track %d: %+v != %+v", i, tp, d.Tracks[i])
+		}
+	}
+	if len(got.Instances) != 2 {
+		t.Fatalf("instances %d", len(got.Instances))
+	}
+	u1 := got.InstByName("u1")
+	if u1 == nil || u1.Pos != geom.Pt(380, 0) || u1.Orient != geom.OrientFN || u1.Master.Name != "INVX1" {
+		t.Errorf("u1 = %+v", u1)
+	}
+	if len(got.IOPins) != 1 {
+		t.Fatalf("io pins %d", len(got.IOPins))
+	}
+	if got.IOPins[0].Shape != d.IOPins[0].Shape {
+		t.Errorf("io shape %+v != %+v", got.IOPins[0].Shape, d.IOPins[0].Shape)
+	}
+	if len(got.Nets) != 2 {
+		t.Fatalf("nets %d", len(got.Nets))
+	}
+	n1 := got.Nets[0]
+	if n1.Name != "n1" || len(n1.Terms) != 2 || n1.Terms[0].Inst.Name != "u0" || n1.Terms[0].Pin.Name != "Y" {
+		t.Errorf("n1 = %+v", n1)
+	}
+	clk := got.Nets[1]
+	if len(clk.IOPins) != 1 || clk.IOPins[0].Name != "clk" {
+		t.Errorf("clk net = %+v", clk)
+	}
+	// Unique instances must survive the round trip identically.
+	if a, b := len(d.UniqueInstances()), len(got.UniqueInstances()); a != b {
+		t.Errorf("unique instances %d != %d after round trip", b, a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tt := tech.N45()
+	cases := []string{
+		"DESIGN x ;\nCOMPONENTS 1 ;\n- u1 NOPE + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n",
+		"DESIGN x ;\nTRACKS Y 70 DO 10 STEP 140 LAYER NOPE ;\nEND DESIGN\n",
+		"DESIGN x ;\nNETS 1 ;\n- n ( ghost A ) ;\nEND NETS\nEND DESIGN\n",
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src), tt, nil); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseIgnoresUnknownSections(t *testing.T) {
+	tt := tech.N45()
+	src := "VERSION 5.8 ;\nDESIGN y ;\nGCELLGRID X 0 DO 10 STEP 3000 ;\nEND DESIGN\n"
+	d, err := Parse(strings.NewReader(src), tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "y" {
+		t.Errorf("name = %q", d.Name)
+	}
+}

@@ -1,0 +1,28 @@
+package def
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the DEF reader with mutated inputs: it must never panic.
+func FuzzParse(f *testing.F) {
+	var b strings.Builder
+	// Seed with a valid design (built via the package's own test helper).
+	t := &testing.T{}
+	d := buildDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err == nil {
+		f.Add(buf.String())
+	}
+	_ = b
+	f.Add("DESIGN x ;\nEND DESIGN\n")
+	f.Add("COMPONENTS 0 ;\nEND COMPONENTS\n")
+	f.Add("NETS 1 ;\n- n ;\nEND NETS\nEND DESIGN\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d := buildDesign(t)
+		_, _ = Parse(strings.NewReader(src), d.Tech, nil)
+		_, _, _ = ParseRouted(strings.NewReader(src), d.Tech, nil)
+	})
+}

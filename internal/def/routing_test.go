@@ -1,0 +1,72 @@
+package def
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func TestRoutedRoundTrip(t *testing.T) {
+	d := buildDesign(t)
+	routing := map[string]*Routing{
+		"n1": {
+			Segments: []Segment{
+				{Layer: 2, From: geom.Pt(310, 490), To: geom.Pt(310, 1050)},
+				{Layer: 3, From: geom.Pt(310, 1050), To: geom.Pt(730, 1050)},
+			},
+			Vias: []ViaRef{
+				{Name: "VIA1_H", At: geom.Pt(310, 490)},
+				{Name: "VIA2_V", At: geom.Pt(310, 1050)},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteRouted(&buf, d, routing); err != nil {
+		t.Fatal(err)
+	}
+	got, gotRouting, err := ParseRouted(bytes.NewReader(buf.Bytes()), d.Tech, d.Masters)
+	if err != nil {
+		t.Fatalf("ParseRouted: %v\nDEF:\n%s", err, buf.String())
+	}
+	if len(got.Nets) != len(d.Nets) {
+		t.Fatalf("nets %d != %d", len(got.Nets), len(d.Nets))
+	}
+	rt := gotRouting["n1"]
+	if rt == nil {
+		t.Fatal("routing for n1 lost")
+	}
+	if len(rt.Segments) != 2 || len(rt.Vias) != 2 {
+		t.Fatalf("routing shape: %d segs %d vias", len(rt.Segments), len(rt.Vias))
+	}
+	for i, s := range rt.Segments {
+		if s != routing["n1"].Segments[i] {
+			t.Errorf("segment %d: %+v != %+v", i, s, routing["n1"].Segments[i])
+		}
+	}
+	for i, v := range rt.Vias {
+		if v != routing["n1"].Vias[i] {
+			t.Errorf("via %d: %+v != %+v", i, v, routing["n1"].Vias[i])
+		}
+	}
+	// The unrouted net must stay unrouted.
+	if gotRouting["clk"] != nil {
+		t.Error("clk must have no routing")
+	}
+	// Net terms survive alongside routing.
+	if got.Nets[0].Name != "n1" || len(got.Nets[0].Terms) != 2 {
+		t.Errorf("n1 terms lost: %+v", got.Nets[0])
+	}
+}
+
+func TestWriteRoutedUnknownVia(t *testing.T) {
+	d := buildDesign(t)
+	err := WriteRouted(&bytes.Buffer{}, d, map[string]*Routing{
+		"n1": {Vias: []ViaRef{{Name: "NOPE", At: geom.Pt(0, 0)}}},
+	})
+	if err == nil {
+		t.Fatal("unknown via must error")
+	}
+	_ = tech.N45()
+}

@@ -1,0 +1,520 @@
+package drc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// CheckMetalRect validates a hypothetical metal shape on the given layer for
+// the given net against the engine's indexed shapes: shorts (overlap with a
+// different net) and PRL-table spacing. Touching a different-net shape is a
+// spacing violation (required spacing is always positive).
+func (e *Engine) CheckMetalRect(layer int, r geom.Rect, net int) []Violation {
+	return e.CheckMetalRectCtx(layer, r, net, nil)
+}
+
+// CheckMetalRectCtx is CheckMetalRect with caller-owned query state for
+// concurrent read-only checking.
+func (e *Engine) CheckMetalRectCtx(layer int, r geom.Rect, net int, ctx *QueryCtx) []Violation {
+	l := e.Tech.Metal(layer)
+	if l == nil {
+		return nil
+	}
+	var out []Violation
+	win := r.Bloat(l.Spacing.MaxSpacing())
+	for _, id := range e.QueryMetalCtx(layer, win, ctx) {
+		o := &e.objs[id]
+		if sameNet(net, o.Net) {
+			continue
+		}
+		out = append(out, checkMetalPair(l, r, net, "candidate", o.Rect, o.Net, o.describe())...)
+	}
+	return out
+}
+
+// checkMetalPair applies short and spacing rules to one pair of different-net
+// shapes on layer l.
+func checkMetalPair(l *tech.RoutingLayer, a geom.Rect, aNet int, aTag string, b geom.Rect, bNet int, bTag string) []Violation {
+	if a.Overlaps(b) {
+		ov, _ := a.Intersect(b)
+		return []Violation{{
+			Rule: "Short", Layer: l.Name, Where: ov,
+			Note: fmt.Sprintf("%s (net %d) overlaps %s (net %d)", aTag, aNet, bTag, bNet),
+		}}
+	}
+	w := a.MinDim()
+	if bw := b.MinDim(); bw > w {
+		w = bw
+	}
+	prl := a.PRL(b)
+	diagonal := prl < 0
+	if prl < 0 {
+		prl = 0
+	}
+	req := l.MinSpacing(w, prl)
+	// Diagonal neighbors with a wide participant fall under corner spacing.
+	if diagonal && l.Corner.Enabled() && w >= l.Corner.EligibleWidth && l.Corner.Spacing > req {
+		if a.DistSquared(b) < l.Corner.Spacing*l.Corner.Spacing {
+			return []Violation{{
+				Rule: "CornerSpacing", Layer: l.Name, Where: a.UnionBBox(b),
+				Note: fmt.Sprintf("%s (net %d) corner within %d of %s (net %d)", aTag, aNet, l.Corner.Spacing, bTag, bNet),
+			}}
+		}
+		return nil
+	}
+	if req > 0 && a.DistSquared(b) < req*req {
+		return []Violation{{
+			Rule: "Spacing", Layer: l.Name, Where: a.UnionBBox(b),
+			Note: fmt.Sprintf("%s (net %d) within %d of %s (net %d), prl %d", aTag, aNet, req, bTag, bNet, prl),
+		}}
+	}
+	return nil
+}
+
+// CheckMetalPairRects applies the short and spacing rules to one standalone
+// pair of shapes on layer l (used for via-to-via compatibility checks that
+// run without an engine context). Same-net pairs are exempt.
+func CheckMetalPairRects(l *tech.RoutingLayer, a geom.Rect, aNet int, b geom.Rect, bNet int) []Violation {
+	if sameNet(aNet, bNet) {
+		return nil
+	}
+	return checkMetalPair(l, a, aNet, "a", b, bNet, "b")
+}
+
+// eolWindows returns the end-of-line clearance windows of a wire-like shape
+// on layer l (empty when the rule is disabled or the end edges are wide).
+func eolWindows(l *tech.RoutingLayer, r geom.Rect) []geom.Rect {
+	if !l.EOL.Enabled() {
+		return nil
+	}
+	if r.Width() >= r.Height() {
+		if r.Height() < l.EOL.EOLWidth {
+			return []geom.Rect{
+				geom.R(r.XL-l.EOL.EOLSpace, r.YL-l.EOL.EOLWithin, r.XL, r.YH+l.EOL.EOLWithin),
+				geom.R(r.XH, r.YL-l.EOL.EOLWithin, r.XH+l.EOL.EOLSpace, r.YH+l.EOL.EOLWithin),
+			}
+		}
+		return nil
+	}
+	if r.Width() < l.EOL.EOLWidth {
+		return []geom.Rect{
+			geom.R(r.XL-l.EOL.EOLWithin, r.YL-l.EOL.EOLSpace, r.XH+l.EOL.EOLWithin, r.YL),
+			geom.R(r.XL-l.EOL.EOLWithin, r.YH, r.XH+l.EOL.EOLWithin, r.YH+l.EOL.EOLSpace),
+		}
+	}
+	return nil
+}
+
+// CheckEOLPairRects applies the end-of-line rule between one standalone pair
+// of different-net shapes on layer l, in both directions (a's windows against
+// b and b's windows against a).
+func CheckEOLPairRects(l *tech.RoutingLayer, a geom.Rect, aNet int, b geom.Rect, bNet int) []Violation {
+	if sameNet(aNet, bNet) {
+		return nil
+	}
+	var out []Violation
+	for _, win := range eolWindows(l, a) {
+		if win.Overlaps(b) {
+			out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win,
+				Note: fmt.Sprintf("end-of-line window blocked (nets %d/%d)", aNet, bNet)})
+		}
+	}
+	for _, win := range eolWindows(l, b) {
+		if win.Overlaps(a) {
+			out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win,
+				Note: fmt.Sprintf("end-of-line window blocked (nets %d/%d)", bNet, aNet)})
+		}
+	}
+	return out
+}
+
+// CheckCutPairRects applies the cut spacing rule to one standalone pair of
+// cuts on cut layer c. Coincident cuts are the same via and exempt; net
+// membership is irrelevant for cut spacing.
+func CheckCutPairRects(c *tech.CutLayer, a, b geom.Rect) []Violation {
+	if a == b {
+		return nil
+	}
+	if a.Overlaps(b) {
+		ov, _ := a.Intersect(b)
+		return []Violation{{Rule: "Short", Layer: c.Name, Where: ov, Note: "cuts overlap"}}
+	}
+	if d := a.DistSquared(b); d < c.Spacing*c.Spacing {
+		return []Violation{{Rule: "CutSpacing", Layer: c.Name, Where: a.UnionBBox(b),
+			Note: fmt.Sprintf("cuts within %d", c.Spacing)}}
+	}
+	return nil
+}
+
+// CheckCutRect validates a hypothetical via cut on cut layer cutBelow: cut
+// spacing applies regardless of net (two same-net vias still need clearance);
+// an identical coincident cut is treated as the same via and skipped.
+func (e *Engine) CheckCutRect(cutBelow int, r geom.Rect, net int) []Violation {
+	return e.CheckCutRectCtx(cutBelow, r, net, nil)
+}
+
+// CheckCutRectCtx is CheckCutRect with caller-owned query state.
+func (e *Engine) CheckCutRectCtx(cutBelow int, r geom.Rect, net int, ctx *QueryCtx) []Violation {
+	c := e.Tech.Cut(cutBelow)
+	if c == nil {
+		return nil
+	}
+	var out []Violation
+	win := r.Bloat(c.Spacing)
+	for _, id := range e.QueryCutCtx(cutBelow, win, ctx) {
+		o := &e.objs[id]
+		if o.Rect == r {
+			continue // the same via
+		}
+		if r.Overlaps(o.Rect) {
+			ov, _ := r.Intersect(o.Rect)
+			out = append(out, Violation{Rule: "Short", Layer: c.Name, Where: ov,
+				Note: fmt.Sprintf("cut overlaps %s (net %d)", o.describe(), o.Net)})
+			continue
+		}
+		if d := r.DistSquared(o.Rect); d < c.Spacing*c.Spacing {
+			out = append(out, Violation{Rule: "CutSpacing", Layer: c.Name, Where: r.UnionBBox(o.Rect),
+				Note: fmt.Sprintf("cut within %d of %s (net %d)", c.Spacing, o.describe(), o.Net)})
+		}
+	}
+	return out
+}
+
+// CheckMinWidth validates a shape's minimum dimension on the layer.
+func CheckMinWidth(l *tech.RoutingLayer, r geom.Rect) []Violation {
+	if l.MinWid > 0 && r.MinDim() < l.MinWid {
+		return []Violation{{Rule: "MinWidth", Layer: l.Name, Where: r,
+			Note: fmt.Sprintf("width %d < %d", r.MinDim(), l.MinWid)}}
+	}
+	return nil
+}
+
+// CheckMinStepUnion checks the outline of the union of rects against the
+// layer's min-step rule: any maximal run of consecutive outline edges shorter
+// than MinStepLength whose length exceeds MaxEdges is a violation (MaxEdges=0
+// forbids short edges entirely).
+func CheckMinStepUnion(l *tech.RoutingLayer, rects []geom.Rect) []Violation {
+	if !l.Step.Enabled() {
+		return nil
+	}
+	var out []Violation
+	for _, poly := range geom.UnionRects(rects) {
+		for _, ring := range poly.AllRings() {
+			out = append(out, checkRingSteps(l, ring)...)
+		}
+	}
+	return out
+}
+
+func checkRingSteps(l *tech.RoutingLayer, ring geom.Ring) []Violation {
+	edges := ring.Edges()
+	n := len(edges)
+	if n == 0 {
+		return nil
+	}
+	short := make([]bool, n)
+	allShort := true
+	for i, e := range edges {
+		short[i] = e.Length() < l.Step.MinStepLength
+		allShort = allShort && short[i]
+	}
+	var out []Violation
+	if allShort {
+		return []Violation{{Rule: "MinStep", Layer: l.Name, Where: ring.BBox(),
+			Note: fmt.Sprintf("entire contour shorter than min step %d", l.Step.MinStepLength)}}
+	}
+	// Walk circular runs starting after a non-short edge.
+	start := 0
+	for short[start] {
+		start++
+	}
+	run := 0
+	runBox := geom.Rect{}
+	for k := 1; k <= n; k++ {
+		i := (start + k) % n
+		if short[i] {
+			if run == 0 {
+				runBox = edges[i].Rect()
+			} else {
+				runBox = runBox.UnionBBox(edges[i].Rect())
+			}
+			run++
+			continue
+		}
+		if run > l.Step.MaxEdges {
+			out = append(out, Violation{Rule: "MinStep", Layer: l.Name, Where: runBox,
+				Note: fmt.Sprintf("%d consecutive edges shorter than %d (max %d)", run, l.Step.MinStepLength, l.Step.MaxEdges)})
+		}
+		run = 0
+	}
+	return out
+}
+
+// CheckMinAreaUnion checks each connected component of the union of rects
+// against the layer's minimum-area rule.
+func CheckMinAreaUnion(l *tech.RoutingLayer, rects []geom.Rect) []Violation {
+	if l.Area <= 0 {
+		return nil
+	}
+	var out []Violation
+	for _, poly := range geom.UnionRects(rects) {
+		if a := poly.Area(); a < l.Area {
+			out = append(out, Violation{Rule: "MinArea", Layer: l.Name, Where: poly.BBox(),
+				Note: fmt.Sprintf("area %d < %d", a, l.Area)})
+		}
+	}
+	return out
+}
+
+// CheckMinEnclosedAreaUnion checks every hole of the union of rects against
+// the layer's minimum enclosed area rule (a metal ring may not surround a
+// hole smaller than EncArea).
+func CheckMinEnclosedAreaUnion(l *tech.RoutingLayer, rects []geom.Rect) []Violation {
+	if l.EncArea <= 0 {
+		return nil
+	}
+	var out []Violation
+	for _, poly := range geom.UnionRects(rects) {
+		for _, hole := range poly.Holes {
+			if a := -hole.SignedArea2() / 2; a < l.EncArea {
+				out = append(out, Violation{Rule: "MinEnclosedArea", Layer: l.Name, Where: hole.BBox(),
+					Note: fmt.Sprintf("enclosed area %d < %d", a, l.EncArea)})
+			}
+		}
+	}
+	return out
+}
+
+// CheckEOLRect treats r as a wire-like shape on layer and applies the
+// end-of-line rule to its two end edges (the edges spanning the shape's
+// narrow dimension): if the end edge is shorter than EOLWidth, a clearance
+// window extending EOLSpace beyond the edge and widened by EOLWithin must be
+// free of different-net shapes.
+func (e *Engine) CheckEOLRect(layer int, r geom.Rect, net int) []Violation {
+	return e.CheckEOLRectCtx(layer, r, net, nil)
+}
+
+// CheckEOLRectCtx is CheckEOLRect with caller-owned query state.
+func (e *Engine) CheckEOLRectCtx(layer int, r geom.Rect, net int, ctx *QueryCtx) []Violation {
+	l := e.Tech.Metal(layer)
+	if l == nil {
+		return nil
+	}
+	var out []Violation
+	for _, win := range eolWindows(l, r) {
+		for _, id := range e.QueryMetalCtx(layer, win, ctx) {
+			o := &e.objs[id]
+			if sameNet(net, o.Net) {
+				continue
+			}
+			if win.Overlaps(o.Rect) {
+				out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win,
+					Note: fmt.Sprintf("end-of-line window blocked by %s (net %d)", o.describe(), o.Net)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CheckVia validates dropping via v at point p for the given net:
+//
+//   - bottom enclosure: shorts/spacing on the lower metal, end-of-line, and
+//     min step on the union of the enclosure with the connected same-net pin
+//     shapes (sameNetRects) — the Fig. 3 check;
+//   - top enclosure: shorts/spacing and min step on the upper metal;
+//   - cut: cut spacing.
+//
+// sameNetRects are the fixed same-net shapes on the lower metal (typically
+// the pin's rectangles); only those transitively touching the enclosure join
+// the min-step union.
+func (e *Engine) CheckVia(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect) []Violation {
+	return e.CheckViaCtx(v, p, net, sameNetRects, nil)
+}
+
+// CheckViaCtx is CheckVia with caller-owned query state for concurrent
+// read-only validation against a frozen engine.
+func (e *Engine) CheckViaCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, ctx *QueryCtx) []Violation {
+	k := v.CutBelow
+	bot := v.BotRect(p)
+	top := v.TopRect(p)
+
+	var out []Violation
+	out = append(out, e.CheckMetalRectCtx(k, bot, net, ctx)...)
+	out = append(out, e.CheckMetalRectCtx(k+1, top, net, ctx)...)
+	for _, cut := range v.CutRects(p) {
+		out = append(out, e.CheckCutRectCtx(k, cut, net, ctx)...)
+	}
+	out = append(out, e.CheckEOLRectCtx(k, bot, net, ctx)...)
+	out = append(out, e.CheckEOLRectCtx(k+1, top, net, ctx)...)
+
+	if lb := e.Tech.Metal(k); lb.Step.Enabled() {
+		out = append(out, CheckMinStepUnion(lb, connectedTo(bot, sameNetRects))...)
+	}
+	if lt := e.Tech.Metal(k + 1); lt.Step.Enabled() {
+		out = append(out, CheckMinStepUnion(lt, []geom.Rect{top})...)
+	}
+	return Dedup(out)
+}
+
+// connectedTo returns seed plus every rect transitively touching it.
+func connectedTo(seed geom.Rect, rects []geom.Rect) []geom.Rect {
+	out := []geom.Rect{seed}
+	used := make([]bool, len(rects))
+	for changed := true; changed; {
+		changed = false
+		for i, r := range rects {
+			if used[i] {
+				continue
+			}
+			for _, u := range out {
+				if u.Touches(r) {
+					out = append(out, r)
+					used[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckAll runs pairwise shorts/spacing over every indexed metal shape and
+// cut spacing over every indexed cut — the post-route full-design check.
+// Each violating pair is reported once.
+func (e *Engine) CheckAll() []Violation {
+	var out []Violation
+	for id := range e.objs {
+		if !e.alive[id] {
+			continue
+		}
+		o := &e.objs[id]
+		switch {
+		case o.MetalLayer > 0:
+			l := e.Tech.Metal(o.MetalLayer)
+			win := o.Rect.Bloat(l.Spacing.MaxSpacing())
+			for _, jd := range e.QueryMetal(o.MetalLayer, win) {
+				if jd <= id {
+					continue
+				}
+				q := &e.objs[jd]
+				if sameNet(o.Net, q.Net) {
+					continue
+				}
+				out = append(out, checkMetalPair(l, o.Rect, o.Net, o.describe(), q.Rect, q.Net, q.describe())...)
+			}
+		case o.CutBelow > 0:
+			c := e.Tech.Cut(o.CutBelow)
+			win := o.Rect.Bloat(c.Spacing)
+			for _, jd := range e.QueryCut(o.CutBelow, win) {
+				if jd <= id {
+					continue
+				}
+				q := &e.objs[jd]
+				if o.Rect.Overlaps(q.Rect) {
+					ov, _ := o.Rect.Intersect(q.Rect)
+					out = append(out, Violation{Rule: "Short", Layer: c.Name, Where: ov,
+						Note: fmt.Sprintf("%s overlaps %s", o.describe(), q.describe())})
+					continue
+				}
+				if d := o.Rect.DistSquared(q.Rect); d < c.Spacing*c.Spacing {
+					out = append(out, Violation{Rule: "CutSpacing", Layer: c.Name, Where: o.Rect.UnionBBox(q.Rect),
+						Note: fmt.Sprintf("%s within %d of %s", o.describe(), c.Spacing, q.describe())})
+				}
+			}
+		}
+	}
+	return Dedup(out)
+}
+
+// checkObjAgainst runs the pairwise checks of one object against the engine
+// using the caller-owned query state; only pairs (id < jd) are reported so
+// the full sweep sees each pair once.
+func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []int) ([]Violation, []int) {
+	o := &e.objs[id]
+	var out []Violation
+	switch {
+	case o.MetalLayer > 0:
+		l := e.Tech.Metal(o.MetalLayer)
+		win := o.Rect.Bloat(l.Spacing.MaxSpacing())
+		scratch = e.queryIdxInto(e.metal[o.MetalLayer], win, stamp, pass, scratch[:0])
+		for _, jd := range scratch {
+			if jd <= id {
+				continue
+			}
+			q := &e.objs[jd]
+			if sameNet(o.Net, q.Net) {
+				continue
+			}
+			out = append(out, checkMetalPair(l, o.Rect, o.Net, o.describe(), q.Rect, q.Net, q.describe())...)
+		}
+	case o.CutBelow > 0:
+		c := e.Tech.Cut(o.CutBelow)
+		win := o.Rect.Bloat(c.Spacing)
+		scratch = e.queryIdxInto(e.cut[o.CutBelow], win, stamp, pass, scratch[:0])
+		for _, jd := range scratch {
+			if jd <= id {
+				continue
+			}
+			q := &e.objs[jd]
+			if o.Rect.Overlaps(q.Rect) {
+				ov, _ := o.Rect.Intersect(q.Rect)
+				out = append(out, Violation{Rule: "Short", Layer: c.Name, Where: ov,
+					Note: fmt.Sprintf("%s overlaps %s", o.describe(), q.describe())})
+				continue
+			}
+			if d := o.Rect.DistSquared(q.Rect); d < c.Spacing*c.Spacing {
+				out = append(out, Violation{Rule: "CutSpacing", Layer: c.Name, Where: o.Rect.UnionBBox(q.Rect),
+					Note: fmt.Sprintf("%s within %d of %s", o.describe(), c.Spacing, q.describe())})
+			}
+		}
+	}
+	return out, scratch
+}
+
+// CheckAllParallel is CheckAll fanned across worker goroutines (each with its
+// own query state), for post-route full-design checks on large results. The
+// violation set matches CheckAll; ordering is normalized by sorting on Key.
+func (e *Engine) CheckAllParallel(workers int) []Violation {
+	if workers < 2 {
+		out := e.CheckAll()
+		sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+		return out
+	}
+	n := len(e.objs)
+	results := make([][]Violation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stamp := make([]int32, n)
+			pass := int32(0)
+			var scratch []int
+			var local []Violation
+			for id := w; id < n; id += workers {
+				if !e.alive[id] {
+					continue
+				}
+				pass++
+				var vs []Violation
+				vs, scratch = e.checkObjAgainst(id, stamp, pass, scratch)
+				local = append(local, vs...)
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var all []Violation
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	all = Dedup(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].Key() < all[j].Key() })
+	return all
+}

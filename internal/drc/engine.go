@@ -1,0 +1,330 @@
+// Package drc is the design rule check engine: a grid-binned region query
+// over design shapes plus the rule checks pin access analysis and detailed
+// routing need — metal spacing (PRL table), shorts, min step over rectilinear
+// unions, end-of-line spacing, cut spacing, min width and min area. It plays
+// the role of TritonRoute's DRC engine in the paper's flow ("we use an
+// accurate DRC engine similar to the one used in [20]", Section III-A).
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Kind classifies a shape's origin, for reporting.
+type Kind uint8
+
+const (
+	KindPin Kind = iota
+	KindObs
+	KindWire
+	KindViaEnc
+	KindViaCut
+	KindIOPin
+)
+
+var kindNames = [...]string{"pin", "obs", "wire", "viaEnc", "viaCut", "ioPin"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// NoNet marks shapes that belong to no net (obstructions, power rails).
+// A NoNet shape conflicts with every net but never with another NoNet shape.
+const NoNet = -1
+
+// Obj is one rectangle known to the engine. Metal shapes set MetalLayer to
+// the 1-based metal number; via cuts set CutBelow to the cut layer's metal
+// number and leave MetalLayer zero.
+type Obj struct {
+	ID         int
+	Kind       Kind
+	MetalLayer int
+	CutBelow   int
+	Rect       geom.Rect
+	Net        int
+	Tag        string
+}
+
+func (o *Obj) describe() string {
+	if o.Tag != "" {
+		return o.Tag
+	}
+	return fmt.Sprintf("%s(net %d)", o.Kind, o.Net)
+}
+
+// Violation is one design rule violation.
+type Violation struct {
+	Rule  string // Short, Spacing, MinStep, EOL, CutSpacing, MinWidth, MinArea
+	Layer string // layer name
+	Where geom.Rect
+	Note  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on %s at %v: %s", v.Rule, v.Layer, v.Where, v.Note)
+}
+
+// Key returns a dedup key that ignores the free-text note.
+func (v Violation) Key() string {
+	return fmt.Sprintf("%s|%s|%d,%d,%d,%d", v.Rule, v.Layer, v.Where.XL, v.Where.YL, v.Where.XH, v.Where.YH)
+}
+
+// Dedup removes violations with duplicate keys, preserving order.
+func Dedup(vs []Violation) []Violation {
+	seen := make(map[string]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// binIndex is a uniform-grid spatial index over object IDs.
+type binIndex struct {
+	size int64
+	bins map[[2]int32][]int32
+}
+
+func newBinIndex(size int64) *binIndex {
+	return &binIndex{size: size, bins: make(map[[2]int32][]int32)}
+}
+
+func (b *binIndex) keyRange(r geom.Rect) (x0, y0, x1, y1 int32) {
+	return int32(floorDiv(r.XL, b.size)), int32(floorDiv(r.YL, b.size)),
+		int32(floorDiv(r.XH, b.size)), int32(floorDiv(r.YH, b.size))
+}
+
+func (b *binIndex) insert(id int32, r geom.Rect) {
+	x0, y0, x1, y1 := b.keyRange(r)
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			k := [2]int32{x, y}
+			b.bins[k] = append(b.bins[k], id)
+		}
+	}
+}
+
+func (b *binIndex) remove(id int32, r geom.Rect) {
+	x0, y0, x1, y1 := b.keyRange(r)
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			k := [2]int32{x, y}
+			s := b.bins[k]
+			for i, v := range s {
+				if v == id {
+					s[i] = s[len(s)-1]
+					b.bins[k] = s[:len(s)-1]
+					break
+				}
+			}
+		}
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Engine indexes design shapes per layer and runs rule checks against them.
+type Engine struct {
+	Tech *tech.Technology
+
+	objs    []Obj
+	alive   []bool
+	metal   []*binIndex // index 1..NumMetals
+	cut     []*binIndex // index 1..NumMetals-1
+	stamp   []int32     // per-object visit stamp for query dedup
+	curPass int32
+}
+
+// NewEngine creates an empty engine for the given technology. Bin size is
+// derived from the lower-metal pitch.
+func NewEngine(t *tech.Technology) *Engine {
+	e := &Engine{Tech: t}
+	bin := 24 * t.Metal(1).Pitch
+	e.metal = make([]*binIndex, t.NumMetals()+1)
+	for i := 1; i <= t.NumMetals(); i++ {
+		e.metal[i] = newBinIndex(bin)
+	}
+	e.cut = make([]*binIndex, t.NumMetals())
+	for i := 1; i < t.NumMetals(); i++ {
+		e.cut[i] = newBinIndex(bin)
+	}
+	return e
+}
+
+// NumObjs returns the number of live objects.
+func (e *Engine) NumObjs() int {
+	n := 0
+	for _, a := range e.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Add registers a shape and returns its ID.
+func (e *Engine) Add(o Obj) int {
+	o.ID = len(e.objs)
+	e.objs = append(e.objs, o)
+	e.alive = append(e.alive, true)
+	e.stamp = append(e.stamp, 0)
+	switch {
+	case o.CutBelow > 0:
+		e.cut[o.CutBelow].insert(int32(o.ID), o.Rect)
+	case o.MetalLayer > 0:
+		e.metal[o.MetalLayer].insert(int32(o.ID), o.Rect)
+	}
+	return o.ID
+}
+
+// AddMetal is a convenience wrapper for metal shapes.
+func (e *Engine) AddMetal(layer int, r geom.Rect, net int, kind Kind, tag string) int {
+	return e.Add(Obj{Kind: kind, MetalLayer: layer, Rect: r, Net: net, Tag: tag})
+}
+
+// AddCut is a convenience wrapper for via cut shapes.
+func (e *Engine) AddCut(cutBelow int, r geom.Rect, net int, tag string) int {
+	return e.Add(Obj{Kind: KindViaCut, CutBelow: cutBelow, Rect: r, Net: net, Tag: tag})
+}
+
+// Remove deletes a previously added object.
+func (e *Engine) Remove(id int) {
+	if id < 0 || id >= len(e.objs) || !e.alive[id] {
+		return
+	}
+	o := &e.objs[id]
+	switch {
+	case o.CutBelow > 0:
+		e.cut[o.CutBelow].remove(int32(id), o.Rect)
+	case o.MetalLayer > 0:
+		e.metal[o.MetalLayer].remove(int32(id), o.Rect)
+	}
+	e.alive[id] = false
+}
+
+// Obj returns the object with the given ID (valid until the next Add).
+func (e *Engine) Obj(id int) *Obj { return &e.objs[id] }
+
+// queryIdx gathers live object IDs from idx touching r, deduped.
+func (e *Engine) queryIdx(idx *binIndex, r geom.Rect) []int {
+	if idx == nil {
+		return nil
+	}
+	e.curPass++
+	pass := e.curPass
+	var out []int
+	x0, y0, x1, y1 := idx.keyRange(r)
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for _, id := range idx.bins[[2]int32{x, y}] {
+				if !e.alive[id] || e.stamp[id] == pass {
+					continue
+				}
+				e.stamp[id] = pass
+				if e.objs[id].Rect.Touches(r) {
+					out = append(out, int(id))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QueryMetal returns IDs of live metal shapes on layer touching r.
+func (e *Engine) QueryMetal(layer int, r geom.Rect) []int {
+	if layer < 1 || layer >= len(e.metal) {
+		return nil
+	}
+	return e.queryIdx(e.metal[layer], r)
+}
+
+// QueryCut returns IDs of live via cuts on cut layer cutBelow touching r.
+func (e *Engine) QueryCut(cutBelow int, r geom.Rect) []int {
+	if cutBelow < 1 || cutBelow >= len(e.cut) {
+		return nil
+	}
+	return e.queryIdx(e.cut[cutBelow], r)
+}
+
+// sameNet reports whether two net IDs should be exempt from spacing/short
+// checks against each other. NoNet shapes conflict with every net but not
+// with each other (two blockages cannot violate).
+func sameNet(a, b int) bool {
+	if a == NoNet && b == NoNet {
+		return true
+	}
+	return a == b && a != NoNet
+}
+
+// queryIdxInto is the thread-safe variant of queryIdx: the caller owns the
+// visit-stamp buffer (len == len(objs)) and the pass counter, so concurrent
+// readers never share state.
+func (e *Engine) queryIdxInto(idx *binIndex, r geom.Rect, stamp []int32, pass int32, out []int) []int {
+	if idx == nil {
+		return out
+	}
+	x0, y0, x1, y1 := idx.keyRange(r)
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for _, id := range idx.bins[[2]int32{x, y}] {
+				if !e.alive[id] || stamp[id] == pass {
+					continue
+				}
+				stamp[id] = pass
+				if e.objs[id].Rect.Touches(r) {
+					out = append(out, int(id))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// QueryCtx carries per-goroutine query state so read-only checks can run
+// concurrently against one engine. Obtain with NewQueryCtx after all shapes
+// are added; adding shapes afterwards invalidates the context.
+type QueryCtx struct {
+	stamp []int32
+	pass  int32
+}
+
+// NewQueryCtx allocates query state sized for the engine's current objects.
+func (e *Engine) NewQueryCtx() *QueryCtx {
+	return &QueryCtx{stamp: make([]int32, len(e.objs))}
+}
+
+// QueryMetalCtx is QueryMetal with caller-owned state (safe for concurrent
+// use with other contexts; the engine must not be mutated meanwhile).
+func (e *Engine) QueryMetalCtx(layer int, r geom.Rect, ctx *QueryCtx) []int {
+	if ctx == nil {
+		return e.QueryMetal(layer, r)
+	}
+	if layer < 1 || layer >= len(e.metal) {
+		return nil
+	}
+	ctx.pass++
+	return e.queryIdxInto(e.metal[layer], r, ctx.stamp, ctx.pass, nil)
+}
+
+// QueryCutCtx is QueryCut with caller-owned state.
+func (e *Engine) QueryCutCtx(cutBelow int, r geom.Rect, ctx *QueryCtx) []int {
+	if ctx == nil {
+		return e.QueryCut(cutBelow, r)
+	}
+	if cutBelow < 1 || cutBelow >= len(e.cut) {
+		return nil
+	}
+	ctx.pass++
+	return e.queryIdxInto(e.cut[cutBelow], r, ctx.stamp, ctx.pass, nil)
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/suite"
+)
+
+func TestTable1(t *testing.T) {
+	rows, err := RunTable1(0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.StdCells == 0 || r.Nets == 0 || r.Layers != 9 {
+			t.Errorf("row %d incomplete: %+v", i, r)
+		}
+	}
+	var b strings.Builder
+	RenderTable1(&b, rows)
+	if !strings.Contains(b.String(), "pao_test10") {
+		t.Error("render missing testcase")
+	}
+}
+
+func TestExp1Shape(t *testing.T) {
+	row, err := RunExp1(suite.Testcases[0], 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table II claims: PAAF generates more APs, zero dirty; the baseline
+	// leaves dirty APs.
+	if row.PaafAPs < row.TrAPs {
+		t.Errorf("PAAF APs %d < TrRte APs %d", row.PaafAPs, row.TrAPs)
+	}
+	if row.PaafDirty != 0 {
+		t.Errorf("PAAF dirty = %d", row.PaafDirty)
+	}
+	if row.TrDirty == 0 {
+		t.Error("TrRte dirty = 0, want > 0")
+	}
+	if row.NumUnique == 0 {
+		t.Error("no unique instances")
+	}
+	var b strings.Builder
+	RenderExp1(&b, []Exp1Row{row})
+	if !strings.Contains(b.String(), "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExp2Shape(t *testing.T) {
+	row, err := RunExp2(suite.Testcases[0], 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table III claims: the baseline fails many pins, PAAF w/ BCA fails
+	// none, and w/o BCA sits in between.
+	if row.BCAFailed != 0 {
+		t.Errorf("w/ BCA failed = %d, want 0", row.BCAFailed)
+	}
+	if row.TrFailed == 0 {
+		t.Error("TrRte failed = 0, want > 0")
+	}
+	if row.TrFailed < row.NoBCAFailed {
+		t.Errorf("TrRte failed %d < w/o BCA failed %d", row.TrFailed, row.NoBCAFailed)
+	}
+	if row.TotalPins == 0 {
+		t.Error("no pins")
+	}
+	var b strings.Builder
+	RenderExp2(&b, []Exp2Row{row})
+	if !strings.Contains(b.String(), "Table III") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExp3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routing experiment")
+	}
+	rows, err := RunExp3(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	adhoc, paaf := rows[0], rows[1]
+	if adhoc.Mode != "adhoc" || paaf.Mode != "paaf" {
+		t.Fatalf("mode order: %s, %s", adhoc.Mode, paaf.Mode)
+	}
+	if paaf.Violations >= adhoc.Violations {
+		t.Errorf("PAAF DRCs %d >= adhoc DRCs %d", paaf.Violations, adhoc.Violations)
+	}
+	if adhoc.AccessDRCs == 0 {
+		t.Error("adhoc access DRCs = 0")
+	}
+	var b strings.Builder
+	RenderExp3(&b, rows)
+	if !strings.Contains(b.String(), "Fig. 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAES14(t *testing.T) {
+	res, err := RunAES14(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Errorf("failed pins = %d", res.Failed)
+	}
+	if res.OffTrack*2 < res.TotalAPs {
+		t.Errorf("off-track APs %d of %d: expected majority", res.OffTrack, res.TotalAPs)
+	}
+	var b strings.Builder
+	RenderAES14(&b, res)
+	if !strings.Contains(b.String(), "14nm") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := RunAblations(suite.Testcases[0], 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	def := byName["default (k=3, a=0.3, BCA, history)"]
+	if def.FailedPins != 0 {
+		t.Errorf("default failed = %d", def.FailedPins)
+	}
+	if k1 := byName["k=1"]; k1.TotalAPs >= def.TotalAPs {
+		t.Errorf("k=1 APs %d >= default %d", k1.TotalAPs, def.TotalAPs)
+	}
+	if k5 := byName["k=5"]; k5.TotalAPs <= def.TotalAPs {
+		t.Errorf("k=5 APs %d <= default %d", k5.TotalAPs, def.TotalAPs)
+	}
+	var b strings.Builder
+	RenderAblations(&b, "pao_test1", rows)
+	if !strings.Contains(b.String(), "on-track only") {
+		t.Error("render missing config")
+	}
+}

@@ -1,0 +1,222 @@
+// Package geom provides the integer geometry kernel used throughout the pin
+// access framework: points, rectangles, orientation transforms, rectilinear
+// polygon booleans and maximal-rectangle decomposition.
+//
+// All coordinates are int64 database units (DBU). The framework convention is
+// 1 DBU = 1 nm. Rectangles are closed, axis-aligned, and normalized so that
+// XL <= XH and YL <= YH. A rectangle with XL == XH or YL == YH is degenerate
+// (zero area) but still a valid point/segment for distance queries.
+package geom
+
+import "fmt"
+
+// Point is an x-y coordinate in DBU.
+type Point struct {
+	X, Y int64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int64) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns |dx| + |dy| between p and q.
+func (p Point) ManhattanDist(q Point) int64 {
+	return absI64(p.X-q.X) + absI64(p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is a closed axis-aligned rectangle [XL,XH] x [YL,YH].
+type Rect struct {
+	XL, YL, XH, YH int64
+}
+
+// R constructs a normalized rectangle from two corner coordinates given in any
+// order.
+func R(x1, y1, x2, y2 int64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{x1, y1, x2, y2}
+}
+
+// Width returns the x extent.
+func (r Rect) Width() int64 { return r.XH - r.XL }
+
+// Height returns the y extent.
+func (r Rect) Height() int64 { return r.YH - r.YL }
+
+// MinDim returns the smaller of width and height.
+func (r Rect) MinDim() int64 { return minI64(r.Width(), r.Height()) }
+
+// MaxDim returns the larger of width and height.
+func (r Rect) MaxDim() int64 { return maxI64(r.Width(), r.Height()) }
+
+// Area returns width * height.
+func (r Rect) Area() int64 { return r.Width() * r.Height() }
+
+// Center returns the midpoint (rounded toward negative infinity for odd
+// extents, matching integer track arithmetic).
+func (r Rect) Center() Point { return Point{(r.XL + r.XH) / 2, (r.YL + r.YH) / 2} }
+
+// Empty reports whether the rectangle has zero area.
+func (r Rect) Empty() bool { return r.XL >= r.XH || r.YL >= r.YH }
+
+// Valid reports whether the rectangle is normalized.
+func (r Rect) Valid() bool { return r.XL <= r.XH && r.YL <= r.YH }
+
+// ContainsPt reports whether p lies inside or on the boundary of r.
+func (r Rect) ContainsPt(p Point) bool {
+	return p.X >= r.XL && p.X <= r.XH && p.Y >= r.YL && p.Y <= r.YH
+}
+
+// ContainsRect reports whether s lies entirely inside or on the boundary of r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.XL >= r.XL && s.XH <= r.XH && s.YL >= r.YL && s.YH <= r.YH
+}
+
+// Overlaps reports whether r and s share interior area (touching edges do not
+// count).
+func (r Rect) Overlaps(s Rect) bool {
+	return r.XL < s.XH && s.XL < r.XH && r.YL < s.YH && s.YL < r.YH
+}
+
+// Touches reports whether r and s intersect as closed sets (shared edges and
+// corners count).
+func (r Rect) Touches(s Rect) bool {
+	return r.XL <= s.XH && s.XL <= r.XH && r.YL <= s.YH && s.YL <= r.YH
+}
+
+// Intersect returns the intersection of r and s as closed sets. The boolean is
+// false when the rectangles are disjoint, in which case the returned rectangle
+// is the zero value.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{maxI64(r.XL, s.XL), maxI64(r.YL, s.YL), minI64(r.XH, s.XH), minI64(r.YH, s.YH)}
+	if out.XL > out.XH || out.YL > out.YH {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// UnionBBox returns the bounding box of r and s.
+func (r Rect) UnionBBox(s Rect) Rect {
+	return Rect{minI64(r.XL, s.XL), minI64(r.YL, s.YL), maxI64(r.XH, s.XH), maxI64(r.YH, s.YH)}
+}
+
+// Bloat returns r expanded by d on all four sides (d may be negative; the
+// result is normalized to a degenerate rectangle at the center if the shrink
+// collapses it).
+func (r Rect) Bloat(d int64) Rect {
+	out := Rect{r.XL - d, r.YL - d, r.XH + d, r.YH + d}
+	if out.XL > out.XH {
+		c := (r.XL + r.XH) / 2
+		out.XL, out.XH = c, c
+	}
+	if out.YL > out.YH {
+		c := (r.YL + r.YH) / 2
+		out.YL, out.YH = c, c
+	}
+	return out
+}
+
+// BloatXY returns r expanded by dx horizontally and dy vertically.
+func (r Rect) BloatXY(dx, dy int64) Rect {
+	return Rect{r.XL - dx, r.YL - dy, r.XH + dx, r.YH + dy}
+}
+
+// Shift returns r translated by p.
+func (r Rect) Shift(p Point) Rect {
+	return Rect{r.XL + p.X, r.YL + p.Y, r.XH + p.X, r.YH + p.Y}
+}
+
+// SpanX returns the horizontal interval [XL, XH].
+func (r Rect) SpanX() (int64, int64) { return r.XL, r.XH }
+
+// SpanY returns the vertical interval [YL, YH].
+func (r Rect) SpanY() (int64, int64) { return r.YL, r.YH }
+
+// SepX returns the horizontal separation between r and s: 0 if their x spans
+// overlap or touch, otherwise the gap size.
+func (r Rect) SepX(s Rect) int64 {
+	if r.XH < s.XL {
+		return s.XL - r.XH
+	}
+	if s.XH < r.XL {
+		return r.XL - s.XH
+	}
+	return 0
+}
+
+// SepY is the vertical analogue of SepX.
+func (r Rect) SepY(s Rect) int64 {
+	if r.YH < s.YL {
+		return s.YL - r.YH
+	}
+	if s.YH < r.YL {
+		return r.YL - s.YH
+	}
+	return 0
+}
+
+// DistSquared returns the squared Euclidean distance between r and s as
+// closed sets (0 when they touch or overlap). Squared distance avoids
+// floating point in design-rule comparisons: rule d is violated iff
+// DistSquared < d*d.
+func (r Rect) DistSquared(s Rect) int64 {
+	dx := r.SepX(s)
+	dy := r.SepY(s)
+	return dx*dx + dy*dy
+}
+
+// PRL returns the parallel run length between r and s: the overlap of their
+// projections on the axis perpendicular to their separation. Positive values
+// mean the shapes run alongside each other; negative values mean they are
+// diagonal neighbors (corner-to-corner). When the rectangles overlap in both
+// axes, PRL is the larger projection overlap.
+func (r Rect) PRL(s Rect) int64 {
+	ox := minI64(r.XH, s.XH) - maxI64(r.XL, s.XL) // x projection overlap (may be negative)
+	oy := minI64(r.YH, s.YH) - maxI64(r.YL, s.YL)
+	if ox >= 0 && oy >= 0 {
+		return maxI64(ox, oy)
+	}
+	if ox >= 0 {
+		return ox
+	}
+	if oy >= 0 {
+		return oy
+	}
+	return maxI64(ox, oy) // both negative: diagonal; report the less-negative gap
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("(%d,%d)-(%d,%d)", r.XL, r.YL, r.XH, r.YH)
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

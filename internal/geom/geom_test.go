@@ -1,0 +1,245 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 5, 2)
+	want := Rect{5, 2, 10, 20}
+	if r != want {
+		t.Fatalf("R(10,20,5,2) = %v, want %v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatal("normalized rect must be valid")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 100, 40}
+	if got := r.Width(); got != 100 {
+		t.Errorf("Width = %d, want 100", got)
+	}
+	if got := r.Height(); got != 40 {
+		t.Errorf("Height = %d, want 40", got)
+	}
+	if got := r.Area(); got != 4000 {
+		t.Errorf("Area = %d, want 4000", got)
+	}
+	if got := r.Center(); got != Pt(50, 20) {
+		t.Errorf("Center = %v, want (50,20)", got)
+	}
+	if got := r.MinDim(); got != 40 {
+		t.Errorf("MinDim = %d, want 40", got)
+	}
+	if got := r.MaxDim(); got != 100 {
+		t.Errorf("MaxDim = %d, want 100", got)
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported Empty")
+	}
+	if !(Rect{5, 5, 5, 9}).Empty() {
+		t.Error("zero-width rect must be Empty")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}} {
+		if !r.ContainsPt(p) {
+			t.Errorf("ContainsPt(%v) = false, want true (boundary is closed)", p)
+		}
+	}
+	for _, p := range []Point{{-1, 0}, {11, 5}, {5, -1}} {
+		if r.ContainsPt(p) {
+			t.Errorf("ContainsPt(%v) = true, want false", p)
+		}
+	}
+	if !r.ContainsRect(Rect{0, 0, 10, 10}) {
+		t.Error("rect must contain itself")
+	}
+	if r.ContainsRect(Rect{0, 0, 11, 10}) {
+		t.Error("rect must not contain a larger rect")
+	}
+}
+
+func TestOverlapsTouches(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	edge := Rect{10, 0, 20, 10}    // shares the x=10 edge
+	corner := Rect{10, 10, 20, 20} // shares the (10,10) corner
+	inside := Rect{2, 2, 8, 8}
+	far := Rect{30, 30, 40, 40}
+
+	if a.Overlaps(edge) {
+		t.Error("edge-sharing rects must not Overlap")
+	}
+	if !a.Touches(edge) {
+		t.Error("edge-sharing rects must Touch")
+	}
+	if !a.Touches(corner) {
+		t.Error("corner-sharing rects must Touch")
+	}
+	if a.Overlaps(corner) {
+		t.Error("corner-sharing rects must not Overlap")
+	}
+	if !a.Overlaps(inside) {
+		t.Error("contained rect must Overlap")
+	}
+	if a.Touches(far) || a.Overlaps(far) {
+		t.Error("disjoint rects must neither Touch nor Overlap")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("Intersect = %v,%v; want (5,5)-(10,10),true", got, ok)
+	}
+	if _, ok := a.Intersect(Rect{20, 20, 30, 30}); ok {
+		t.Fatal("disjoint Intersect must report false")
+	}
+	// Touching rects intersect in a degenerate rect.
+	got, ok = a.Intersect(Rect{10, 0, 20, 10})
+	if !ok || got != (Rect{10, 0, 10, 10}) {
+		t.Fatalf("touching Intersect = %v,%v; want degenerate segment,true", got, ok)
+	}
+}
+
+func TestBloat(t *testing.T) {
+	r := Rect{10, 10, 20, 20}
+	if got := r.Bloat(5); got != (Rect{5, 5, 25, 25}) {
+		t.Errorf("Bloat(5) = %v", got)
+	}
+	if got := r.Bloat(-3); got != (Rect{13, 13, 17, 17}) {
+		t.Errorf("Bloat(-3) = %v", got)
+	}
+	// Over-shrink collapses to center.
+	if got := r.Bloat(-20); got.Width() != 0 || got.Height() != 0 {
+		t.Errorf("over-shrunk Bloat = %v, want degenerate", got)
+	}
+	if got := r.BloatXY(1, 2); got != (Rect{9, 8, 21, 22}) {
+		t.Errorf("BloatXY = %v", got)
+	}
+}
+
+func TestDistSquared(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	cases := []struct {
+		b    Rect
+		want int64
+	}{
+		{Rect{12, 0, 20, 10}, 4},   // pure x gap 2
+		{Rect{0, 15, 10, 20}, 25},  // pure y gap 5
+		{Rect{13, 14, 20, 20}, 25}, // diagonal 3,4 -> 25
+		{Rect{5, 5, 8, 8}, 0},      // overlap
+		{Rect{10, 10, 20, 20}, 0},  // corner touch
+	}
+	for _, c := range cases {
+		if got := a.DistSquared(c.b); got != c.want {
+			t.Errorf("DistSquared(%v) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestPRL(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if got := a.PRL(Rect{20, 2, 30, 8}); got != 6 {
+		t.Errorf("side-by-side PRL = %d, want 6", got)
+	}
+	if got := a.PRL(Rect{15, 15, 20, 20}); got >= 0 {
+		t.Errorf("diagonal PRL = %d, want negative", got)
+	}
+	if got := a.PRL(Rect{2, 2, 8, 30}); got != 8 {
+		t.Errorf("overlapping PRL = %d, want 8 (max projection overlap)", got)
+	}
+}
+
+func TestSep(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if got := a.SepX(Rect{14, 0, 20, 10}); got != 4 {
+		t.Errorf("SepX = %d, want 4", got)
+	}
+	if got := a.SepX(Rect{-20, 0, -6, 10}); got != 6 {
+		t.Errorf("SepX left = %d, want 6", got)
+	}
+	if got := a.SepX(Rect{5, 0, 20, 10}); got != 0 {
+		t.Errorf("SepX overlap = %d, want 0", got)
+	}
+	if got := a.SepY(Rect{0, 13, 10, 20}); got != 3 {
+		t.Errorf("SepY = %d, want 3", got)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Pt(3, 4)
+	if got := p.Add(Pt(1, -2)); got != Pt(4, 2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(Pt(1, -2)); got != Pt(2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.ManhattanDist(Pt(0, 0)); got != 7 {
+		t.Errorf("ManhattanDist = %d, want 7", got)
+	}
+}
+
+// Property: DistSquared is symmetric and zero iff Touches.
+func TestDistSquaredProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := R(int64(ax), int64(ay), int64(ax)+int64(abs16(aw)), int64(ay)+int64(abs16(ah)))
+		b := R(int64(bx), int64(by), int64(bx)+int64(abs16(bw)), int64(by)+int64(abs16(bh)))
+		d1, d2 := a.DistSquared(b), b.DistSquared(a)
+		if d1 != d2 {
+			return false
+		}
+		return (d1 == 0) == a.Touches(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection of two rects is contained in both; union bbox
+// contains both.
+func TestIntersectUnionProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := R(int64(ax), int64(ay), int64(ax)+int64(abs16(aw)), int64(ay)+int64(abs16(ah)))
+		b := R(int64(bx), int64(by), int64(bx)+int64(abs16(bw)), int64(by)+int64(abs16(bh)))
+		if in, ok := a.Intersect(b); ok {
+			if !a.ContainsRect(in) || !b.ContainsRect(in) {
+				return false
+			}
+		}
+		u := a.UnionBBox(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs16(v int16) int16 {
+	if v < 0 {
+		if v == -32768 {
+			return 32767
+		}
+		return -v
+	}
+	return v
+}
+
+func randRects(rng *rand.Rand, n int, span int64) []Rect {
+	out := make([]Rect, n)
+	for i := range out {
+		x := rng.Int63n(span)
+		y := rng.Int63n(span)
+		w := rng.Int63n(span/4) + 1
+		h := rng.Int63n(span/4) + 1
+		out[i] = Rect{x, y, x + w, y + h}
+	}
+	return out
+}

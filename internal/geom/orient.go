@@ -1,0 +1,105 @@
+package geom
+
+import "fmt"
+
+// Orient is a DEF placement orientation. The eight values are the four
+// rotations (N = R0, W = R90, S = R180, E = R270, counterclockwise) and their
+// y-axis mirrors (FN = MY, FS = MX, FW = MX90, FE = MY90).
+type Orient uint8
+
+const (
+	OrientN  Orient = iota // R0
+	OrientW                // R90
+	OrientS                // R180
+	OrientE                // R270
+	OrientFN               // MY  (mirror about the y axis)
+	OrientFS               // MX  (mirror about the x axis)
+	OrientFW               // MX90
+	OrientFE               // MY90
+)
+
+var orientNames = [...]string{"N", "W", "S", "E", "FN", "FS", "FW", "FE"}
+
+func (o Orient) String() string {
+	if int(o) < len(orientNames) {
+		return orientNames[o]
+	}
+	return fmt.Sprintf("Orient(%d)", uint8(o))
+}
+
+// ParseOrient converts a DEF orientation keyword to an Orient.
+func ParseOrient(s string) (Orient, error) {
+	for i, n := range orientNames {
+		if n == s {
+			return Orient(i), nil
+		}
+	}
+	return OrientN, fmt.Errorf("geom: unknown orientation %q", s)
+}
+
+// Rotated90 reports whether the orientation swaps the cell's width and height.
+func (o Orient) Rotated90() bool {
+	return o == OrientW || o == OrientE || o == OrientFW || o == OrientFE
+}
+
+// Flipped reports whether the orientation mirrors the cell (changes
+// handedness).
+func (o Orient) Flipped() bool { return o >= OrientFN }
+
+// Transform places master-local coordinates into design coordinates. The
+// master occupies [0,Size.X] x [0,Size.Y] in its own frame; after orienting,
+// the transformed bounding box's lower-left corner lands at Offset (DEF
+// component placement semantics).
+type Transform struct {
+	Offset Point
+	Orient Orient
+	Size   Point // master width (X) and height (Y)
+}
+
+// ApplyPt maps a master-local point to design coordinates.
+func (t Transform) ApplyPt(p Point) Point {
+	w, h := t.Size.X, t.Size.Y
+	var q Point
+	switch t.Orient {
+	case OrientN:
+		q = Point{p.X, p.Y}
+	case OrientW:
+		q = Point{h - p.Y, p.X}
+	case OrientS:
+		q = Point{w - p.X, h - p.Y}
+	case OrientE:
+		q = Point{p.Y, w - p.X}
+	case OrientFN:
+		q = Point{w - p.X, p.Y}
+	case OrientFS:
+		q = Point{p.X, h - p.Y}
+	case OrientFW:
+		q = Point{p.Y, p.X}
+	case OrientFE:
+		q = Point{h - p.Y, w - p.X}
+	default:
+		q = Point{p.X, p.Y}
+	}
+	return q.Add(t.Offset)
+}
+
+// ApplyRect maps a master-local rectangle to design coordinates.
+func (t Transform) ApplyRect(r Rect) Rect {
+	a := t.ApplyPt(Point{r.XL, r.YL})
+	b := t.ApplyPt(Point{r.XH, r.YH})
+	return R(a.X, a.Y, b.X, b.Y)
+}
+
+// PlacedSize returns the width and height of the cell after orientation.
+func (t Transform) PlacedSize() Point {
+	if t.Orient.Rotated90() {
+		return Point{t.Size.Y, t.Size.X}
+	}
+	return t.Size
+}
+
+// BBox returns the placed bounding box of the cell.
+func (t Transform) BBox() Rect {
+	s := t.PlacedSize()
+	return Rect{t.Offset.X, t.Offset.Y, t.Offset.X + s.X, t.Offset.Y + s.Y}
+}

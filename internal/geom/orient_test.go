@@ -1,0 +1,115 @@
+package geom
+
+import "testing"
+
+func TestParseOrient(t *testing.T) {
+	for _, name := range []string{"N", "W", "S", "E", "FN", "FS", "FW", "FE"} {
+		o, err := ParseOrient(name)
+		if err != nil {
+			t.Fatalf("ParseOrient(%q): %v", name, err)
+		}
+		if o.String() != name {
+			t.Errorf("round trip %q -> %q", name, o.String())
+		}
+	}
+	if _, err := ParseOrient("R90"); err == nil {
+		t.Error("ParseOrient must reject non-DEF keywords")
+	}
+}
+
+func TestOrientFlags(t *testing.T) {
+	rotated := map[Orient]bool{OrientW: true, OrientE: true, OrientFW: true, OrientFE: true}
+	flipped := map[Orient]bool{OrientFN: true, OrientFS: true, OrientFW: true, OrientFE: true}
+	for o := OrientN; o <= OrientFE; o++ {
+		if got := o.Rotated90(); got != rotated[o] {
+			t.Errorf("%v.Rotated90() = %v", o, got)
+		}
+		if got := o.Flipped(); got != flipped[o] {
+			t.Errorf("%v.Flipped() = %v", o, got)
+		}
+	}
+}
+
+// TestTransformCorners pins the transform semantics: a point near the
+// lower-left of a 10x4 master maps to the expected corner of the placed bbox
+// for each of the eight orientations.
+func TestTransformCorners(t *testing.T) {
+	size := Pt(10, 4)
+	p := Pt(1, 1) // near lower-left in master frame
+	cases := []struct {
+		o    Orient
+		want Point
+	}{
+		{OrientN, Pt(1, 1)},
+		{OrientS, Pt(9, 3)},
+		{OrientW, Pt(3, 1)},
+		{OrientE, Pt(1, 9)},
+		{OrientFN, Pt(9, 1)},
+		{OrientFS, Pt(1, 3)},
+		{OrientFW, Pt(1, 1)},
+		{OrientFE, Pt(3, 9)},
+	}
+	for _, c := range cases {
+		tr := Transform{Orient: c.o, Size: size}
+		if got := tr.ApplyPt(p); got != c.want {
+			t.Errorf("%v: ApplyPt(%v) = %v, want %v", c.o, p, got, c.want)
+		}
+	}
+}
+
+// TestTransformBBoxInvariant: any master-local rect maps inside the placed
+// bbox, and the placed bbox has the right size, for every orientation and a
+// nonzero offset.
+func TestTransformBBoxInvariant(t *testing.T) {
+	size := Pt(760, 1400)
+	inner := Rect{70, 130, 420, 900}
+	for o := OrientN; o <= OrientFE; o++ {
+		tr := Transform{Offset: Pt(10000, 20000), Orient: o, Size: size}
+		bbox := tr.BBox()
+		ps := tr.PlacedSize()
+		if o.Rotated90() {
+			if ps != Pt(size.Y, size.X) {
+				t.Errorf("%v: PlacedSize = %v", o, ps)
+			}
+		} else if ps != size {
+			t.Errorf("%v: PlacedSize = %v", o, ps)
+		}
+		got := tr.ApplyRect(inner)
+		if !bbox.ContainsRect(got) {
+			t.Errorf("%v: transformed rect %v escapes bbox %v", o, got, bbox)
+		}
+		if got.Area() != inner.Area() {
+			t.Errorf("%v: area changed %d -> %d", o, inner.Area(), got.Area())
+		}
+	}
+}
+
+// TestTransformMasterBBox: the full master rect maps exactly onto the placed
+// bbox for all orientations.
+func TestTransformMasterBBox(t *testing.T) {
+	size := Pt(10, 4)
+	master := Rect{0, 0, size.X, size.Y}
+	for o := OrientN; o <= OrientFE; o++ {
+		tr := Transform{Offset: Pt(100, 200), Orient: o, Size: size}
+		if got := tr.ApplyRect(master); got != tr.BBox() {
+			t.Errorf("%v: ApplyRect(master) = %v, want %v", o, got, tr.BBox())
+		}
+	}
+}
+
+// TestTransformDistinct: the eight orientations give eight distinct images for
+// an asymmetric point (this is what makes orientation part of the unique
+// instance signature).
+func TestTransformDistinct(t *testing.T) {
+	size := Pt(10, 4)
+	p := Pt(2, 1)
+	seen := map[Point]Orient{}
+	for o := OrientN; o <= OrientFE; o++ {
+		tr := Transform{Orient: o, Size: size}
+		got := tr.ApplyPt(p)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("orientations %v and %v map %v to the same point %v", prev, o, p, got)
+		}
+		seen[got] = o
+	}
+}

@@ -1,0 +1,19 @@
+package guide
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// FuzzParse drives the guide reader with mutated inputs: it must never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("net0\n(\n0 0 100 100 M2\n)\n")
+	f.Add("(\n)\n")
+	f.Add("x\n(\n1 2 3 4 NOPE\n)\n")
+	tt := tech.N32()
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(strings.NewReader(src), tt)
+	})
+}

@@ -1,0 +1,434 @@
+// Package guide implements the global-routing side of the TritonRoute flow:
+// the paper's detailed router consumes per-net route guides (the ISPD-2018
+// contest provides them with each testcase). The package contains a simple
+// congestion-aware global router over a gcell grid, guide generation, and
+// reading/writing of the contest's guide file format:
+//
+//	netName
+//	(
+//	x1 y1 x2 y2 layerName
+//	...
+//	)
+package guide
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Box is one guide rectangle on a metal layer.
+type Box struct {
+	Layer int // metal number
+	Rect  geom.Rect
+}
+
+// Guide is the set of routing regions granted to one net.
+type Guide struct {
+	Net   string
+	Boxes []Box
+}
+
+// Config tunes the global router.
+type Config struct {
+	// GCellTracks is the gcell edge length in M1 pitches (default 15, the
+	// contest's usual gcell size).
+	GCellTracks int
+	// MaxLayer bounds the guide layers (default 4: guides on M2..M4).
+	MaxLayer int
+}
+
+// GlobalRouter routes nets coarsely over a gcell grid and emits guides.
+type GlobalRouter struct {
+	d      *db.Design
+	cfg    Config
+	gcell  int64 // gcell edge in DBU
+	nx, ny int
+	hUsage []int // horizontal edge usage, (nx-1) x ny
+	vUsage []int // vertical edge usage, nx x (ny-1)
+	hCap   int
+	vCap   int
+}
+
+// New builds a global router over the design.
+func New(d *db.Design, cfg Config) *GlobalRouter {
+	if cfg.GCellTracks == 0 {
+		cfg.GCellTracks = 15
+	}
+	if cfg.MaxLayer == 0 {
+		cfg.MaxLayer = 4
+	}
+	g := &GlobalRouter{d: d, cfg: cfg}
+	g.gcell = int64(cfg.GCellTracks) * d.Tech.Metal(1).Pitch
+	g.nx = int(d.Die.Width()/g.gcell) + 1
+	g.ny = int(d.Die.Height()/g.gcell) + 1
+	g.hUsage = make([]int, (g.nx-1)*g.ny)
+	g.vUsage = make([]int, g.nx*(g.ny-1))
+	// Capacity: tracks crossing a gcell edge on the layers granted to each
+	// direction (even metals vertical, odd horizontal), derated to 80%.
+	g.hCap = cfg.GCellTracks * countDirLayers(d.Tech, cfg.MaxLayer, tech.Horizontal) * 8 / 10
+	g.vCap = cfg.GCellTracks * countDirLayers(d.Tech, cfg.MaxLayer, tech.Vertical) * 8 / 10
+	if g.hCap < 1 {
+		g.hCap = 1
+	}
+	if g.vCap < 1 {
+		g.vCap = 1
+	}
+	return g
+}
+
+func countDirLayers(t *tech.Technology, maxLayer int, dir tech.Dir) int {
+	n := 0
+	for l := 2; l <= maxLayer && l <= t.NumMetals(); l++ {
+		if t.Metal(l).Dir == dir {
+			n++
+		}
+	}
+	return n
+}
+
+// cell returns the gcell indices containing a point.
+func (g *GlobalRouter) cell(p geom.Point) (int, int) {
+	cx := int((p.X - g.d.Die.XL) / g.gcell)
+	cy := int((p.Y - g.d.Die.YL) / g.gcell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cx, cy
+}
+
+// cellRect returns the design-coordinate rectangle of a gcell.
+func (g *GlobalRouter) cellRect(cx, cy int) geom.Rect {
+	x := g.d.Die.XL + int64(cx)*g.gcell
+	y := g.d.Die.YL + int64(cy)*g.gcell
+	return geom.R(x, y, minI64(x+g.gcell, g.d.Die.XH), minI64(y+g.gcell, g.d.Die.YH))
+}
+
+// hCost and vCost price an edge by congestion: free under capacity, then
+// quadratic.
+func edgeCost(usage, capacity int) int {
+	if usage < capacity {
+		return 1
+	}
+	over := usage - capacity + 1
+	return 1 + over*over
+}
+
+// Route globally routes every net and returns its guides. Each two-pin
+// connection takes the cheaper of the two L-shapes under the current
+// congestion map (the classic pattern-routing global router).
+func (g *GlobalRouter) Route() []Guide {
+	out := make([]Guide, 0, len(g.d.Nets))
+	for _, net := range g.d.Nets {
+		cells := g.termCells(net)
+		boxes := g.routeNet(cells)
+		out = append(out, Guide{Net: net.Name, Boxes: boxes})
+	}
+	return out
+}
+
+// termCells collects the distinct gcells of a net's terminals.
+func (g *GlobalRouter) termCells(net *db.Net) [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	add := func(p geom.Point) {
+		cx, cy := g.cell(p)
+		k := [2]int{cx, cy}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, t := range net.Terms {
+		add(t.Inst.BBox().Center())
+	}
+	for _, io := range net.IOPins {
+		add(io.Shape.Rect.Center())
+	}
+	return out
+}
+
+// routeNet connects the cells with an MST of L-routes and returns the guide
+// boxes (terminal cells always included).
+func (g *GlobalRouter) routeNet(cells [][2]int) []Box {
+	covered := map[[2]int]bool{}
+	for _, c := range cells {
+		covered[c] = true
+	}
+	if len(cells) > 1 {
+		// Prim MST over Manhattan gcell distance.
+		inTree := make([]bool, len(cells))
+		inTree[0] = true
+		for count := 1; count < len(cells); count++ {
+			bi, bj, bd := -1, -1, 1<<30
+			for i := range cells {
+				if !inTree[i] {
+					continue
+				}
+				for j := range cells {
+					if inTree[j] {
+						continue
+					}
+					d := abs(cells[i][0]-cells[j][0]) + abs(cells[i][1]-cells[j][1])
+					if d < bd {
+						bi, bj, bd = i, j, d
+					}
+				}
+			}
+			inTree[bj] = true
+			g.routeL(cells[bi], cells[bj], covered)
+		}
+	}
+	// Emit one box per covered gcell on every guide layer, then merge runs.
+	var keys [][2]int
+	for k := range covered {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][1] != keys[b][1] {
+			return keys[a][1] < keys[b][1]
+		}
+		return keys[a][0] < keys[b][0]
+	})
+	var boxes []Box
+	for l := 2; l <= g.cfg.MaxLayer && l <= g.d.Tech.NumMetals(); l++ {
+		boxes = append(boxes, g.mergeRows(keys, l)...)
+	}
+	return boxes
+}
+
+// routeL picks the cheaper L-shape between two cells under the congestion
+// map, marks usage, and adds the cells to covered.
+func (g *GlobalRouter) routeL(a, b [2]int, covered map[[2]int]bool) {
+	pathCost := func(corner [2]int) int {
+		return g.segCost(a, corner) + g.segCost(corner, b)
+	}
+	c1 := [2]int{b[0], a[1]} // horizontal first
+	c2 := [2]int{a[0], b[1]} // vertical first
+	corner := c1
+	if pathCost(c2) < pathCost(c1) {
+		corner = c2
+	}
+	g.claimSeg(a, corner, covered)
+	g.claimSeg(corner, b, covered)
+}
+
+// segCost prices a straight gcell run.
+func (g *GlobalRouter) segCost(a, b [2]int) int {
+	cost := 0
+	if a[1] == b[1] { // horizontal
+		lo, hi := minInt(a[0], b[0]), maxInt(a[0], b[0])
+		for x := lo; x < hi; x++ {
+			cost += edgeCost(g.hUsage[a[1]*(g.nx-1)+x], g.hCap)
+		}
+		return cost
+	}
+	lo, hi := minInt(a[1], b[1]), maxInt(a[1], b[1])
+	for y := lo; y < hi; y++ {
+		cost += edgeCost(g.vUsage[y*g.nx+a[0]], g.vCap)
+	}
+	return cost
+}
+
+// claimSeg marks usage along a straight run and covers its cells.
+func (g *GlobalRouter) claimSeg(a, b [2]int, covered map[[2]int]bool) {
+	if a[1] == b[1] {
+		lo, hi := minInt(a[0], b[0]), maxInt(a[0], b[0])
+		for x := lo; x <= hi; x++ {
+			covered[[2]int{x, a[1]}] = true
+			if x < hi {
+				g.hUsage[a[1]*(g.nx-1)+x]++
+			}
+		}
+		return
+	}
+	lo, hi := minInt(a[1], b[1]), maxInt(a[1], b[1])
+	for y := lo; y <= hi; y++ {
+		covered[[2]int{a[0], y}] = true
+		if y < hi {
+			g.vUsage[y*g.nx+a[0]]++
+		}
+	}
+}
+
+// mergeRows merges horizontally adjacent covered gcells into single boxes on
+// the given layer.
+func (g *GlobalRouter) mergeRows(keys [][2]int, layer int) []Box {
+	var out []Box
+	i := 0
+	for i < len(keys) {
+		j := i
+		for j+1 < len(keys) && keys[j+1][1] == keys[i][1] && keys[j+1][0] == keys[j][0]+1 {
+			j++
+		}
+		r := g.cellRect(keys[i][0], keys[i][1]).UnionBBox(g.cellRect(keys[j][0], keys[j][1]))
+		out = append(out, Box{Layer: layer, Rect: r})
+		i = j + 1
+	}
+	return out
+}
+
+// CongestionReport summarizes edge overflow after routing.
+func (g *GlobalRouter) CongestionReport() (overflowEdges, maxOverflow int) {
+	for _, u := range g.hUsage {
+		if u > g.hCap {
+			overflowEdges++
+			if u-g.hCap > maxOverflow {
+				maxOverflow = u - g.hCap
+			}
+		}
+	}
+	for _, u := range g.vUsage {
+		if u > g.vCap {
+			overflowEdges++
+			if u-g.vCap > maxOverflow {
+				maxOverflow = u - g.vCap
+			}
+		}
+	}
+	return
+}
+
+// ---------------------------------------------------------------------------
+// Guide file I/O (ISPD-2018 contest format)
+// ---------------------------------------------------------------------------
+
+// Write emits guides in the contest format.
+func Write(w io.Writer, guides []Guide, t *tech.Technology) error {
+	bw := bufio.NewWriter(w)
+	for _, gd := range guides {
+		fmt.Fprintf(bw, "%s\n(\n", gd.Net)
+		for _, b := range gd.Boxes {
+			l := t.Metal(b.Layer)
+			if l == nil {
+				return fmt.Errorf("guide: net %s references metal %d", gd.Net, b.Layer)
+			}
+			fmt.Fprintf(bw, "%d %d %d %d %s\n", b.Rect.XL, b.Rect.YL, b.Rect.XH, b.Rect.YH, l.Name)
+		}
+		fmt.Fprintf(bw, ")\n")
+	}
+	return bw.Flush()
+}
+
+// Parse reads guides in the contest format.
+func Parse(r io.Reader, t *tech.Technology) ([]Guide, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var out []Guide
+	var cur *Guide
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		switch {
+		case txt == "(":
+			if cur == nil {
+				return nil, fmt.Errorf("guide: line %d: '(' without a net name", line)
+			}
+		case txt == ")":
+			if cur == nil {
+				return nil, fmt.Errorf("guide: line %d: ')' without a net", line)
+			}
+			out = append(out, *cur)
+			cur = nil
+		default:
+			var x1, y1, x2, y2 int64
+			var layer string
+			if n, _ := fmt.Sscanf(txt, "%d %d %d %d %s", &x1, &y1, &x2, &y2, &layer); n == 5 {
+				if cur == nil {
+					return nil, fmt.Errorf("guide: line %d: box outside a net block", line)
+				}
+				l := t.MetalByName(layer)
+				if l == nil {
+					return nil, fmt.Errorf("guide: line %d: unknown layer %q", line, layer)
+				}
+				cur.Boxes = append(cur.Boxes, Box{Layer: l.Num, Rect: geom.R(x1, y1, x2, y2)})
+				continue
+			}
+			if cur != nil {
+				return nil, fmt.Errorf("guide: line %d: unexpected %q inside net block", line, txt)
+			}
+			cur = &Guide{Net: txt}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("guide: unterminated net block %q", cur.Net)
+	}
+	return out, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Dims exposes the gcell grid geometry for congestion rendering.
+func (g *GlobalRouter) Dims() (nx, ny int, gcell int64) {
+	return g.nx, g.ny, g.gcell
+}
+
+// CellLoad returns the worst usage/capacity ratio over the edges incident to
+// gcell (cx, cy): the quantity congestion heatmaps color by.
+func (g *GlobalRouter) CellLoad(cx, cy int) float64 {
+	worst := 0.0
+	if cx > 0 {
+		worst = maxF(worst, float64(g.hUsage[cy*(g.nx-1)+cx-1])/float64(g.hCap))
+	}
+	if cx < g.nx-1 {
+		worst = maxF(worst, float64(g.hUsage[cy*(g.nx-1)+cx])/float64(g.hCap))
+	}
+	if cy > 0 {
+		worst = maxF(worst, float64(g.vUsage[(cy-1)*g.nx+cx])/float64(g.vCap))
+	}
+	if cy < g.ny-1 {
+		worst = maxF(worst, float64(g.vUsage[cy*g.nx+cx])/float64(g.vCap))
+	}
+	return worst
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package guide
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/suite"
+	"repro/internal/tech"
+)
+
+func TestGlobalRoute(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[4].Scale(0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(d, Config{})
+	guides := g.Route()
+	if len(guides) != len(d.Nets) {
+		t.Fatalf("guides %d != nets %d", len(guides), len(d.Nets))
+	}
+	// Every terminal's cell must be covered by its net's guide on some layer.
+	for i, gd := range guides {
+		net := d.Nets[i]
+		if gd.Net != net.Name {
+			t.Fatalf("guide %d name %s != %s", i, gd.Net, net.Name)
+		}
+		if len(net.Terms)+len(net.IOPins) >= 2 && len(gd.Boxes) == 0 {
+			t.Fatalf("net %s has no guide boxes", net.Name)
+		}
+		for _, term := range net.Terms {
+			c := term.Inst.BBox().Center()
+			covered := false
+			for _, b := range gd.Boxes {
+				if b.Rect.ContainsPt(c) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("net %s: terminal %s not covered by its guide", net.Name, term.Inst.Name)
+			}
+		}
+		for _, b := range gd.Boxes {
+			if b.Layer < 2 || b.Layer > 4 {
+				t.Fatalf("net %s: guide on layer %d", net.Name, b.Layer)
+			}
+			if !d.Die.ContainsRect(b.Rect) {
+				t.Fatalf("net %s: guide box %v escapes the die", net.Name, b.Rect)
+			}
+		}
+	}
+	over, maxOver := g.CongestionReport()
+	t.Logf("congestion: %d overflow edges, max %d", over, maxOver)
+}
+
+func TestGuideFileRoundTrip(t *testing.T) {
+	tt := tech.N32()
+	guides := []Guide{
+		{Net: "net0", Boxes: []Box{
+			{Layer: 2, Rect: geom.R(0, 0, 3000, 1500)},
+			{Layer: 3, Rect: geom.R(1500, 0, 3000, 4500)},
+		}},
+		{Net: "net1", Boxes: []Box{{Layer: 4, Rect: geom.R(100, 200, 300, 400)}}},
+		{Net: "empty"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, guides, tt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()), tt)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if len(got) != len(guides) {
+		t.Fatalf("guides %d != %d", len(got), len(guides))
+	}
+	for i, gd := range got {
+		if gd.Net != guides[i].Net || len(gd.Boxes) != len(guides[i].Boxes) {
+			t.Fatalf("guide %d mismatch: %+v vs %+v", i, gd, guides[i])
+		}
+		for j, b := range gd.Boxes {
+			if b != guides[i].Boxes[j] {
+				t.Fatalf("box %d/%d: %+v != %+v", i, j, b, guides[i].Boxes[j])
+			}
+		}
+	}
+}
+
+func TestGuideParseErrors(t *testing.T) {
+	tt := tech.N32()
+	cases := []string{
+		"(\n0 0 1 1 M2\n)\n",         // '(' without a name
+		"net0\n(\n0 0 1 1 NOPE\n)\n", // unknown layer
+		"net0\n(\n0 0 1 1 M2\n",      // unterminated
+		")\n",                        // stray ')'
+		"net0\n(\ngarbage here\n)\n", // junk inside block
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src), tt); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestWriteUnknownLayer(t *testing.T) {
+	tt := tech.N32()
+	err := Write(&bytes.Buffer{}, []Guide{{Net: "x", Boxes: []Box{{Layer: 99}}}}, tt)
+	if err == nil {
+		t.Fatal("unknown layer must error")
+	}
+}

@@ -1,0 +1,34 @@
+package lef
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// TestGoldenLEF pins the exact serialized form of the 45 nm node so
+// accidental format drift (which would silently invalidate externally shared
+// testcases) fails loudly. Regenerate with -update after intentional
+// changes.
+func TestGoldenLEF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, tech.N45(), testMasters()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "n45.lef.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("LEF output drifted from golden file (UPDATE_GOLDEN=1 to accept)\ngot %d bytes, want %d", buf.Len(), len(want))
+	}
+}

@@ -1,0 +1,714 @@
+// Package lef reads and writes the LEF subset the pin access flow needs:
+// units, sites, routing and cut layers with their design rules, fixed via
+// definitions, and macros with pins and obstructions. The dialect follows
+// LEF 5.8 closely enough that the files are readable by standard tooling,
+// while staying self-contained (no external parser dependencies — the paper's
+// flow consumed industry LEF, which we replicate with this hand-rolled
+// reader/writer).
+package lef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Library is the parsed content of a LEF file.
+type Library struct {
+	Tech    *tech.Technology
+	Masters []*db.Master
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+// Write emits a LEF library for the technology and masters.
+func Write(w io.Writer, t *tech.Technology, masters []*db.Master) error {
+	bw := bufio.NewWriter(w)
+	um := func(v int64) string { return formatMicrons(v, t.DBUPerMicron) }
+
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n")
+	fmt.Fprintf(bw, "UNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", t.DBUPerMicron)
+	fmt.Fprintf(bw, "SITE core\n  CLASS CORE ;\n  SIZE %s BY %s ;\nEND core\n\n", um(t.SiteWidth), um(t.SiteHeight))
+
+	for i, l := range t.Metals {
+		fmt.Fprintf(bw, "LAYER %s\n  TYPE ROUTING ;\n  DIRECTION %s ;\n", l.Name, l.Dir)
+		fmt.Fprintf(bw, "  PITCH %s ;\n  WIDTH %s ;\n  MINWIDTH %s ;\n", um(l.Pitch), um(l.Width), um(l.MinWid))
+		if l.Area > 0 {
+			// LEF AREA is in square microns.
+			fmt.Fprintf(bw, "  AREA %s ;\n", formatArea(l.Area, t.DBUPerMicron))
+		}
+		if l.Step.Enabled() {
+			fmt.Fprintf(bw, "  MINSTEP %s MAXEDGES %d ;\n", um(l.Step.MinStepLength), l.Step.MaxEdges)
+		}
+		if l.EncArea > 0 {
+			fmt.Fprintf(bw, "  MINENCLOSEDAREA %s ;\n", formatArea(l.EncArea, t.DBUPerMicron))
+		}
+		if l.Corner.Enabled() {
+			fmt.Fprintf(bw, "  CORNERSPACING %s WIDTH %s ;\n", um(l.Corner.Spacing), um(l.Corner.EligibleWidth))
+		}
+		if l.EOL.Enabled() {
+			fmt.Fprintf(bw, "  SPACING %s ENDOFLINE %s WITHIN %s ;\n", um(l.EOL.EOLSpace), um(l.EOL.EOLWidth), um(l.EOL.EOLWithin))
+		}
+		if len(l.Spacing.Widths) > 0 {
+			fmt.Fprintf(bw, "  SPACINGTABLE\n    PARALLELRUNLENGTH")
+			for _, p := range l.Spacing.PRLs {
+				fmt.Fprintf(bw, " %s", um(p))
+			}
+			for r, wd := range l.Spacing.Widths {
+				fmt.Fprintf(bw, "\n    WIDTH %s", um(wd))
+				for c := range l.Spacing.PRLs {
+					fmt.Fprintf(bw, " %s", um(l.Spacing.Spacing[r][c]))
+				}
+			}
+			fmt.Fprintf(bw, " ;\n")
+		}
+		fmt.Fprintf(bw, "END %s\n\n", l.Name)
+		if i < len(t.Cuts) {
+			c := t.Cuts[i]
+			fmt.Fprintf(bw, "LAYER %s\n  TYPE CUT ;\n  WIDTH %s ;\n  SPACING %s ;\nEND %s\n\n",
+				c.Name, um(c.Width), um(c.Spacing), c.Name)
+		}
+	}
+
+	for _, v := range t.Vias {
+		bot := t.Metal(v.CutBelow)
+		cut := t.Cut(v.CutBelow)
+		top := t.Metal(v.CutBelow + 1)
+		if bot == nil || cut == nil || top == nil {
+			return fmt.Errorf("lef: via %q references layers the technology lacks (cut below metal %d)", v.Name, v.CutBelow)
+		}
+		fmt.Fprintf(bw, "VIA %s DEFAULT\n", v.Name)
+		writeViaLayer(bw, bot.Name, v.BotEnc, t.DBUPerMicron)
+		fmt.Fprintf(bw, "  LAYER %s ;\n", cut.Name)
+		for _, c := range v.Cuts {
+			fmt.Fprintf(bw, "    RECT %s %s %s %s ;\n",
+				formatMicrons(c.XL, t.DBUPerMicron), formatMicrons(c.YL, t.DBUPerMicron),
+				formatMicrons(c.XH, t.DBUPerMicron), formatMicrons(c.YH, t.DBUPerMicron))
+		}
+		writeViaLayer(bw, top.Name, v.TopEnc, t.DBUPerMicron)
+		fmt.Fprintf(bw, "END %s\n\n", v.Name)
+	}
+
+	for _, m := range masters {
+		if err := writeMacro(bw, m, t); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+func writeViaLayer(w io.Writer, layer string, r geom.Rect, dbu int64) {
+	fmt.Fprintf(w, "  LAYER %s ;\n    RECT %s %s %s %s ;\n", layer,
+		formatMicrons(r.XL, dbu), formatMicrons(r.YL, dbu), formatMicrons(r.XH, dbu), formatMicrons(r.YH, dbu))
+}
+
+func writeMacro(w io.Writer, m *db.Master, t *tech.Technology) error {
+	um := func(v int64) string { return formatMicrons(v, t.DBUPerMicron) }
+	fmt.Fprintf(w, "MACRO %s\n  CLASS %s ;\n  ORIGIN 0 0 ;\n  SIZE %s BY %s ;\n  SYMMETRY X Y ;\n  SITE core ;\n",
+		m.Name, m.Class, um(m.Size.X), um(m.Size.Y))
+	for _, p := range m.Pins {
+		fmt.Fprintf(w, "  PIN %s\n    DIRECTION %s ;\n    USE %s ;\n    PORT\n", p.Name, p.Dir, p.Use)
+		writeShapes(w, p.Shapes, t, "      ")
+		fmt.Fprintf(w, "    END\n  END %s\n", p.Name)
+	}
+	if len(m.Obs) > 0 {
+		fmt.Fprintf(w, "  OBS\n")
+		writeShapes(w, m.Obs, t, "    ")
+		fmt.Fprintf(w, "  END\n")
+	}
+	fmt.Fprintf(w, "END %s\n\n", m.Name)
+	return nil
+}
+
+func writeShapes(w io.Writer, shapes []db.Shape, t *tech.Technology, indent string) {
+	um := func(v int64) string { return formatMicrons(v, t.DBUPerMicron) }
+	cur := -1
+	for _, s := range shapes {
+		if s.Layer != cur {
+			fmt.Fprintf(w, "%sLAYER %s ;\n", indent, t.Metal(s.Layer).Name)
+			cur = s.Layer
+		}
+		fmt.Fprintf(w, "%s  RECT %s %s %s %s ;\n", indent, um(s.Rect.XL), um(s.Rect.YL), um(s.Rect.XH), um(s.Rect.YH))
+	}
+}
+
+// formatMicrons renders a DBU value in microns without trailing zeros.
+func formatMicrons(v, dbu int64) string {
+	f := float64(v) / float64(dbu)
+	s := strconv.FormatFloat(f, 'f', 6, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func formatArea(areaDBU2, dbu int64) string {
+	f := float64(areaDBU2) / (float64(dbu) * float64(dbu))
+	s := strconv.FormatFloat(f, 'f', 9, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+// parser is a whitespace tokenizer over LEF/DEF-style input.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func newParser(r io.Reader) (*parser, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var toks []string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		toks = append(toks, strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) next() string {
+	if p.eof() {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+// skipStatement advances past the next ";" terminator.
+func (p *parser) skipStatement() {
+	for !p.eof() {
+		if p.next() == ";" {
+			return
+		}
+	}
+}
+
+// expect consumes the next token and errors when it differs.
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("lef: expected %q, got %q (token %d)", want, got, p.pos)
+	}
+	return nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lef: bad number %q (token %d)", t, p.pos)
+	}
+	return f, nil
+}
+
+// micronsToDBU converts a micron value to DBU with round-half-away rounding.
+func micronsToDBU(f float64, dbu int64) int64 {
+	return int64(math.Round(f * float64(dbu)))
+}
+
+func (p *parser) dbu(scale int64) (int64, error) {
+	f, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	return micronsToDBU(f, scale), nil
+}
+
+// Parse reads a LEF library.
+func Parse(r io.Reader) (*Library, error) {
+	p, err := newParser(r)
+	if err != nil {
+		return nil, err
+	}
+	lib := &Library{Tech: &tech.Technology{Name: "lef", DBUPerMicron: 1000}}
+	t := lib.Tech
+	for !p.eof() {
+		switch tok := p.next(); tok {
+		case "VERSION", "BUSBITCHARS", "DIVIDERCHAR":
+			p.skipStatement()
+		case "UNITS":
+			for !p.eof() {
+				u := p.next()
+				if u == "END" {
+					p.next() // UNITS
+					break
+				}
+				if u == "DATABASE" {
+					p.next() // MICRONS
+					f, err := p.number()
+					if err != nil {
+						return nil, err
+					}
+					t.DBUPerMicron = int64(f)
+					p.skipStatement()
+				}
+			}
+		case "SITE":
+			name := p.next()
+			for !p.eof() {
+				s := p.next()
+				if s == "END" {
+					p.next()
+					break
+				}
+				if s == "SIZE" {
+					w, err := p.dbu(t.DBUPerMicron)
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expect("BY"); err != nil {
+						return nil, err
+					}
+					h, err := p.dbu(t.DBUPerMicron)
+					if err != nil {
+						return nil, err
+					}
+					t.SiteWidth, t.SiteHeight = w, h
+					p.skipStatement()
+				} else if s != ";" && s != "CLASS" && s != "CORE" {
+					// ignore
+					_ = name
+				}
+			}
+		case "LAYER":
+			if err := parseLayer(p, t); err != nil {
+				return nil, err
+			}
+		case "VIA":
+			if err := parseVia(p, t); err != nil {
+				return nil, err
+			}
+		case "MACRO":
+			m, err := parseMacro(p, t)
+			if err != nil {
+				return nil, err
+			}
+			lib.Masters = append(lib.Masters, m)
+		case "END":
+			if p.peek() == "LIBRARY" {
+				p.next()
+				return lib, nil
+			}
+		default:
+			return nil, fmt.Errorf("lef: unexpected token %q (token %d)", tok, p.pos)
+		}
+	}
+	return lib, nil
+}
+
+func parseLayer(p *parser, t *tech.Technology) error {
+	name := p.next()
+	var isCut bool
+	l := &tech.RoutingLayer{Name: name}
+	c := &tech.CutLayer{Name: name}
+	for !p.eof() {
+		switch tok := p.next(); tok {
+		case "END":
+			p.next() // layer name
+			if isCut {
+				c.BelowNum = len(t.Metals)
+				t.Cuts = append(t.Cuts, c)
+			} else {
+				l.Num = len(t.Metals) + 1
+				t.Metals = append(t.Metals, l)
+			}
+			return nil
+		case "TYPE":
+			isCut = p.next() == "CUT"
+			p.skipStatement()
+		case "DIRECTION":
+			if p.next() == "VERTICAL" {
+				l.Dir = tech.Vertical
+			} else {
+				l.Dir = tech.Horizontal
+			}
+			p.skipStatement()
+		case "PITCH":
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			l.Pitch = v
+			p.skipStatement()
+		case "WIDTH":
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			if isCut {
+				c.Width = v
+			} else {
+				l.Width = v
+			}
+			p.skipStatement()
+		case "MINWIDTH":
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			l.MinWid = v
+			p.skipStatement()
+		case "AREA":
+			f, err := p.number()
+			if err != nil {
+				return err
+			}
+			l.Area = int64(math.Round(f * float64(t.DBUPerMicron) * float64(t.DBUPerMicron)))
+			p.skipStatement()
+		case "MINENCLOSEDAREA":
+			f, err := p.number()
+			if err != nil {
+				return err
+			}
+			l.EncArea = int64(math.Round(f * float64(t.DBUPerMicron) * float64(t.DBUPerMicron)))
+			p.skipStatement()
+		case "CORNERSPACING":
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			l.Corner.Spacing = v
+			if p.peek() == "WIDTH" {
+				p.next()
+				w, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return err
+				}
+				l.Corner.EligibleWidth = w
+			}
+			p.skipStatement()
+		case "MINSTEP":
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			l.Step.MinStepLength = v
+			if p.peek() == "MAXEDGES" {
+				p.next()
+				f, err := p.number()
+				if err != nil {
+					return err
+				}
+				l.Step.MaxEdges = int(f)
+			}
+			p.skipStatement()
+		case "SPACING":
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			if isCut {
+				c.Spacing = v
+				p.skipStatement()
+				continue
+			}
+			if p.peek() == "ENDOFLINE" {
+				p.next()
+				w, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return err
+				}
+				if err := p.expect("WITHIN"); err != nil {
+					return err
+				}
+				within, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return err
+				}
+				l.EOL = tech.EOLRule{EOLSpace: v, EOLWidth: w, EOLWithin: within}
+			}
+			p.skipStatement()
+		case "SPACINGTABLE":
+			if err := parseSpacingTable(p, t, l); err != nil {
+				return err
+			}
+		default:
+			p.skipStatement()
+		}
+	}
+	return fmt.Errorf("lef: unterminated LAYER %s", name)
+}
+
+func parseSpacingTable(p *parser, t *tech.Technology, l *tech.RoutingLayer) error {
+	if err := p.expect("PARALLELRUNLENGTH"); err != nil {
+		return err
+	}
+	tbl := tech.SpacingTable{}
+	for p.peek() != "WIDTH" && p.peek() != ";" && !p.eof() {
+		v, err := p.dbu(t.DBUPerMicron)
+		if err != nil {
+			return err
+		}
+		tbl.PRLs = append(tbl.PRLs, v)
+	}
+	for p.peek() == "WIDTH" {
+		p.next()
+		w, err := p.dbu(t.DBUPerMicron)
+		if err != nil {
+			return err
+		}
+		tbl.Widths = append(tbl.Widths, w)
+		row := make([]int64, 0, len(tbl.PRLs))
+		for range tbl.PRLs {
+			v, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		tbl.Spacing = append(tbl.Spacing, row)
+	}
+	p.skipStatement()
+	l.Spacing = tbl
+	return nil
+}
+
+func parseVia(p *parser, t *tech.Technology) error {
+	name := p.next()
+	if p.peek() == "DEFAULT" {
+		p.next()
+	}
+	v := &tech.ViaDef{Name: name}
+	var cur string
+	for !p.eof() {
+		switch tok := p.next(); tok {
+		case "END":
+			p.next() // via name
+			if v.CutBelow < 1 || v.CutBelow > len(t.Cuts) {
+				return fmt.Errorf("lef: via %q lacks resolvable layers", v.Name)
+			}
+			t.Vias = append(t.Vias, v)
+			return nil
+		case "LAYER":
+			cur = p.next()
+			p.skipStatement()
+		case "RECT":
+			var vals [4]int64
+			for i := range vals {
+				x, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return err
+				}
+				vals[i] = x
+			}
+			p.skipStatement()
+			r := geom.R(vals[0], vals[1], vals[2], vals[3])
+			switch {
+			case t.MetalByName(cur) != nil:
+				m := t.MetalByName(cur)
+				if v.CutBelow == 0 || m.Num == v.CutBelow {
+					v.BotEnc = r
+					if v.CutBelow == 0 {
+						v.CutBelow = m.Num
+					}
+				} else {
+					v.TopEnc = r
+				}
+			default: // cut layer
+				v.Cuts = append(v.Cuts, r)
+				for _, c := range t.Cuts {
+					if c.Name == cur {
+						v.CutBelow = c.BelowNum
+					}
+				}
+			}
+		default:
+			p.skipStatement()
+		}
+	}
+	return fmt.Errorf("lef: unterminated VIA %s", name)
+}
+
+func parseMacro(p *parser, t *tech.Technology) (*db.Master, error) {
+	m := &db.Master{Name: p.next()}
+	for !p.eof() {
+		switch tok := p.next(); tok {
+		case "END":
+			p.next() // macro name
+			return m, nil
+		case "CLASS":
+			if p.next() == "BLOCK" {
+				m.Class = db.ClassBlock
+			}
+			p.skipStatement()
+		case "SIZE":
+			w, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("BY"); err != nil {
+				return nil, err
+			}
+			h, err := p.dbu(t.DBUPerMicron)
+			if err != nil {
+				return nil, err
+			}
+			m.Size = geom.Pt(w, h)
+			p.skipStatement()
+		case "PIN":
+			pin, err := parsePin(p, t)
+			if err != nil {
+				return nil, err
+			}
+			m.Pins = append(m.Pins, pin)
+		case "OBS":
+			shapes, err := parseShapes(p, t, "END")
+			if err != nil {
+				return nil, err
+			}
+			m.Obs = shapes
+		case "ORIGIN", "SYMMETRY", "SITE", "FOREIGN":
+			p.skipStatement()
+		default:
+			p.skipStatement()
+		}
+	}
+	return nil, fmt.Errorf("lef: unterminated MACRO %s", m.Name)
+}
+
+func parsePin(p *parser, t *tech.Technology) (*db.MPin, error) {
+	pin := &db.MPin{Name: p.next()}
+	for !p.eof() {
+		switch tok := p.next(); tok {
+		case "END":
+			p.next() // pin name
+			return pin, nil
+		case "DIRECTION":
+			switch p.next() {
+			case "OUTPUT":
+				pin.Dir = db.DirOutput
+			case "INOUT":
+				pin.Dir = db.DirInout
+			}
+			p.skipStatement()
+		case "USE":
+			switch p.next() {
+			case "POWER":
+				pin.Use = db.UsePower
+			case "GROUND":
+				pin.Use = db.UseGround
+			case "CLOCK":
+				pin.Use = db.UseClock
+			}
+			p.skipStatement()
+		case "PORT":
+			shapes, err := parseShapes(p, t, "END")
+			if err != nil {
+				return nil, err
+			}
+			pin.Shapes = append(pin.Shapes, shapes...)
+		default:
+			p.skipStatement()
+		}
+	}
+	return nil, fmt.Errorf("lef: unterminated PIN %s", pin.Name)
+}
+
+// parseShapes reads LAYER/RECT statements until the terminator token.
+func parseShapes(p *parser, t *tech.Technology, term string) ([]db.Shape, error) {
+	var out []db.Shape
+	layer := 0
+	for !p.eof() {
+		switch tok := p.next(); tok {
+		case term:
+			return out, nil
+		case "LAYER":
+			name := p.next()
+			l := t.MetalByName(name)
+			if l == nil {
+				return nil, fmt.Errorf("lef: unknown layer %q in shapes", name)
+			}
+			layer = l.Num
+			p.skipStatement()
+		case "RECT":
+			var vals [4]int64
+			for i := range vals {
+				v, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			p.skipStatement()
+			out = append(out, db.Shape{Layer: layer, Rect: geom.R(vals[0], vals[1], vals[2], vals[3])})
+		case "POLYGON":
+			// A rectilinear polygon given as x y pairs; decomposed into its
+			// maximal rectangles (the representation the access point
+			// generator consumes anyway — Section II-C's "maximum rectangles
+			// of the polygon(s)").
+			var pts []geom.Point
+			for p.peek() != ";" && !p.eof() {
+				x, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return nil, err
+				}
+				y, err := p.dbu(t.DBUPerMicron)
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, geom.Pt(x, y))
+			}
+			p.skipStatement()
+			rects, err := polygonRects(pts)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rects {
+				out = append(out, db.Shape{Layer: layer, Rect: r})
+			}
+		default:
+			p.skipStatement()
+		}
+	}
+	return nil, fmt.Errorf("lef: unterminated shape list")
+}
+
+// polygonRects converts a rectilinear polygon's vertex list into maximal
+// rectangles by slicing the ring into horizontal trapezoids (all rectangles
+// for a rectilinear ring) and re-merging.
+func polygonRects(pts []geom.Point) ([]geom.Rect, error) {
+	if len(pts) < 4 {
+		return nil, fmt.Errorf("lef: POLYGON needs at least 4 vertices, got %d", len(pts))
+	}
+	ring := geom.Ring(pts)
+	if ring.SignedArea2() == 0 {
+		return nil, fmt.Errorf("lef: degenerate POLYGON")
+	}
+	slices, err := geom.RingSlices(ring)
+	if err != nil {
+		return nil, err
+	}
+	return geom.MaxRects(slices), nil
+}

@@ -1,0 +1,261 @@
+package lef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func testMasters() []*db.Master {
+	return []*db.Master{
+		{
+			Name: "NAND2X1", Class: db.ClassCore, Size: geom.Pt(570, 1400),
+			Pins: []*db.MPin{
+				{Name: "A", Dir: db.DirInput, Use: db.UseSignal,
+					Shapes: []db.Shape{{Layer: 1, Rect: geom.R(70, 455, 210, 525)}}},
+				{Name: "Y", Dir: db.DirOutput, Use: db.UseSignal,
+					Shapes: []db.Shape{
+						{Layer: 1, Rect: geom.R(350, 455, 490, 525)},
+						{Layer: 1, Rect: geom.R(350, 525, 420, 805)},
+					}},
+				{Name: "VDD", Dir: db.DirInout, Use: db.UsePower,
+					Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, 1330, 570, 1400)}}},
+			},
+			Obs: []db.Shape{{Layer: 1, Rect: geom.R(250, 200, 320, 400)}},
+		},
+		{
+			Name: "RAM16", Class: db.ClassBlock, Size: geom.Pt(20000, 20000),
+			Pins: []*db.MPin{
+				{Name: "D0", Dir: db.DirInput, Use: db.UseSignal,
+					Shapes: []db.Shape{{Layer: 3, Rect: geom.R(0, 100, 300, 240)}}},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := tech.N45()
+	masters := testMasters()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig, masters); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse: %v\nLEF:\n%s", err, buf.String())
+	}
+	tt := lib.Tech
+	if tt.DBUPerMicron != orig.DBUPerMicron {
+		t.Errorf("DBUPerMicron %d != %d", tt.DBUPerMicron, orig.DBUPerMicron)
+	}
+	if tt.SiteWidth != orig.SiteWidth || tt.SiteHeight != orig.SiteHeight {
+		t.Errorf("site %dx%d != %dx%d", tt.SiteWidth, tt.SiteHeight, orig.SiteWidth, orig.SiteHeight)
+	}
+	if len(tt.Metals) != len(orig.Metals) {
+		t.Fatalf("metals %d != %d", len(tt.Metals), len(orig.Metals))
+	}
+	for i, l := range tt.Metals {
+		o := orig.Metals[i]
+		if l.Name != o.Name || l.Dir != o.Dir || l.Pitch != o.Pitch || l.Width != o.Width ||
+			l.MinWid != o.MinWid || l.Area != o.Area || l.Step != o.Step || l.EOL != o.EOL ||
+			l.Corner != o.Corner || l.EncArea != o.EncArea {
+			t.Errorf("layer %s mismatch:\n got %+v\nwant %+v", l.Name, l, o)
+		}
+		if len(l.Spacing.Widths) != len(o.Spacing.Widths) || len(l.Spacing.PRLs) != len(o.Spacing.PRLs) {
+			t.Fatalf("layer %s spacing table shape mismatch", l.Name)
+		}
+		for r := range o.Spacing.Spacing {
+			for c := range o.Spacing.Spacing[r] {
+				if l.Spacing.Spacing[r][c] != o.Spacing.Spacing[r][c] {
+					t.Errorf("layer %s spacing[%d][%d] = %d, want %d", l.Name, r, c,
+						l.Spacing.Spacing[r][c], o.Spacing.Spacing[r][c])
+				}
+			}
+		}
+	}
+	if len(tt.Cuts) != len(orig.Cuts) {
+		t.Fatalf("cuts %d != %d", len(tt.Cuts), len(orig.Cuts))
+	}
+	for i, c := range tt.Cuts {
+		o := orig.Cuts[i]
+		if c.Name != o.Name || c.BelowNum != o.BelowNum || c.Width != o.Width || c.Spacing != o.Spacing {
+			t.Errorf("cut %s mismatch: got %+v want %+v", c.Name, c, o)
+		}
+	}
+	if len(tt.Vias) != len(orig.Vias) {
+		t.Fatalf("vias %d != %d", len(tt.Vias), len(orig.Vias))
+	}
+	for i, v := range tt.Vias {
+		o := orig.Vias[i]
+		if v.Name != o.Name || v.CutBelow != o.CutBelow || v.BotEnc != o.BotEnc || v.TopEnc != o.TopEnc ||
+			len(v.Cuts) != len(o.Cuts) {
+			t.Errorf("via %s mismatch:\n got %+v\nwant %+v", v.Name, v, o)
+			continue
+		}
+		for ci := range o.Cuts {
+			if v.Cuts[ci] != o.Cuts[ci] {
+				t.Errorf("via %s cut %d: %v != %v", v.Name, ci, v.Cuts[ci], o.Cuts[ci])
+			}
+		}
+	}
+	if err := tt.Validate(); err != nil {
+		t.Errorf("round-tripped tech invalid: %v", err)
+	}
+
+	if len(lib.Masters) != len(masters) {
+		t.Fatalf("masters %d != %d", len(lib.Masters), len(masters))
+	}
+	for i, m := range lib.Masters {
+		o := masters[i]
+		if m.Name != o.Name || m.Class != o.Class || m.Size != o.Size {
+			t.Errorf("master %s header mismatch", o.Name)
+		}
+		if len(m.Pins) != len(o.Pins) {
+			t.Fatalf("master %s pins %d != %d", o.Name, len(m.Pins), len(o.Pins))
+		}
+		for j, p := range m.Pins {
+			op := o.Pins[j]
+			if p.Name != op.Name || p.Dir != op.Dir || p.Use != op.Use || len(p.Shapes) != len(op.Shapes) {
+				t.Errorf("pin %s/%s mismatch: %+v vs %+v", o.Name, op.Name, p, op)
+				continue
+			}
+			for k, s := range p.Shapes {
+				if s != op.Shapes[k] {
+					t.Errorf("pin %s/%s shape %d: %v != %v", o.Name, op.Name, k, s, op.Shapes[k])
+				}
+			}
+		}
+		if len(m.Obs) != len(o.Obs) {
+			t.Errorf("master %s obs %d != %d", o.Name, len(m.Obs), len(o.Obs))
+		}
+	}
+}
+
+func TestRoundTripAllNodes(t *testing.T) {
+	for _, nm := range []int{45, 32, 14} {
+		orig, _ := tech.ByNode(nm)
+		var buf bytes.Buffer
+		if err := Write(&buf, orig, nil); err != nil {
+			t.Fatal(err)
+		}
+		lib, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("node %d: %v", nm, err)
+		}
+		if err := lib.Tech.Validate(); err != nil {
+			t.Errorf("node %d round-trip invalid: %v", nm, err)
+		}
+		if len(lib.Tech.Vias) != len(orig.Vias) {
+			t.Errorf("node %d vias %d != %d", nm, len(lib.Tech.Vias), len(orig.Vias))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"MACRO X\n  PIN A\n    PORT\n      LAYER NOPE ;\n      RECT 0 0 1 1 ;\n    END\n  END A\nEND X\nEND LIBRARY\n",
+		"LAYER M1\n  TYPE ROUTING ;\n", // unterminated
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestFormatMicrons(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want string
+	}{
+		{70, "0.07"}, {1400, "1.4"}, {0, "0"}, {-35, "-0.035"}, {1000, "1"},
+	}
+	for _, c := range cases {
+		if got := formatMicrons(c.v, 1000); got != c.want {
+			t.Errorf("formatMicrons(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "# a comment line\nVERSION 5.8 ; # trailing comment\nEND LIBRARY\n"
+	if _, err := Parse(strings.NewReader(src)); err != nil {
+		t.Fatalf("comments must be ignored: %v", err)
+	}
+}
+
+func TestParsePolygonPort(t *testing.T) {
+	src := `VERSION 5.8 ;
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+LAYER M1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0.14 ;
+  WIDTH 0.07 ;
+END M1
+MACRO LPIN
+  CLASS CORE ;
+  SIZE 0.56 BY 1.4 ;
+  PIN A
+    DIRECTION INPUT ;
+    USE SIGNAL ;
+    PORT
+      LAYER M1 ;
+        POLYGON 0 0 0.01 0 0.01 0.004 0.004 0.004 0.004 0.01 0 0.01 ;
+    END
+  END A
+END LPIN
+END LIBRARY
+`
+	lib, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Masters) != 1 {
+		t.Fatalf("masters = %d", len(lib.Masters))
+	}
+	pin := lib.Masters[0].PinByName("A")
+	if pin == nil {
+		t.Fatal("pin A missing")
+	}
+	// The L decomposes into its two maximal rectangles.
+	if len(pin.Shapes) != 2 {
+		t.Fatalf("polygon decomposed into %d rects, want 2: %+v", len(pin.Shapes), pin.Shapes)
+	}
+	var rects []geom.Rect
+	for _, s := range pin.Shapes {
+		rects = append(rects, s.Rect)
+	}
+	if got := geom.UnionArea(rects); got != 10*4+4*6 {
+		t.Fatalf("polygon area = %d, want 64", got)
+	}
+}
+
+func TestParsePolygonErrors(t *testing.T) {
+	base := `VERSION 5.8 ;
+LAYER M1
+  TYPE ROUTING ;
+END M1
+MACRO X
+  PIN A
+    PORT
+      LAYER M1 ;
+        POLYGON %s ;
+    END
+  END A
+END X
+END LIBRARY
+`
+	for i, body := range []string{"0 0 0.001 0.001", "0 0 0.01 0.01 0 0.02"} {
+		src := strings.Replace(base, "%s", body, 1)
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected polygon error", i)
+		}
+	}
+}

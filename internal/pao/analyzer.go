@@ -1,0 +1,234 @@
+package pao
+
+import (
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+)
+
+// Analyzer runs the three-step pin access analysis over a placed design.
+type Analyzer struct {
+	Design *db.Design
+	Cfg    Config
+
+	// netOf maps (instance ID, pin name) to a net index (>= 1). Pins not on
+	// any net receive fresh pseudo-net indexes so that they still conflict
+	// with everything else but never with themselves.
+	netOf map[termKey]int
+	// nextPseudo is the next free pseudo-net index.
+	nextPseudo int
+}
+
+type termKey struct {
+	inst int
+	pin  string
+}
+
+// NewAnalyzer builds an analyzer for the design with the given configuration.
+func NewAnalyzer(d *db.Design, cfg Config) *Analyzer {
+	a := &Analyzer{Design: d, Cfg: cfg.normalized(), netOf: make(map[termKey]int)}
+	for idx, net := range d.Nets {
+		for _, t := range net.Terms {
+			a.netOf[termKey{t.Inst.ID, t.Pin.Name}] = idx + 1
+		}
+	}
+	a.nextPseudo = len(d.Nets) + 1
+	return a
+}
+
+// NetOf returns the net index of an instance pin, allocating a pseudo net for
+// unconnected pins (stable across calls).
+func (a *Analyzer) NetOf(inst *db.Instance, pin *db.MPin) int {
+	k := termKey{inst.ID, pin.Name}
+	if n, ok := a.netOf[k]; ok {
+		return n
+	}
+	n := a.nextPseudo
+	a.nextPseudo++
+	a.netOf[k] = n
+	return n
+}
+
+// cellEngine builds the isolated intra-cell DRC context for a unique
+// instance: the pivot member's own pin shapes (each signal pin on its own
+// pseudo net so two pins of the cell conflict with each other but a pin never
+// conflicts with itself) plus obstructions and power/ground shapes as NoNet
+// blockages. Steps 1 and 2 validate against this context only, so their
+// results transfer to every member of the class; inter-cell interactions are
+// Step 3's job.
+func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]int) {
+	eng := drc.NewEngine(a.Design.Tech)
+	pivot := ui.Pivot()
+	nets := make(map[string]int)
+	nextNet := 1
+	for _, pin := range pivot.Master.Pins {
+		net := drc.NoNet
+		if pin.Use == db.UseSignal || pin.Use == db.UseClock {
+			net = nextNet
+			nextNet++
+			nets[pin.Name] = net
+		}
+		for _, s := range pivot.PinShapes(pin) {
+			eng.AddMetal(s.Layer, s.Rect, net, drc.KindPin, "")
+		}
+	}
+	for _, s := range pivot.ObsShapes() {
+		eng.AddMetal(s.Layer, s.Rect, drc.NoNet, drc.KindObs, "")
+	}
+	return eng, nets
+}
+
+// GlobalEngine indexes every fixed shape of the design (instance pins with
+// their real nets, obstructions and power shapes as blockages, IO pins) for
+// Step-3 inter-cell checks and failed-pin accounting.
+func (a *Analyzer) GlobalEngine() *drc.Engine {
+	eng := drc.NewEngine(a.Design.Tech)
+	for _, inst := range a.Design.Instances {
+		for _, pin := range inst.Master.Pins {
+			net := drc.NoNet
+			if pin.Use == db.UseSignal || pin.Use == db.UseClock {
+				net = a.NetOf(inst, pin)
+			}
+			for _, s := range inst.PinShapes(pin) {
+				eng.AddMetal(s.Layer, s.Rect, net, drc.KindPin, "")
+			}
+		}
+		for _, s := range inst.ObsShapes() {
+			eng.AddMetal(s.Layer, s.Rect, drc.NoNet, drc.KindObs, "")
+		}
+	}
+	for _, io := range a.Design.IOPins {
+		eng.AddMetal(io.Shape.Layer, io.Shape.Rect, a.ioNet(io), drc.KindIOPin, io.Name)
+	}
+	return eng
+}
+
+func (a *Analyzer) ioNet(io *db.IOPin) int {
+	for idx, net := range a.Design.Nets {
+		for _, p := range net.IOPins {
+			if p == io {
+				return idx + 1
+			}
+		}
+	}
+	return drc.NoNet
+}
+
+// AnalyzeUnique runs Steps 1 and 2 for one unique instance.
+func (a *Analyzer) AnalyzeUnique(ui *db.UniqueInstance) *UniqueAccess {
+	eng, nets := a.cellEngine(ui)
+	pivot := ui.Pivot()
+	ua := &UniqueAccess{UI: ui, PivotPos: pivot.Pos}
+	for _, pin := range pivot.Master.SignalPins() {
+		pa := a.genAccessPoints(eng, pivot, pin, nets[pin.Name])
+		ua.Pins = append(ua.Pins, pa)
+	}
+	a.orderPins(ua)
+	a.genPatterns(ua)
+	return ua
+}
+
+// Run executes the full three-step flow. When Cfg.Workers > 1 the
+// per-unique-instance analysis (Steps 1 and 2) fans out across goroutines;
+// classes are independent, so the result is identical to the sequential run.
+func (a *Analyzer) Run() *Result {
+	res := &Result{
+		ByInstance: make(map[int]*UniqueAccess),
+		Selected:   make(map[int]int),
+	}
+	uis := a.Design.UniqueInstances()
+	uas := make([]*UniqueAccess, len(uis))
+	if w := a.Cfg.Workers; w > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					uas[i] = a.AnalyzeUnique(uis[i])
+				}
+			}()
+		}
+		for i := range uis {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range uis {
+			uas[i] = a.AnalyzeUnique(uis[i])
+		}
+	}
+	for i, ui := range uis {
+		ua := uas[i]
+		res.Unique = append(res.Unique, ua)
+		for _, inst := range ui.Insts {
+			res.ByInstance[inst.ID] = ua
+		}
+		res.Stats.NumUnique++
+		res.Stats.TotalAPs += ua.TotalAPs()
+		res.Stats.PatternsBuilt += len(ua.Patterns)
+		res.Stats.PatternsDropped += ua.DroppedPatterns
+		for _, pa := range ua.Pins {
+			for _, ap := range pa.APs {
+				if ap.OffTrack() {
+					res.Stats.OffTrackAPs++
+				}
+			}
+		}
+	}
+	res.indexSignatures(a.Design)
+	eng := a.GlobalEngine()
+	a.SelectPatterns(res, eng)
+	a.CountFailedPins(res, eng)
+	return res
+}
+
+// CountDirtyAPs re-validates every access point's primary via against the
+// isolated cell context using the full DRC engine and returns the number
+// carrying violations — the Table II "#Dirty APs" metric. PAAF results are
+// zero by construction (Step 1 only emits validated points); baselines that
+// skip real DRC validation score higher.
+func (a *Analyzer) CountDirtyAPs(res *Result) int {
+	dirty := 0
+	for _, ua := range res.Unique {
+		eng, nets := a.cellEngine(ua.UI)
+		pivot := ua.UI.Pivot()
+		for _, pa := range ua.Pins {
+			rects := pinRectsByLayer(pivot, pa.Pin)
+			for _, ap := range pa.APs {
+				v := ap.Primary()
+				if v == nil {
+					continue
+				}
+				if len(eng.CheckVia(v, ap.Pos, nets[pa.Pin.Name], rects[ap.Layer])) > 0 {
+					dirty++
+				}
+			}
+		}
+	}
+	return dirty
+}
+
+func pinRectsByLayer(inst *db.Instance, pin *db.MPin) map[int][]geom.Rect {
+	out := make(map[int][]geom.Rect)
+	for _, s := range inst.PinShapes(pin) {
+		out[s.Layer] = append(out[s.Layer], s.Rect)
+	}
+	return out
+}
+
+// apRectsOnLayer returns the pin's shapes on the given layer in the pivot's
+// design coordinates.
+func pinRectsOnLayer(inst *db.Instance, pin *db.MPin, layer int) []geom.Rect {
+	var out []geom.Rect
+	for _, s := range inst.PinShapes(pin) {
+		if s.Layer == layer {
+			out = append(out, s.Rect)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package pao_test
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/pao"
+	"repro/internal/tech"
+)
+
+// Example runs the three-step pin access analysis on a one-cell design and
+// prints the selected access point — the smallest end-to-end use of the
+// package.
+func Example() {
+	tt := tech.N45()
+	d := db.NewDesign("example", tt)
+	d.Die = geom.R(0, 0, 28000, 14000)
+	for _, l := range tt.Metals {
+		extent := d.Die.XH
+		if l.Dir == tech.Horizontal {
+			extent = d.Die.YH
+		}
+		d.Tracks = append(d.Tracks, db.TrackPattern{
+			Layer: l.Num, WireDir: l.Dir, Start: l.Pitch / 2,
+			Num: int(extent / l.Pitch), Step: l.Pitch,
+		})
+	}
+	master := &db.Master{
+		Name: "INV", Class: db.ClassCore, Size: geom.Pt(560, 1400),
+		Pins: []*db.MPin{
+			{Name: "A", Dir: db.DirInput, Use: db.UseSignal,
+				Shapes: []db.Shape{{Layer: 1, Rect: geom.R(70, 455, 210, 525)}}},
+			{Name: "Y", Dir: db.DirOutput, Use: db.UseSignal,
+				Shapes: []db.Shape{{Layer: 1, Rect: geom.R(350, 455, 490, 525)}}},
+		},
+	}
+	if err := d.AddMaster(master); err != nil {
+		panic(err)
+	}
+	inst := &db.Instance{Name: "u0", Master: master, Pos: geom.Pt(0, 0), Orient: geom.OrientN}
+	if err := d.AddInstance(inst); err != nil {
+		panic(err)
+	}
+	d.Nets = []*db.Net{{Name: "n", Terms: []db.Term{
+		{Inst: inst, Pin: master.PinByName("A")},
+		{Inst: inst, Pin: master.PinByName("Y")},
+	}}}
+
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	ap := res.AccessPointFor(inst, master.PinByName("A"))
+	fmt.Printf("failed pins: %d\n", res.Stats.FailedPins)
+	fmt.Printf("u0/A access: %v via %s\n", ap, ap.Primary().Name)
+	// Output:
+	// failed pins: 0
+	// u0/A access: AP(70,490)/M1[x:onTrack,y:onTrack] via VIA1_H
+}

@@ -1,0 +1,75 @@
+package pao
+
+import (
+	"repro/internal/db"
+	"repro/internal/drc"
+)
+
+// Rebind updates a Result after instances moved (the incremental-placement
+// scenario the paper's Section IV-B runtime discussion motivates: "frequent
+// changes in placement require a tremendous amount of inter-cell pin access
+// analysis"). For each moved instance it:
+//
+//  1. recomputes the unique-instance signature under the new placement and
+//     rebinds the instance to the matching class — running Steps 1-2 only
+//     when the signature was never analyzed before;
+//  2. re-runs the Step-3 pattern selection for every cluster that now
+//     contains a moved instance.
+//
+// eng must reflect the design's current placement (rebuild with
+// GlobalEngine or maintain incrementally). Failed-pin statistics are not
+// updated; call CountFailedPins when they are needed.
+func (a *Analyzer) Rebind(res *Result, eng *drc.Engine, moved []*db.Instance) {
+	if res.bySig == nil {
+		res.indexSignatures(a.Design)
+	}
+	movedSet := make(map[int]bool, len(moved))
+	for _, inst := range moved {
+		movedSet[inst.ID] = true
+		sig := a.Design.InstanceSignature(inst)
+		ua := res.bySig[sig]
+		if ua == nil {
+			// A placement phase never seen before: analyze a fresh class with
+			// the moved instance as its pivot.
+			ui := &db.UniqueInstance{Master: inst.Master, Orient: inst.Orient, Insts: []*db.Instance{inst}}
+			ua = a.AnalyzeUnique(ui)
+			res.Unique = append(res.Unique, ua)
+			res.bySig[sig] = ua
+			res.Stats.NumUnique++
+			res.Stats.TotalAPs += ua.TotalAPs()
+			res.Stats.PatternsBuilt += len(ua.Patterns)
+			res.Stats.PatternsDropped += ua.DroppedPatterns
+		}
+		res.ByInstance[inst.ID] = ua
+		if len(ua.Patterns) > 0 {
+			res.Selected[inst.ID] = 0
+		} else {
+			delete(res.Selected, inst.ID)
+		}
+	}
+	ctx := eng.NewQueryCtx()
+	for _, cl := range a.Design.Clusters() {
+		affected := false
+		for _, inst := range cl.Insts {
+			if movedSet[inst.ID] {
+				affected = true
+				break
+			}
+		}
+		if affected {
+			for inst, ni := range a.selectForCluster(res, eng, cl, ctx) {
+				res.Selected[inst] = ni
+			}
+		}
+	}
+}
+
+// indexSignatures builds the signature -> class index used by Rebind. Keys
+// are recomputed from each class pivot's current placement so they compare
+// exactly against Design.InstanceSignature.
+func (r *Result) indexSignatures(d *db.Design) {
+	r.bySig = make(map[string]*UniqueAccess, len(r.Unique))
+	for _, ua := range r.Unique {
+		r.bySig[d.InstanceSignature(ua.UI.Pivot())] = ua
+	}
+}

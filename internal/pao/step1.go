@@ -1,0 +1,238 @@
+package pao
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// genAccessPoints implements Algorithm 1: pin-based access point generation.
+// Candidate coordinates are enumerated per coordinate type — all four types
+// for the layer's preferred direction, the first three for the non-preferred
+// direction — in cost order, validated with the DRC engine, and the loop
+// early-terminates once at least Cfg.K valid points exist.
+func (a *Analyzer) genAccessPoints(eng *drc.Engine, pivot *db.Instance, pin *db.MPin, net int) *PinAccess {
+	pa := &PinAccess{Pin: pin}
+	layers := pinLayers(pivot, pin)
+	for _, layer := range layers {
+		a.genAccessPointsOnLayer(eng, pivot, pin, net, layer, pa)
+		if len(pa.APs) >= a.Cfg.K {
+			break
+		}
+	}
+	return pa
+}
+
+// pinLayers lists the metal numbers carrying pin shapes, ascending (lower
+// layers first: via access from the lowest pin layer is the common case).
+func pinLayers(inst *db.Instance, pin *db.MPin) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range pin.Shapes {
+		if !seen[s.Layer] {
+			seen[s.Layer] = true
+			out = append(out, s.Layer)
+		}
+	}
+	_ = inst
+	sort.Ints(out)
+	return out
+}
+
+// coordCandidates holds the per-type candidate coordinates for one axis of
+// one maximal pin rectangle.
+type coordCandidates [4][]int64
+
+func (a *Analyzer) genAccessPointsOnLayer(eng *drc.Engine, pivot *db.Instance, pin *db.MPin, net, layer int, pa *PinAccess) {
+	l := a.Design.Tech.Metal(layer)
+	if l == nil {
+		return
+	}
+	rects := geom.MaxRects(pinRectsOnLayer(pivot, pin, layer))
+	if len(rects) == 0 {
+		return
+	}
+	allPinRects := pinRectsOnLayer(pivot, pin, layer)
+	vias := a.Design.Tech.ViasAbove(layer)
+
+	prefTracks, _ := a.Design.TracksFor(layer)
+	nonPrefTracks := a.nonPreferredTracks(layer)
+
+	// Per maximal rect, candidates for the preferred-direction coordinate
+	// (all four types) and the non-preferred one (first three types).
+	prefCands := make([]coordCandidates, len(rects))
+	nonPrefCands := make([]coordCandidates, len(rects))
+	for i, r := range rects {
+		var prefLo, prefHi, npLo, npHi int64
+		if l.Dir == tech.Horizontal {
+			prefLo, prefHi = r.SpanY()
+			npLo, npHi = r.SpanX()
+		} else {
+			prefLo, prefHi = r.SpanX()
+			npLo, npHi = r.SpanY()
+		}
+		prefCands[i] = a.axisCandidates(prefTracks, prefLo, prefHi, vias, l.Dir, true)
+		nonPrefCands[i] = a.axisCandidates(nonPrefTracks, npLo, npHi, nil, l.Dir, false)
+	}
+
+	seen := make(map[geom.Point]bool, 8)
+	// Algorithm 1 main loop: non-preferred type outer, preferred type inner,
+	// both in ascending cost order.
+	for _, t1 := range [...]CoordType{OnTrack, HalfTrack, ShapeCenter} {
+		if !a.Cfg.typeAllowed(t1) {
+			continue
+		}
+		for _, t0 := range [...]CoordType{OnTrack, HalfTrack, ShapeCenter, EncBoundary} {
+			if !a.Cfg.typeAllowed(t0) {
+				continue
+			}
+			for i := range rects {
+				for _, pc := range prefCands[i][t0] {
+					for _, nc := range nonPrefCands[i][t1] {
+						pt := geom.Pt(nc, pc)
+						if l.Dir == tech.Vertical {
+							pt = geom.Pt(pc, nc)
+						}
+						if seen[pt] {
+							continue
+						}
+						seen[pt] = true
+						ap := a.validateAP(eng, pt, layer, net, allPinRects, vias, pivot.Master.Class, t0, t1, l.Dir)
+						if ap != nil {
+							pa.APs = append(pa.APs, ap)
+						}
+					}
+				}
+			}
+			if len(pa.APs) >= a.Cfg.K {
+				return
+			}
+		}
+	}
+}
+
+// nonPreferredTracks returns the track coordinates used for a layer's
+// non-preferred direction. Per Section II-C, the upper layer's preferred
+// tracks serve as the current layer's non-preferred tracks so that on-track
+// up-via access aligns to both layers; a design-provided non-preferred
+// pattern on the layer itself takes precedence.
+func (a *Analyzer) nonPreferredTracks(layer int) []db.TrackPattern {
+	_, nonPref := a.Design.TracksFor(layer)
+	if len(nonPref) > 0 {
+		return nonPref
+	}
+	upPref, _ := a.Design.TracksFor(layer + 1)
+	return upPref
+}
+
+// axisCandidates computes the candidate coordinates of each type along one
+// axis within [lo, hi] (the maximal rectangle's span on that axis).
+//
+//   - OnTrack: every track coordinate inside the span;
+//   - HalfTrack: midpoints between neighboring tracks inside the span;
+//   - ShapeCenter: the span midpoint, skipped when the span touches two or
+//     more tracks (Section II-C's rule for limiting unique off-track coords);
+//   - EncBoundary (preferred axis only): coordinates aligning each via
+//     variant's bottom-enclosure edge with the span boundary.
+func (a *Analyzer) axisCandidates(tracks []db.TrackPattern, lo, hi int64, vias []*tech.ViaDef, layerDir tech.Dir, preferred bool) coordCandidates {
+	var out coordCandidates
+	onTrackCount := 0
+	for _, tp := range tracks {
+		for _, c := range tp.CoordsIn(lo, hi) {
+			out[OnTrack] = append(out[OnTrack], c)
+			onTrackCount++
+		}
+		// Half-track: midpoints of neighboring tracks whose midpoint falls
+		// inside the span.
+		for _, c := range tp.CoordsIn(lo-tp.Step, hi) {
+			m := c + tp.Step/2
+			if m >= lo && m <= hi {
+				out[HalfTrack] = append(out[HalfTrack], m)
+			}
+		}
+	}
+	if onTrackCount < 2 {
+		out[ShapeCenter] = append(out[ShapeCenter], (lo+hi)/2)
+	}
+	if preferred {
+		seen := map[int64]bool{}
+		for _, v := range vias {
+			// The bottom enclosure's span on this axis, relative to origin.
+			var encLo, encHi int64
+			if layerDir == tech.Horizontal { // preferred coord is y
+				encLo, encHi = v.BotEnc.YL, v.BotEnc.YH
+			} else {
+				encLo, encHi = v.BotEnc.XL, v.BotEnc.XH
+			}
+			for _, c := range [...]int64{lo - encLo, hi - encHi} {
+				if c >= lo && c <= hi && !seen[c] {
+					seen[c] = true
+					out[EncBoundary] = append(out[EncBoundary], c)
+				}
+			}
+		}
+		sort.Slice(out[EncBoundary], func(i, j int) bool { return out[EncBoundary][i] < out[EncBoundary][j] })
+	}
+	for t := OnTrack; t <= HalfTrack; t++ {
+		s := out[t]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return out
+}
+
+// validateAP checks one candidate point: it must lie on the pin shape, and a
+// via must drop DRC-free (up access) and/or a planar escape stub must be
+// DRC-clean. Standard cells require via access when Cfg.RequireVia is set
+// (footnote 1); macro pins accept planar-only access points.
+func (a *Analyzer) validateAP(eng *drc.Engine, pt geom.Point, layer, net int, pinRects []geom.Rect,
+	vias []*tech.ViaDef, class db.MasterClass, t0, t1 CoordType, dir tech.Dir) *AccessPoint {
+
+	if !geom.CoversPt(pinRects, pt) {
+		return nil
+	}
+	ap := &AccessPoint{Pos: pt, Layer: layer, OnPref: t0}
+	if dir == tech.Horizontal {
+		ap.TypeY, ap.TypeX = t0, t1
+	} else {
+		ap.TypeX, ap.TypeY = t0, t1
+	}
+	// Up (via) access: collect the DRC-clean via variants; the first valid
+	// one is primary.
+	for _, v := range vias {
+		if len(eng.CheckVia(v, pt, net, pinRects)) == 0 {
+			ap.Vias = append(ap.Vias, v)
+		}
+	}
+	if len(ap.Vias) > 0 {
+		ap.Dirs[DirUp] = true
+	}
+	// Planar access in the four compass directions: a wire stub from the
+	// point outward must be spacing-clean against the cell context.
+	l := a.Design.Tech.Metal(layer)
+	hw := l.Width / 2
+	ext := 2 * l.Pitch
+	stubs := [...]struct {
+		d AccessDir
+		r geom.Rect
+	}{
+		{DirEast, geom.R(pt.X, pt.Y-hw, pt.X+ext, pt.Y+hw)},
+		{DirWest, geom.R(pt.X-ext, pt.Y-hw, pt.X, pt.Y+hw)},
+		{DirNorth, geom.R(pt.X-hw, pt.Y, pt.X+hw, pt.Y+ext)},
+		{DirSouth, geom.R(pt.X-hw, pt.Y-ext, pt.X+hw, pt.Y)},
+	}
+	for _, s := range stubs {
+		if len(eng.CheckMetalRect(layer, s.r, net)) == 0 {
+			ap.Dirs[s.d] = true
+		}
+	}
+	if a.Cfg.RequireVia && class == db.ClassCore && !ap.Dirs[DirUp] {
+		return nil
+	}
+	if !ap.Dirs[DirUp] && !ap.Dirs[DirEast] && !ap.Dirs[DirWest] && !ap.Dirs[DirNorth] && !ap.Dirs[DirSouth] {
+		return nil
+	}
+	return ap
+}

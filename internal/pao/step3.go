@@ -1,0 +1,286 @@
+package pao
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+)
+
+// SelectPatterns implements Step 3: cluster-based access pattern selection.
+// Instances are grouped into row clusters (maximal runs with no empty site
+// between); within each cluster a DP identical in shape to Algorithm 2 runs
+// with instances as groups and access patterns as vertices. Only boundary
+// access points (the first and last pins in the pin order) join the DRC
+// terms, per Section III-C's acceleration note:
+//
+//   - vertex cost: the pattern's intrinsic cost plus DRC cost for each
+//     boundary via that conflicts with the design's fixed shapes (pins and
+//     obstructions of neighboring instances — the isolated Step-1 context
+//     could not see those);
+//   - edge cost: DRC cost when the facing boundary vias of neighboring
+//     instances are incompatible.
+//
+// Instances outside clusters (and macros) keep their first pattern.
+func (a *Analyzer) SelectPatterns(res *Result, eng *drc.Engine) {
+	for _, inst := range a.Design.Instances {
+		if ua := res.ByInstance[inst.ID]; ua != nil && len(ua.Patterns) > 0 {
+			res.Selected[inst.ID] = 0
+		}
+	}
+	clusters := a.Design.Clusters()
+	workers := a.Cfg.Workers
+	if workers <= 1 || len(clusters) < 2*workers {
+		ctx := eng.NewQueryCtx()
+		for _, cl := range clusters {
+			for inst, ni := range a.selectForCluster(res, eng, cl, ctx) {
+				res.Selected[inst] = ni
+			}
+		}
+		return
+	}
+	// Clusters are disjoint, and the engine is only read — fan out and merge
+	// the per-cluster selections afterwards.
+	picks := make([]map[int]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := eng.NewQueryCtx()
+			local := make(map[int]int)
+			for i := w; i < len(clusters); i += workers {
+				for inst, ni := range a.selectForCluster(res, eng, clusters[i], ctx) {
+					local[inst] = ni
+				}
+			}
+			picks[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, m := range picks {
+		for inst, ni := range m {
+			res.Selected[inst] = ni
+		}
+	}
+}
+
+// boundaryAPInfo is a boundary access point translated onto a member
+// instance.
+type boundaryAPInfo struct {
+	ap  *AccessPoint
+	pos geom.Point
+	net int
+	pin *db.MPin
+}
+
+// chosenAPs returns the pattern's chosen access points on the given member
+// instance, in pin order. boundaryOnly restricts it to the first and last
+// (they coincide for single-pin cells).
+func (a *Analyzer) chosenAPs(res *Result, inst *db.Instance, pat *AccessPattern, boundaryOnly bool) []boundaryAPInfo {
+	ua := res.ByInstance[inst.ID]
+	if ua == nil || pat == nil {
+		return nil
+	}
+	var idxs []int
+	for i, c := range pat.Choice {
+		if c >= 0 {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	if boundaryOnly {
+		pick := []int{idxs[0]}
+		if last := idxs[len(idxs)-1]; last != idxs[0] {
+			pick = append(pick, last)
+		}
+		idxs = pick
+	}
+	out := make([]boundaryAPInfo, 0, len(idxs))
+	for _, i := range idxs {
+		ap := ua.Pins[i].APs[pat.Choice[i]]
+		out = append(out, boundaryAPInfo{
+			ap:  ap,
+			pos: ua.TranslateTo(inst, ap.Pos),
+			net: a.NetOf(inst, ua.Pins[i].Pin),
+			pin: ua.Pins[i].Pin,
+		})
+	}
+	return out
+}
+
+// boundaryAPs returns the first and last chosen access points of a pattern on
+// the given member instance.
+func (a *Analyzer) boundaryAPs(res *Result, inst *db.Instance, pat *AccessPattern) []boundaryAPInfo {
+	return a.chosenAPs(res, inst, pat, true)
+}
+
+// vertexCost scores one (instance, pattern) choice against the fixed design
+// context: every chosen via is re-validated with the global engine, which
+// catches spacing and end-of-line conflicts with neighboring instances that
+// the isolated Step-1 context could not see. (The paper's boundary-only
+// acceleration applies to the pattern-to-pattern via checks — edgeCost3 —
+// not to this fixed-environment term; inner pins near a cell edge conflict
+// with neighbors too.)
+func (a *Analyzer) vertexCost(res *Result, eng *drc.Engine, inst *db.Instance, pat *AccessPattern, ctx *drc.QueryCtx) int {
+	cost := pat.Cost
+	for _, b := range a.chosenAPs(res, inst, pat, false) {
+		if b.ap.Primary() == nil {
+			continue
+		}
+		pinRects := pinRectsOnLayer(inst, b.pin, b.ap.Layer)
+		cost += a.Cfg.DRCCost * len(eng.CheckViaCtx(b.ap.Primary(), b.pos, b.net, pinRects, ctx))
+	}
+	return cost
+}
+
+// edgeCost3 scores the interaction between the right boundary via of left
+// (pattern lp) and the left boundary via of right (pattern rp).
+func (a *Analyzer) edgeCost3(res *Result, left *db.Instance, lp *AccessPattern, right *db.Instance, rp *AccessPattern) int {
+	lb := a.boundaryAPs(res, left, lp)
+	rb := a.boundaryAPs(res, right, rp)
+	if len(lb) == 0 || len(rb) == 0 {
+		return 0
+	}
+	l := lb[len(lb)-1] // rightmost boundary AP of the left instance
+	r := rb[0]         // leftmost boundary AP of the right instance
+	if !ViaPairClean(a.Design.Tech, l.ap.Primary(), l.pos, l.net, r.ap.Primary(), r.pos, r.net) {
+		return a.Cfg.DRCCost
+	}
+	return 0
+}
+
+// selectForCluster runs the Step-3 DP over one cluster and returns the
+// selected pattern index per instance ID (written by the caller, so the DP
+// itself never touches shared state).
+func (a *Analyzer) selectForCluster(res *Result, eng *drc.Engine, cl db.Cluster, ctx *drc.QueryCtx) map[int]int {
+	var insts []*db.Instance
+	for _, inst := range cl.Insts {
+		if ua := res.ByInstance[inst.ID]; ua != nil && len(ua.Patterns) > 0 {
+			insts = append(insts, inst)
+		}
+	}
+	if len(insts) == 0 {
+		return nil
+	}
+	pats := func(inst *db.Instance) []*AccessPattern { return res.ByInstance[inst.ID].Patterns }
+
+	dp := make([][]dpVertex, len(insts))
+	for gi, inst := range insts {
+		ps := pats(inst)
+		dp[gi] = make([]dpVertex, len(ps))
+		for ni, p := range ps {
+			vc := a.vertexCost(res, eng, inst, p, ctx)
+			if gi == 0 {
+				dp[0][ni] = dpVertex{cost: vc, prev: -1}
+				continue
+			}
+			best, bestPrev := math.MaxInt, -1
+			prevInst := insts[gi-1]
+			for pi, pp := range pats(prevInst) {
+				if dp[gi-1][pi].cost == math.MaxInt {
+					continue
+				}
+				c := dp[gi-1][pi].cost + vc + a.edgeCost3(res, prevInst, pp, inst, p)
+				if c < best {
+					best, bestPrev = c, pi
+				}
+			}
+			dp[gi][ni] = dpVertex{cost: best, prev: bestPrev}
+		}
+	}
+	bestNi, bestCost := -1, math.MaxInt
+	for ni, v := range dp[len(insts)-1] {
+		if v.cost < bestCost {
+			bestCost, bestNi = v.cost, ni
+		}
+	}
+	out := make(map[int]int, len(insts))
+	for gi := len(insts) - 1; gi >= 0 && bestNi >= 0; gi-- {
+		out[insts[gi].ID] = bestNi
+		bestNi = dp[gi][bestNi].prev
+	}
+	return out
+}
+
+// CountFailedPins fills Stats.TotalPins and Stats.FailedPins: every instance
+// pin attached to a net needs a DRC-clean access point; the selected primary
+// vias of all pins are placed together with the design's fixed shapes and
+// each is re-validated in that full context (the Table III metric). The
+// engine is mutated (vias are added) — pass a fresh or end-of-life engine.
+func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
+	type placed struct {
+		inst *db.Instance
+		pin  *db.MPin
+		ap   *AccessPoint
+		net  int
+	}
+	var all []placed
+	total := 0
+	failed := 0
+	for _, net := range a.Design.Nets {
+		for _, t := range net.Terms {
+			total++
+			ap := res.AccessPointFor(t.Inst, t.Pin)
+			if ap == nil {
+				failed++
+				continue
+			}
+			if ap.Primary() == nil {
+				// Planar-only access (macro pins): the point was validated in
+				// Step 1 and places no via, so it cannot conflict here.
+				continue
+			}
+			n := a.NetOf(t.Inst, t.Pin)
+			v := ap.Primary()
+			eng.AddMetal(v.CutBelow, v.BotRect(ap.Pos), n, drc.KindViaEnc, "")
+			eng.AddMetal(v.CutBelow+1, v.TopRect(ap.Pos), n, drc.KindViaEnc, "")
+			for _, cut := range v.CutRects(ap.Pos) {
+				eng.AddCut(v.CutBelow, cut, n, "")
+			}
+			all = append(all, placed{t.Inst, t.Pin, ap, n})
+		}
+	}
+	// The validation pass is read-only over the frozen engine; fan it out
+	// when the analyzer is configured for multi-threading.
+	workers := a.Cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		ctx := eng.NewQueryCtx()
+		for _, p := range all {
+			pinRects := pinRectsOnLayer(p.inst, p.pin, p.ap.Layer)
+			if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, ctx)) > 0 {
+				failed++
+			}
+		}
+	} else {
+		counts := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := eng.NewQueryCtx()
+				for i := w; i < len(all); i += workers {
+					p := all[i]
+					pinRects := pinRectsOnLayer(p.inst, p.pin, p.ap.Layer)
+					if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, ctx)) > 0 {
+						counts[w]++
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, c := range counts {
+			failed += c
+		}
+	}
+	res.Stats.TotalPins = total
+	res.Stats.FailedPins = failed
+}

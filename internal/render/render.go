@@ -1,0 +1,262 @@
+// Package render draws design windows — cells, pins, access points, routed
+// wires, vias and DRC markers — as standalone SVG files. The experiment
+// binaries use it to produce the visual analogues of the paper's Fig. 8
+// (routed pin access comparison) and Fig. 9 (14 nm cell pin accesses).
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/pao"
+	"repro/internal/router"
+)
+
+// layerColors indexes metal number; cuts and markers have fixed colors.
+var layerColors = []string{
+	"#888888", // 0 unused
+	"#1f77b4", // M1 blue
+	"#d62728", // M2 red
+	"#2ca02c", // M3 green
+	"#ff7f0e", // M4 orange
+	"#9467bd", // M5 purple
+	"#8c564b", // M6 brown
+	"#e377c2", // M7 pink
+	"#7f7f7f", // M8 gray
+	"#bcbd22", // M9 olive
+}
+
+func colorFor(layer int) string {
+	if layer >= 0 && layer < len(layerColors) {
+		return layerColors[layer]
+	}
+	return "#000000"
+}
+
+// Canvas accumulates SVG shapes in design coordinates and renders them
+// scaled into the given window.
+type Canvas struct {
+	Window geom.Rect // design-coordinate viewport
+	// PixelsPerMicron controls the output size (default 100).
+	PixelsPerMicron float64
+
+	shapes []string
+	legend []string
+	seen   map[string]bool
+}
+
+// NewCanvas creates a canvas over the given design window.
+func NewCanvas(window geom.Rect) *Canvas {
+	return &Canvas{Window: window, PixelsPerMicron: 100, seen: map[string]bool{}}
+}
+
+func (c *Canvas) scale() float64 { return c.PixelsPerMicron / 1000.0 }
+
+func (c *Canvas) x(v int64) float64 { return float64(v-c.Window.XL) * c.scale() }
+
+// SVG y grows downward; flip so the design's +y points up.
+func (c *Canvas) y(v int64) float64 { return float64(c.Window.YH-v) * c.scale() }
+
+func (c *Canvas) addRect(r geom.Rect, fill, stroke string, opacity float64, class string) {
+	clipped, ok := r.Intersect(c.Window)
+	if !ok || clipped.Empty() {
+		return
+	}
+	c.shapes = append(c.shapes, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="%s" stroke-width="0.5" fill-opacity="%.2f" class="%s"/>`,
+		c.x(clipped.XL), c.y(clipped.YH),
+		float64(clipped.Width())*c.scale(), float64(clipped.Height())*c.scale(),
+		fill, stroke, opacity, class))
+	if class != "" && !c.seen[class] {
+		c.seen[class] = true
+		c.legend = append(c.legend, fmt.Sprintf("%s:%s", class, fill))
+	}
+}
+
+func (c *Canvas) addMarker(r geom.Rect, class string) {
+	clipped, ok := r.Bloat(10).Intersect(c.Window)
+	if !ok {
+		return
+	}
+	c.shapes = append(c.shapes, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="#ff0000" stroke-width="1.5" stroke-dasharray="4,2" class="%s"/>`,
+		c.x(clipped.XL), c.y(clipped.YH),
+		float64(clipped.Width())*c.scale(), float64(clipped.Height())*c.scale(), class))
+}
+
+func (c *Canvas) addCross(p geom.Point, class string) {
+	if !c.Window.ContainsPt(p) {
+		return
+	}
+	x, y := c.x(p.X), c.y(p.Y)
+	const a = 4.0
+	c.shapes = append(c.shapes, fmt.Sprintf(
+		`<path d="M %.2f %.2f L %.2f %.2f M %.2f %.2f L %.2f %.2f" stroke="#000000" stroke-width="1.2" class="%s"/>`,
+		x-a, y-a, x+a, y+a, x-a, y+a, x+a, y-a, class))
+}
+
+// DrawDesign draws the fixed geometry (cell outlines, pins, obstructions)
+// inside the window, restricted to metal layers <= maxLayer.
+func (c *Canvas) DrawDesign(d *db.Design, maxLayer int) {
+	for _, inst := range d.Instances {
+		bbox := inst.BBox()
+		if !bbox.Touches(c.Window) {
+			continue
+		}
+		c.addRect(bbox, "none", "#999999", 0, "cell")
+		for _, pin := range inst.Master.Pins {
+			class := "pin"
+			if pin.Use != db.UseSignal && pin.Use != db.UseClock {
+				class = "rail"
+			}
+			for _, s := range inst.PinShapes(pin) {
+				if s.Layer <= maxLayer {
+					op := 0.55
+					if class == "rail" {
+						op = 0.2
+					}
+					c.addRect(s.Rect, colorFor(s.Layer), "none", op, class)
+				}
+			}
+		}
+		for _, s := range inst.ObsShapes() {
+			if s.Layer <= maxLayer {
+				c.addRect(s.Rect, "#444444", "none", 0.3, "obs")
+			}
+		}
+	}
+}
+
+// DrawAccess marks the selected access points of every pin in the window.
+func (c *Canvas) DrawAccess(d *db.Design, res *pao.Result) {
+	for _, net := range d.Nets {
+		for _, t := range net.Terms {
+			ap := res.AccessPointFor(t.Inst, t.Pin)
+			if ap == nil {
+				continue
+			}
+			if v := ap.Primary(); v != nil {
+				c.addRect(v.BotRect(ap.Pos), "none", "#000000", 0, "viaEnc")
+				for _, cut := range v.CutRects(ap.Pos) {
+					c.addRect(cut, "#000000", "none", 0.8, "viaCut")
+				}
+			}
+			c.addCross(ap.Pos, "accessPoint")
+		}
+	}
+}
+
+// DrawRouting draws routed wires and vias.
+func (c *Canvas) DrawRouting(res *router.Result, maxLayer int) {
+	for _, w := range res.Wires {
+		if w.Layer <= maxLayer {
+			c.addRect(w.Rect, colorFor(w.Layer), "none", 0.45, fmt.Sprintf("wireM%d", w.Layer))
+		}
+	}
+	for _, v := range res.Vias {
+		for _, cut := range v.Def.CutRects(v.Pos) {
+			c.addRect(cut, "#000000", "none", 0.8, "viaCut")
+		}
+	}
+}
+
+// DrawViolations adds the dashed red markers the paper's Fig. 8 uses.
+func (c *Canvas) DrawViolations(vs []drc.Violation) {
+	for _, v := range vs {
+		c.addMarker(v.Where, "violation")
+	}
+}
+
+// WriteSVG renders the accumulated scene.
+func (c *Canvas) WriteSVG(w io.Writer, title string) error {
+	width := float64(c.Window.Width()) * c.scale()
+	height := float64(c.Window.Height()) * c.scale()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		width, height+20, width, height+20)
+	fmt.Fprintf(&b, `<rect width="%.2f" height="%.2f" fill="#ffffff"/>`+"\n", width, height+20)
+	for _, s := range c.shapes {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	sort.Strings(c.legend)
+	fmt.Fprintf(&b, `<text x="4" y="%.2f" font-family="monospace" font-size="10">%s — %s</text>`+"\n",
+		height+14, title, strings.Join(c.legend, " "))
+	fmt.Fprintf(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ViolationWindow picks a window around the densest violation area — the
+// automatic analogue of the paper's hand-picked Fig. 8 cases. Falls back to
+// the design die center when there are no violations.
+func ViolationWindow(d *db.Design, vs []drc.Violation, size int64) geom.Rect {
+	if len(vs) == 0 {
+		ctr := d.Die.Center()
+		return geom.R(ctr.X-size/2, ctr.Y-size/2, ctr.X+size/2, ctr.Y+size/2)
+	}
+	// Count violations within size/2 of each violation; take the best center.
+	best, bestCount := vs[0].Where.Center(), -1
+	for _, v := range vs {
+		ctr := v.Where.Center()
+		win := geom.R(ctr.X-size/2, ctr.Y-size/2, ctr.X+size/2, ctr.Y+size/2)
+		count := 0
+		for _, u := range vs {
+			if win.ContainsPt(u.Where.Center()) {
+				count++
+			}
+		}
+		if count > bestCount {
+			best, bestCount = ctr, count
+		}
+	}
+	return geom.R(best.X-size/2, best.Y-size/2, best.X+size/2, best.Y+size/2)
+}
+
+// CongestionHeatmap renders a global-routing congestion map: one translucent
+// cell per gcell, colored by edge usage relative to capacity (green under,
+// red over). usage and capacity describe horizontal-plus-vertical demand per
+// gcell, as reported by the guide package's global router.
+func CongestionHeatmap(w io.Writer, die geom.Rect, gcell int64, load func(cx, cy int) float64, title string) error {
+	c := NewCanvas(die)
+	c.PixelsPerMicron = 20
+	nx := int(die.Width()/gcell) + 1
+	ny := int(die.Height()/gcell) + 1
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			f := load(cx, cy)
+			if f <= 0 {
+				continue
+			}
+			if f > 1.5 {
+				f = 1.5
+			}
+			// Green (low) to red (high) through yellow.
+			rr := int(255 * minF(f/0.75, 1))
+			gg := int(255 * minF((1.5-f)/0.75, 1))
+			x := die.XL + int64(cx)*gcell
+			y := die.YL + int64(cy)*gcell
+			c.addRect(geom.R(x, y, x+gcell, y+gcell),
+				fmt.Sprintf("#%02x%02x00", rr, gg), "none", 0.6, "gcell")
+		}
+	}
+	return c.WriteSVG(w, title)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DrawRect adds one raw rectangle in the given metal layer's color — for
+// illustration tooling that composes scenes without a full design.
+func (c *Canvas) DrawRect(r geom.Rect, layer int) {
+	c.addRect(r, colorFor(layer), "none", 0.5, fmt.Sprintf("M%d", layer))
+}

@@ -1,0 +1,129 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/guide"
+	"repro/internal/pao"
+	"repro/internal/router"
+	"repro/internal/suite"
+)
+
+func TestRenderDesignWindow(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[0].Scale(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+
+	win := geom.R(0, 0, 20000, 10000)
+	c := NewCanvas(win)
+	c.DrawDesign(d, 2)
+	c.DrawAccess(d, res)
+	var b strings.Builder
+	if err := c.WriteSVG(&b, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{`class="pin"`, `class="cell"`, `class="accessPoint"`, "unit test"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+	// Shapes outside the window must be clipped away entirely: the SVG
+	// coordinates stay within the viewport (plus the caption strip).
+	if strings.Contains(svg, `x="-`) {
+		t.Error("negative x coordinate leaked into the SVG")
+	}
+}
+
+func TestRenderRoutingAndViolations(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[4].Scale(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	r, err := router.New(d, router.Config{Mode: router.AccessAdHoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	router.Check(a, res)
+	if len(res.Violations) == 0 {
+		t.Skip("no violations to render at this scale")
+	}
+
+	win := ViolationWindow(d, res.Violations, 8000)
+	if win.Width() != 8000 || win.Height() != 8000 {
+		t.Fatalf("window = %v", win)
+	}
+	c := NewCanvas(win)
+	c.DrawDesign(d, 4)
+	c.DrawRouting(res, 4)
+	c.DrawViolations(res.Violations)
+	var b strings.Builder
+	if err := c.WriteSVG(&b, "fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `class="violation"`) {
+		t.Error("violation markers missing")
+	}
+	if !strings.Contains(b.String(), "wireM") {
+		t.Error("wires missing")
+	}
+}
+
+func TestViolationWindowFallback(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[0].Scale(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := ViolationWindow(d, nil, 4000)
+	if win.Width() != 4000 || !d.Die.Overlaps(win) {
+		t.Fatalf("fallback window = %v", win)
+	}
+	vs := []drc.Violation{
+		{Where: geom.R(100, 100, 200, 200)},
+		{Where: geom.R(150, 150, 250, 250)},
+		{Where: geom.R(90000, 90000, 90100, 90100)},
+	}
+	win = ViolationWindow(d, vs, 4000)
+	if !win.ContainsPt(geom.Pt(150, 150)) {
+		t.Fatalf("window %v must center on the dense pair", win)
+	}
+}
+
+func TestCongestionHeatmap(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[4].Scale(0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := guide.New(d, guide.Config{})
+	gr.Route()
+	_, _, gcell := gr.Dims()
+	var b strings.Builder
+	if err := CongestionHeatmap(&b, d.Die, gcell, gr.CellLoad, "congestion"); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "congestion") {
+		t.Fatal("heatmap SVG malformed")
+	}
+	if !strings.Contains(svg, `class="gcell"`) {
+		t.Fatal("no gcells rendered (no load anywhere?)")
+	}
+	// Saturation clamps and color interpolation.
+	var b2 strings.Builder
+	if err := CongestionHeatmap(&b2, d.Die, gcell, func(cx, cy int) float64 { return 5.0 }, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "#ff0000") {
+		t.Error("fully-overloaded map must saturate to red")
+	}
+}

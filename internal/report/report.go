@@ -1,0 +1,87 @@
+// Package report renders the paper-style fixed-width result tables shared by
+// the experiment binaries and benchmarks.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with right-aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	line := strings.Repeat("-", total)
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	fmt.Fprintln(w, line)
+	fmt.Fprint(w, "|")
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, " %*s |", widths[i], h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, line)
+	for _, row := range t.rows {
+		fmt.Fprint(w, "|")
+		for i := range t.Headers {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			fmt.Fprintf(w, " %*s |", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, line)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tab := New("Title", "A", "LongHeader", "C")
+	tab.AddRow(1, "x", 3.14159)
+	tab.AddRow("longvalue", 2, 3)
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "LongHeader") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("floats must render with two decimals")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + rule + header + rule + 2 rows + rule.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All table lines share one width.
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestRenderShortRow(t *testing.T) {
+	tab := New("", "A", "B")
+	tab.AddRow("only")
+	out := tab.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short rows must render")
+	}
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title must not emit a blank line")
+	}
+}

@@ -1,0 +1,366 @@
+package router
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// pqItem is an A* open-list entry.
+type pqItem struct {
+	key  int64
+	l    int
+	ix   int
+	iy   int
+	g    int64
+	f    int64
+	from int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// commitRec captures everything one committed connection placed, so
+// negotiated rip-up can evict it cleanly.
+type commitRec struct {
+	occKeys  []int64 // occupancy entries this connection created
+	physKeys []int64
+	viaSites []viaSite
+	wires    []Wire
+	vias     []PlacedVia
+	pathKeys map[int64]bool
+}
+
+type viaSite struct {
+	cut int
+	at  [2]int
+}
+
+// owns reports whether the record's path passes through the node.
+func (rec *commitRec) owns(key int64) bool { return rec.pathKeys[key] }
+
+func (r *Router) astar(net int, a, b terminal, soft bool) []pqItem {
+	m := r.cfg.BBoxMarginTracks
+	loX := maxInt(0, minInt(a.ix, b.ix)-m)
+	hiX := minInt(len(r.gx)-1, maxInt(a.ix, b.ix)+m)
+	loY := maxInt(0, minInt(a.iy, b.iy)-m)
+	hiY := minInt(len(r.gy)-1, maxInt(a.iy, b.iy)+m)
+	loL := 2
+	hiL := r.cfg.MaxLayer
+	if a.layer > hiL || b.layer > hiL {
+		hiL = maxInt(a.layer, b.layer)
+	}
+
+	pitch := r.d.Tech.Metal(1).Pitch
+	viaCost := 3 * pitch
+	wrongWay := int64(4)
+	softPenalty := 200 * pitch
+	offGuide := 8 * pitch
+
+	h := func(l, ix, iy int) int64 {
+		d := absI64(r.gx[ix]-r.gx[b.ix]) + absI64(r.gy[iy]-r.gy[b.iy])
+		return d + int64(absInt(l-b.layer))*viaCost
+	}
+
+	start := pqItem{key: r.key(a.layer, a.ix, a.iy), l: a.layer, ix: a.ix, iy: a.iy, g: 0, from: -1}
+	start.f = h(a.layer, a.ix, a.iy)
+	goal := r.key(b.layer, b.ix, b.iy)
+
+	open := pq{start}
+	came := map[int64]pqItem{}
+	gBest := map[int64]int64{start.key: 0}
+	const maxExpand = 300000
+	expanded := 0
+
+	for len(open) > 0 {
+		cur := heap.Pop(&open).(pqItem)
+		if prev, ok := came[cur.key]; ok && prev.g <= cur.g {
+			continue
+		}
+		came[cur.key] = cur
+		if cur.key == goal {
+			var path []pqItem
+			k := cur.key
+			for k >= 0 {
+				it := came[k]
+				path = append(path, it)
+				k = it.from
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		expanded++
+		if expanded > maxExpand {
+			return nil
+		}
+		dir := r.d.Tech.Metal(cur.l).Dir
+		type move struct {
+			l, ix, iy int
+			cost      int64
+			isVia     bool
+		}
+		var moves []move
+		if cur.ix > loX {
+			c := absI64(r.gx[cur.ix] - r.gx[cur.ix-1])
+			if dir != tech.Horizontal {
+				c *= wrongWay
+			}
+			moves = append(moves, move{cur.l, cur.ix - 1, cur.iy, c, false})
+		}
+		if cur.ix < hiX {
+			c := absI64(r.gx[cur.ix+1] - r.gx[cur.ix])
+			if dir != tech.Horizontal {
+				c *= wrongWay
+			}
+			moves = append(moves, move{cur.l, cur.ix + 1, cur.iy, c, false})
+		}
+		if cur.iy > loY {
+			c := absI64(r.gy[cur.iy] - r.gy[cur.iy-1])
+			if dir != tech.Vertical {
+				c *= wrongWay
+			}
+			moves = append(moves, move{cur.l, cur.ix, cur.iy - 1, c, false})
+		}
+		if cur.iy < hiY {
+			c := absI64(r.gy[cur.iy+1] - r.gy[cur.iy])
+			if dir != tech.Vertical {
+				c *= wrongWay
+			}
+			moves = append(moves, move{cur.l, cur.ix, cur.iy + 1, c, false})
+		}
+		if cur.l > loL {
+			moves = append(moves, move{cur.l - 1, cur.ix, cur.iy, viaCost, true})
+		}
+		if cur.l < hiL {
+			moves = append(moves, move{cur.l + 1, cur.ix, cur.iy, viaCost, true})
+		}
+		for _, mv := range moves {
+			// Every layer only uses its own tracks.
+			if !r.layerAllowed(mv.l, mv.ix, mv.iy) {
+				continue
+			}
+			if mv.isVia {
+				// The node must sit on both layers' tracks, the cut site must
+				// respect cut spacing against committed vias, and the via's
+				// enclosures must keep clear of foreign geometry along both
+				// layers' tracks.
+				if !r.layerAllowed(cur.l, mv.ix, mv.iy) {
+					continue
+				}
+				if !r.viaSiteFree(minInt(cur.l, mv.l), mv.ix, mv.iy) {
+					continue
+				}
+				if !r.viaClearance(cur.l, mv.l, mv.ix, mv.iy, net) {
+					continue
+				}
+			}
+			k := r.key(mv.l, mv.ix, mv.iy)
+			cost := mv.cost
+			if owner, used := r.occ[k]; used && owner != int32(net) {
+				if !soft {
+					continue
+				}
+				cost += softPenalty
+			}
+			if r.guideRects != nil && !r.onGuide(net, mv.ix, mv.iy) {
+				cost += offGuide
+			}
+			g := cur.g + cost
+			if prev, ok := gBest[k]; ok && prev <= g {
+				continue
+			}
+			gBest[k] = g
+			heap.Push(&open, pqItem{key: k, l: mv.l, ix: mv.ix, iy: mv.iy, g: g,
+				f: g + h(mv.l, mv.ix, mv.iy), from: cur.key})
+		}
+	}
+	return nil
+}
+
+// viaFor picks the via variant for a layer transition whose bottom enclosure
+// runs along the lower layer's preferred direction (so the enclosure hides
+// inside the wire).
+func (r *Router) viaFor(lo int) *tech.ViaDef {
+	vias := r.d.Tech.ViasAbove(lo)
+	if len(vias) == 0 {
+		return nil
+	}
+	wantX := r.d.Tech.Metal(lo).Dir == tech.Horizontal
+	for _, v := range vias {
+		if (v.BotEnc.Width() >= v.BotEnc.Height()) == wantX {
+			return v
+		}
+	}
+	return vias[0]
+}
+
+// commit claims the path's nodes (with the per-layer blocking radius along
+// the preferred direction), registers via sites and materializes wires and
+// vias into a record that uncommit can undo.
+func (r *Router) commit(net int, path []pqItem) *commitRec {
+	rec := &commitRec{pathKeys: make(map[int64]bool, len(path))}
+	for _, it := range path {
+		if _, used := r.phys[it.key]; !used {
+			r.phys[it.key] = int32(net)
+			rec.physKeys = append(rec.physKeys, it.key)
+		}
+		rec.pathKeys[it.key] = true
+		r.claimRec(net, it.l, it.ix, it.iy, rec)
+	}
+	// Group consecutive same-layer runs into wires.
+	runStart := 0
+	for i := 1; i <= len(path); i++ {
+		if i < len(path) && path[i].l == path[runStart].l {
+			continue
+		}
+		r.emitWire(net, path[runStart:i], rec)
+		if i < len(path) {
+			lo := minInt(path[i-1].l, path[i].l)
+			if v := r.viaFor(lo); v != nil {
+				p := geom.Pt(r.gx[path[i].ix], r.gy[path[i].iy])
+				rec.vias = append(rec.vias, PlacedVia{Def: v, Pos: p, Net: net})
+				site := [2]int{path[i].ix, path[i].iy}
+				if !r.viaOcc[lo][site] {
+					r.viaOcc[lo][site] = true
+					rec.viaSites = append(rec.viaSites, viaSite{lo, site})
+				}
+			}
+		}
+		runStart = i
+	}
+	return rec
+}
+
+// uncommit evicts a committed connection: its occupancy, physical claims,
+// via sites and geometry all disappear, and the connection re-queues.
+func (r *Router) uncommit(c *conn) {
+	rec := c.rec
+	if rec == nil {
+		return
+	}
+	for _, k := range rec.occKeys {
+		delete(r.occ, k)
+	}
+	for _, k := range rec.physKeys {
+		delete(r.phys, k)
+	}
+	for _, vs := range rec.viaSites {
+		delete(r.viaOcc[vs.cut], vs.at)
+	}
+	c.rec = nil
+	c.soft = false
+}
+
+// claimRec occupies a node for net and soft-blocks the preferred-direction
+// neighborhood against other nets, recording every entry it creates.
+func (r *Router) claimRec(net, l, ix, iy int, rec *commitRec) {
+	set := func(k int64) {
+		if _, used := r.occ[k]; !used {
+			r.occ[k] = int32(net)
+			if rec != nil {
+				rec.occKeys = append(rec.occKeys, k)
+			}
+		}
+	}
+	set(r.key(l, ix, iy))
+	rad := r.blockRad[l]
+	if r.d.Tech.Metal(l).Dir == tech.Horizontal {
+		for d := 1; d <= rad; d++ {
+			if ix-d >= 0 {
+				set(r.key(l, ix-d, iy))
+			}
+			if ix+d < len(r.gx) {
+				set(r.key(l, ix+d, iy))
+			}
+		}
+	} else {
+		for d := 1; d <= rad; d++ {
+			if iy-d >= 0 {
+				set(r.key(l, ix, iy-d))
+			}
+			if iy+d < len(r.gy) {
+				set(r.key(l, ix, iy+d))
+			}
+		}
+	}
+}
+
+// emitWire converts a same-layer run of nodes into rectangles (one per
+// straight segment) on the record. Preferred-direction segments use the wire
+// width; wrong-way segments widen to the layer's enclosure height so via
+// enclosures along them stay flush (otherwise every via on a wrong-way jog
+// would re-create the Fig. 3 min-step situation mid-route).
+func (r *Router) emitWire(net int, run []pqItem, rec *commitRec) {
+	if len(run) < 2 {
+		return
+	}
+	layer := run[0].l
+	l := r.d.Tech.Metal(layer)
+	hw := l.Width / 2
+	wrongHw := r.encHalf[layer]
+	if wrongHw < hw {
+		wrongHw = hw
+	}
+	segStart := 0
+	for i := 1; i <= len(run); i++ {
+		if i < len(run) &&
+			((run[i].ix == run[segStart].ix && run[i-1].ix == run[segStart].ix) ||
+				(run[i].iy == run[segStart].iy && run[i-1].iy == run[segStart].iy)) {
+			continue
+		}
+		a, b := run[segStart], run[i-1]
+		if a.ix != b.ix || a.iy != b.iy {
+			x1, y1 := r.gx[a.ix], r.gy[a.iy]
+			x2, y2 := r.gx[b.ix], r.gy[b.iy]
+			horizontal := y1 == y2
+			wh, wv := hw, hw
+			if horizontal && l.Dir == tech.Vertical {
+				wv = wrongHw
+			}
+			if !horizontal && l.Dir == tech.Horizontal {
+				wh = wrongHw
+			}
+			rec.wires = append(rec.wires, Wire{
+				Layer: layer,
+				Rect:  geom.R(minI64(x1, x2)-wh, minI64(y1, y2)-wv, maxI64(x1, x2)+wh, maxI64(y1, y2)+wv),
+				Net:   net,
+			})
+		}
+		segStart = i - 1
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+package router
+
+import (
+	"repro/internal/db"
+	"repro/internal/def"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/pao"
+)
+
+// Check runs the post-route DRC: the design's fixed shapes plus all routed
+// wires and vias enter the engine, pairwise shorts/spacing/cut-spacing run
+// over everything, and each via is re-validated in context (catching the
+// min-step, end-of-line and enclosure problems bad pin accesses cause).
+// Results land in res.Violations and res.AccessViolations (violations whose
+// marker touches a pin-access via's bottom enclosure).
+func Check(a *pao.Analyzer, res *Result) {
+	eng := a.GlobalEngine()
+	for _, w := range res.Wires {
+		eng.AddMetal(w.Layer, w.Rect, w.Net, drc.KindWire, "")
+	}
+	type viaRef struct {
+		bot geom.Rect
+		acc bool
+	}
+	var refs []viaRef
+	for _, v := range res.Vias {
+		eng.AddMetal(v.Def.CutBelow, v.Def.BotRect(v.Pos), v.Net, drc.KindViaEnc, "")
+		eng.AddMetal(v.Def.CutBelow+1, v.Def.TopRect(v.Pos), v.Net, drc.KindViaEnc, "")
+		for _, cut := range v.Def.CutRects(v.Pos) {
+			eng.AddCut(v.Def.CutBelow, cut, v.Net, "")
+		}
+		refs = append(refs, viaRef{v.Def.BotRect(v.Pos), v.Access})
+	}
+
+	var all []drc.Violation
+	all = append(all, eng.CheckAll()...)
+	// Per-net shape checks: the union of each net's wires, stubs and via
+	// enclosures on a layer must respect min step and min area (notches at
+	// stub junctions and short isolated jogs show up here).
+	perNet := make(map[[2]int][]geom.Rect)
+	for _, w := range res.Wires {
+		k := [2]int{w.Net, w.Layer}
+		perNet[k] = append(perNet[k], w.Rect)
+	}
+	for _, v := range res.Vias {
+		perNet[[2]int{v.Net, v.Def.CutBelow}] = append(perNet[[2]int{v.Net, v.Def.CutBelow}], v.Def.BotRect(v.Pos))
+		perNet[[2]int{v.Net, v.Def.CutBelow + 1}] = append(perNet[[2]int{v.Net, v.Def.CutBelow + 1}], v.Def.TopRect(v.Pos))
+	}
+	for k, rects := range perNet {
+		l := a.Design.Tech.Metal(k[1])
+		if l == nil {
+			continue
+		}
+		if k[1] > 1 {
+			// M1 unions include fixed pins (handled by the via checks); the
+			// routed layers check their own geometry.
+			all = append(all, drc.CheckMinStepUnion(l, rects)...)
+			all = append(all, drc.CheckMinAreaUnion(l, rects)...)
+		}
+	}
+	for _, v := range res.Vias {
+		bot := v.Def.BotRect(v.Pos)
+		// Same-net fixed pin shapes joining the min-step union.
+		var sameNetPins []geom.Rect
+		for _, id := range eng.QueryMetal(v.Def.CutBelow, bot.Bloat(1)) {
+			o := eng.Obj(id)
+			if o.Kind == drc.KindPin && o.Net == v.Net {
+				sameNetPins = append(sameNetPins, o.Rect)
+			}
+		}
+		all = append(all, eng.CheckVia(v.Def, v.Pos, v.Net, sameNetPins)...)
+	}
+	all = drc.Dedup(all)
+
+	res.Violations = all
+	margin := a.Design.Tech.Metal(1).Pitch
+	for _, viol := range all {
+		for _, ref := range refs {
+			if ref.acc && viol.Where.Touches(ref.bot.Bloat(margin)) {
+				res.AccessViolations++
+				break
+			}
+		}
+	}
+}
+
+// ExportRouting converts the routed wires and vias into DEF REGULAR WIRING
+// form (centerline segments and via references keyed by net name), ready for
+// def.WriteRouted.
+func ExportRouting(d *db.Design, res *Result) map[string]*def.Routing {
+	out := make(map[string]*def.Routing)
+	get := func(net int) *def.Routing {
+		if net < 1 || net > len(d.Nets) {
+			return nil
+		}
+		name := d.Nets[net-1].Name
+		rt := out[name]
+		if rt == nil {
+			rt = &def.Routing{}
+			out[name] = rt
+		}
+		return rt
+	}
+	for _, w := range res.Wires {
+		rt := get(w.Net)
+		if rt == nil {
+			continue
+		}
+		l := d.Tech.Metal(w.Layer)
+		hw := l.Width / 2
+		c := w.Rect.Center()
+		var seg def.Segment
+		if w.Rect.Width() >= w.Rect.Height() {
+			seg = def.Segment{Layer: w.Layer,
+				From: geom.Pt(w.Rect.XL+hw, c.Y), To: geom.Pt(w.Rect.XH-hw, c.Y)}
+		} else {
+			seg = def.Segment{Layer: w.Layer,
+				From: geom.Pt(c.X, w.Rect.YL+hw), To: geom.Pt(c.X, w.Rect.YH-hw)}
+		}
+		rt.Segments = append(rt.Segments, seg)
+	}
+	for _, v := range res.Vias {
+		if rt := get(v.Net); rt != nil {
+			rt.Vias = append(rt.Vias, def.ViaRef{Name: v.Def.Name, At: v.Pos})
+		}
+	}
+	return out
+}

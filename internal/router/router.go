@@ -1,0 +1,871 @@
+// Package router is the detailed routing substrate for Experiment 3. It is
+// not a contest router: it routes nets over a track grid with A* and a light
+// soft-conflict retry, materializes wires and vias, and counts DRCs with the
+// drc engine. Its purpose is to isolate the variable the paper's Experiment 3
+// studies — pin access strategy — by routing the same design in two modes:
+//
+//   - AccessPAAF: terminals enter the grid through the access points the pin
+//     access framework selected (DRC-validated via, exact coordinate);
+//   - AccessAdHoc: terminals enter at the track crossing nearest the pin
+//     center with the default via, regardless of design rules — the behaviour
+//     the paper attributes to routers without a pin access oracle (Fig. 8's
+//     Dr. CU comparison).
+//
+// Track legality is encoded structurally: every layer only uses its own
+// tracks (masked onto the fine M1/M2 grid), different nets keep a blocking
+// radius along shared tracks (covering via-enclosure overhangs and
+// end-of-line windows), and vias keep a cut-spacing radius from each other.
+// Routed geometry is therefore clean away from the pins, so post-route
+// violations concentrate exactly where the experiment looks: at pin accesses.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/guide"
+	"repro/internal/pao"
+	"repro/internal/tech"
+)
+
+// AccessMode selects how terminals connect to the routing grid.
+type AccessMode uint8
+
+const (
+	AccessPAAF AccessMode = iota
+	AccessAdHoc
+)
+
+func (m AccessMode) String() string {
+	if m == AccessAdHoc {
+		return "adhoc"
+	}
+	return "paaf"
+}
+
+// Config tunes the router.
+type Config struct {
+	Mode AccessMode
+	// MaxLayer bounds the routing layers used (default 6).
+	MaxLayer int
+	// MaxRipupRounds bounds the negotiated rip-up-and-reroute iterations
+	// (default 3).
+	MaxRipupRounds int
+	// BBoxMarginTracks widens each connection's search window (default 16).
+	BBoxMarginTracks int
+	// Access is the pin access result used in AccessPAAF mode.
+	Access *pao.Result
+	// Guides, when set, supplies per-net global-routing guides (keyed by net
+	// name). Nodes outside a net's guide region cost extra during search —
+	// the "initial detailed routing honors guides" behaviour of the
+	// TritonRoute flow the paper integrates into.
+	Guides map[string][]guide.Box
+}
+
+// Wire is a routed metal segment.
+type Wire struct {
+	Layer int
+	Rect  geom.Rect
+	Net   int
+}
+
+// PlacedVia is a routed via instance.
+type PlacedVia struct {
+	Def    *tech.ViaDef
+	Pos    geom.Point
+	Net    int
+	Access bool // true when this via implements a pin access
+}
+
+// Result is the routing outcome.
+type Result struct {
+	Routed     int // completed two-pin connections
+	RoutedSoft int // connections that needed the soft (conflict-tolerant) retry
+	Failed     int // connections with no path even after the soft retry
+	WireLength int64
+	Wires      []Wire
+	Vias       []PlacedVia
+
+	Violations       []drc.Violation
+	AccessViolations int // violations touching a pin-access via
+}
+
+// Router routes one design.
+type Router struct {
+	d   *db.Design
+	cfg Config
+
+	gx, gy []int64 // fine grid coordinates (M2 track x's, M1 track y's)
+	// maskX[l][ix] (vertical layers) / maskY[l][iy] (horizontal layers):
+	// whether the layer owns a track at that fine-grid coordinate.
+	maskX, maskY [][]bool
+	// blockRad[l]: how many fine-grid nodes along the preferred direction a
+	// claimed node excludes for other nets (covers enclosure overhang plus
+	// the larger of spacing and end-of-line clearance).
+	blockRad []int
+	// encHalf[l]: the largest via-enclosure extent along the layer's
+	// preferred direction; wrong-way segments widen to 2*encHalf so via
+	// enclosures sit flush inside them (no Fig. 3-style steps mid-route).
+	encHalf []int64
+	// viaRad[cut]: fine-grid radius two cuts on the same layer must keep.
+	viaRad []int
+
+	occ    map[int64]int32   // node -> owning net (physical or clearance reservation)
+	phys   map[int64]int32   // node -> net with physical geometry there (stubs, vias)
+	viaOcc []map[[2]int]bool // per cut layer: occupied via sites
+	// guideRects[net] is the 2D union of the net's guide boxes (nil: no guide).
+	guideRects map[int][]geom.Rect
+	wires      []Wire
+	vias       []PlacedVia
+}
+
+// New builds a router over the design's track grid.
+func New(d *db.Design, cfg Config) (*Router, error) {
+	if cfg.MaxLayer == 0 {
+		cfg.MaxLayer = 6
+	}
+	if cfg.MaxLayer > d.Tech.NumMetals() {
+		cfg.MaxLayer = d.Tech.NumMetals()
+	}
+	if cfg.BBoxMarginTracks == 0 {
+		cfg.BBoxMarginTracks = 64
+	}
+	r := &Router{d: d, cfg: cfg, occ: make(map[int64]int32), phys: make(map[int64]int32)}
+	for _, tp := range d.Tracks {
+		switch {
+		case tp.Layer == 2 && tp.WireDir == tech.Vertical:
+			for c := tp.Start; c <= tp.Last(); c += tp.Step {
+				r.gx = append(r.gx, c)
+			}
+		case tp.Layer == 1 && tp.WireDir == tech.Horizontal:
+			for c := tp.Start; c <= tp.Last(); c += tp.Step {
+				r.gy = append(r.gy, c)
+			}
+		}
+	}
+	if len(r.gx) == 0 || len(r.gy) == 0 {
+		return nil, fmt.Errorf("router: design lacks M1/M2 track patterns")
+	}
+	sort.Slice(r.gx, func(i, j int) bool { return r.gx[i] < r.gx[j] })
+	sort.Slice(r.gy, func(i, j int) bool { return r.gy[i] < r.gy[j] })
+	r.buildMasks()
+	if cfg.Guides != nil {
+		r.guideRects = make(map[int][]geom.Rect)
+		for idx, net := range d.Nets {
+			for _, b := range cfg.Guides[net.Name] {
+				r.guideRects[idx+1] = append(r.guideRects[idx+1], b.Rect)
+			}
+		}
+	}
+	r.blockFixedShapes()
+	return r, nil
+}
+
+// blockedNet marks grid nodes covered by fixed design geometry on routing
+// layers (macro obstructions, macro pins): no net may route through them.
+const blockedNet = int32(-1)
+
+// blockFixedShapes claims the nodes covered by fixed shapes on layers 2 and
+// above (plus a one-node clearance ring) for the universal blocker.
+func (r *Router) blockFixedShapes() {
+	mark := func(layer int, rect geom.Rect) {
+		if layer < 2 || layer > r.cfg.MaxLayer {
+			return
+		}
+		spacing := r.d.Tech.Metal(layer).Spacing.MaxSpacing()
+		win := rect.Bloat(spacing)
+		x0 := sort.Search(len(r.gx), func(i int) bool { return r.gx[i] >= win.XL })
+		y0 := sort.Search(len(r.gy), func(i int) bool { return r.gy[i] >= win.YL })
+		for ix := x0; ix < len(r.gx) && r.gx[ix] <= win.XH; ix++ {
+			for iy := y0; iy < len(r.gy) && r.gy[iy] <= win.YH; iy++ {
+				k := r.key(layer, ix, iy)
+				r.occ[k] = blockedNet
+				r.phys[k] = blockedNet
+			}
+		}
+	}
+	for _, inst := range r.d.Instances {
+		for _, s := range inst.ObsShapes() {
+			mark(s.Layer, s.Rect)
+		}
+		// Macro pins on routing layers are fixed geometry too; their own nets
+		// reach them through terminal stubs, other nets must keep out.
+		if inst.Master.Class == db.ClassBlock {
+			for _, pin := range inst.Master.Pins {
+				for _, s := range inst.PinShapes(pin) {
+					mark(s.Layer, s.Rect)
+				}
+			}
+		}
+	}
+}
+
+// onGuide reports whether a node lies inside the net's guide region; nets
+// without guides are unconstrained.
+func (r *Router) onGuide(net, ix, iy int) bool {
+	rects, ok := r.guideRects[net]
+	if !ok || len(rects) == 0 {
+		return true
+	}
+	p := geom.Pt(r.gx[ix], r.gy[iy])
+	for _, rc := range rects {
+		if rc.ContainsPt(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildMasks computes per-layer track masks and blocking radii.
+func (r *Router) buildMasks() {
+	nm := r.d.Tech.NumMetals()
+	r.maskX = make([][]bool, nm+1)
+	r.maskY = make([][]bool, nm+1)
+	r.blockRad = make([]int, nm+1)
+	r.encHalf = make([]int64, nm+1)
+	r.viaRad = make([]int, nm+1)
+	gridPitch := r.d.Tech.Metal(1).Pitch
+
+	onPattern := func(tps []db.TrackPattern, c int64) bool {
+		for _, tp := range tps {
+			if tp.IsOnTrack(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for l := 1; l <= nm; l++ {
+		layer := r.d.Tech.Metal(l)
+		pref, _ := r.d.TracksFor(l)
+		if layer.Dir == tech.Vertical {
+			m := make([]bool, len(r.gx))
+			for i, c := range r.gx {
+				m[i] = onPattern(pref, c)
+			}
+			r.maskX[l] = m
+		} else {
+			m := make([]bool, len(r.gy))
+			for i, c := range r.gy {
+				m[i] = onPattern(pref, c)
+			}
+			r.maskY[l] = m
+		}
+		// Blocking radius: enclosure overhang beyond the node plus the larger
+		// of spacing and end-of-line clearance, plus half a wire, in nodes.
+		encHalf := layer.Width / 2
+		for _, v := range r.d.Tech.Vias {
+			var ext int64
+			for _, lr := range []struct {
+				num int
+				rr  geom.Rect
+			}{{v.CutBelow, v.BotEnc}, {v.CutBelow + 1, v.TopEnc}} {
+				if lr.num != l {
+					continue
+				}
+				if layer.Dir == tech.Horizontal {
+					ext = maxI64(ext, maxI64(-lr.rr.XL, lr.rr.XH))
+				} else {
+					ext = maxI64(ext, maxI64(-lr.rr.YL, lr.rr.YH))
+				}
+			}
+			encHalf = maxI64(encHalf, ext)
+		}
+		clear := layer.Spacing.MaxSpacing()
+		if layer.EOL.EOLSpace > clear {
+			clear = layer.EOL.EOLSpace
+		}
+		r.encHalf[l] = encHalf
+		r.blockRad[l] = int((encHalf + clear + layer.Width/2 + gridPitch - 1) / gridPitch)
+	}
+	for k := 1; k < nm; k++ {
+		c := r.d.Tech.Cut(k)
+		r.viaRad[k] = int((c.Width + c.Spacing + gridPitch - 1) / gridPitch)
+	}
+	r.viaOcc = make([]map[[2]int]bool, nm)
+	for k := 1; k < nm; k++ {
+		r.viaOcc[k] = make(map[[2]int]bool)
+	}
+}
+
+// layerAllowed reports whether the fine-grid node sits on one of the layer's
+// own tracks.
+func (r *Router) layerAllowed(l, ix, iy int) bool {
+	if r.d.Tech.Metal(l).Dir == tech.Horizontal {
+		return r.maskY[l][iy]
+	}
+	return r.maskX[l][ix]
+}
+
+// viaClearance reports whether a via's enclosures at (ix,iy) keep the
+// per-layer blocking radius from foreign physical geometry along both
+// layers' preferred directions.
+func (r *Router) viaClearance(l1, l2, ix, iy, net int) bool {
+	for _, l := range [2]int{l1, l2} {
+		rad := r.blockRad[l]
+		horiz := r.d.Tech.Metal(l).Dir == tech.Horizontal
+		for d := 1; d <= rad; d++ {
+			for _, sgn := range [2]int{-1, 1} {
+				nx, ny := ix, iy
+				if horiz {
+					nx += sgn * d
+				} else {
+					ny += sgn * d
+				}
+				if nx < 0 || ny < 0 || nx >= len(r.gx) || ny >= len(r.gy) {
+					continue
+				}
+				if owner, used := r.phys[r.key(l, nx, ny)]; used && owner != int32(net) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// viaSiteFree reports whether a via on cut layer k at (ix,iy) keeps the cut
+// spacing radius from every committed via.
+func (r *Router) viaSiteFree(k, ix, iy int) bool {
+	rad := r.viaRad[k]
+	for dx := -rad; dx <= rad; dx++ {
+		for dy := -rad; dy <= rad; dy++ {
+			if r.viaOcc[k][[2]int{ix + dx, iy + dy}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// node identity: layer * nx * ny + ix * ny + iy, layers 1-based.
+func (r *Router) key(l, ix, iy int) int64 {
+	return (int64(l)*int64(len(r.gx))+int64(ix))*int64(len(r.gy)) + int64(iy)
+}
+
+func snap(coords []int64, v int64) int {
+	i := sort.Search(len(coords), func(i int) bool { return coords[i] >= v })
+	if i == 0 {
+		return 0
+	}
+	if i == len(coords) {
+		return len(coords) - 1
+	}
+	if coords[i]-v < v-coords[i-1] {
+		return i
+	}
+	return i - 1
+}
+
+// snapMasked snaps v to the nearest masked grid index.
+func snapMasked(coords []int64, mask []bool, v int64) int {
+	i := snap(coords, v)
+	if mask == nil || mask[i] {
+		return i
+	}
+	for d := 1; d < len(coords); d++ {
+		if i-d >= 0 && mask[i-d] {
+			return i - d
+		}
+		if i+d < len(coords) && mask[i+d] {
+			return i + d
+		}
+	}
+	return i
+}
+
+// snapIn snaps v to the nearest grid index whose coordinate lies in [lo,hi]
+// when possible.
+func snapIn(coords []int64, v, lo, hi int64) int {
+	i := snap(coords, v)
+	if coords[i] >= lo && coords[i] <= hi {
+		return i
+	}
+	j := sort.Search(len(coords), func(k int) bool { return coords[k] >= lo })
+	if j < len(coords) && coords[j] <= hi {
+		return j
+	}
+	return i
+}
+
+// terminal is a net endpoint on the grid.
+type terminal struct {
+	layer  int // grid entry layer
+	ix, iy int
+	net    int
+	// fixed geometry implementing the pin access (entry via + stubs).
+	via      *PlacedVia
+	stubs    []Wire
+	physical []int64 // nodes the stub geometry actually occupies
+	flanks   []int64 // clearance-only reservations (off-track flanking tracks)
+}
+
+// termFor builds the grid terminal for an instance pin.
+func (r *Router) termFor(inst *db.Instance, pin *db.MPin, net int) terminal {
+	if r.cfg.Mode == AccessPAAF && r.cfg.Access != nil {
+		if ap := r.cfg.Access.AccessPointFor(inst, pin); ap != nil && ap.Primary() != nil {
+			return r.terminalAt(ap.Primary(), ap.Pos, ap.Layer, net)
+		}
+	}
+	// Ad-hoc: nearest track crossing to the pin bbox center, clamped into the
+	// bbox where the grid allows, default via, no validation.
+	var bbox geom.Rect
+	first := true
+	layer := 1
+	for _, s := range inst.PinShapes(pin) {
+		if first {
+			bbox, layer, first = s.Rect, s.Layer, false
+		} else if s.Layer == layer {
+			bbox = bbox.UnionBBox(s.Rect)
+		}
+	}
+	c := bbox.Center()
+	ix := snapIn(r.gx, c.X, bbox.XL, bbox.XH)
+	iy := snapIn(r.gy, c.Y, bbox.YL, bbox.YH)
+	p := geom.Pt(r.gx[ix], r.gy[iy])
+	vias := r.d.Tech.ViasAbove(layer)
+	return r.terminalAt(vias[0], p, layer, net)
+}
+
+// terminalAt drops the access via at p and builds the entry stub connecting
+// it to the grid on the layer above: a preferred-direction stub at the
+// access point's own coordinate, plus a short connector at the grid line
+// when the access point is off-track in the perpendicular axis. The entry
+// node and (for off-track access) its flanking tracks are claimed so other
+// nets keep clear.
+func (r *Router) terminalAt(v *tech.ViaDef, p geom.Point, layer, net int) terminal {
+	up := layer + 1
+	upl := r.d.Tech.Metal(up)
+	hw := upl.Width / 2
+	t := terminal{layer: up, net: net}
+	t.via = &PlacedVia{Def: v, Pos: p, Net: net, Access: true}
+
+	if upl.Dir == tech.Vertical {
+		ix := snapMasked(r.gx, r.maskX[up], p.X)
+		iy0 := snap(r.gy, p.Y)
+		iy := r.freeEntry(up, ix, iy0, false, net)
+		t.ix, t.iy = ix, iy
+		gy := r.gy[iy]
+		if gy != p.Y {
+			t.stubs = append(t.stubs, Wire{up, geom.R(p.X-hw, minI64(p.Y, gy)-hw, p.X+hw, maxI64(p.Y, gy)+hw), net})
+		}
+		offTrack := r.gx[ix] != p.X
+		if offTrack {
+			t.stubs = append(t.stubs, Wire{up, geom.R(minI64(p.X, r.gx[ix])-hw, gy-hw, maxI64(p.X, r.gx[ix])+hw, gy+hw), net})
+		}
+		// The stub physically occupies its span of nodes; off-track access
+		// additionally reserves the flanking tracks for clearance.
+		for ny := minInt(iy0, iy); ny <= maxInt(iy0, iy); ny++ {
+			if ny < 0 || ny >= len(r.gy) {
+				continue
+			}
+			t.physical = append(t.physical, r.key(up, ix, ny))
+			if offTrack {
+				for _, nx := range []int{ix - 1, ix + 1} {
+					if nx >= 0 && nx < len(r.gx) {
+						t.flanks = append(t.flanks, r.key(up, nx, ny))
+					}
+				}
+			}
+		}
+	} else {
+		iy := snapMasked(r.gy, r.maskY[up], p.Y)
+		ix0 := snap(r.gx, p.X)
+		ix := r.freeEntry(up, ix0, iy, true, net)
+		t.ix, t.iy = ix, iy
+		gx := r.gx[ix]
+		if gx != p.X {
+			t.stubs = append(t.stubs, Wire{up, geom.R(minI64(p.X, gx)-hw, p.Y-hw, maxI64(p.X, gx)+hw, p.Y+hw), net})
+		}
+		offTrack := r.gy[iy] != p.Y
+		if offTrack {
+			t.stubs = append(t.stubs, Wire{up, geom.R(gx-hw, minI64(p.Y, r.gy[iy])-hw, gx+hw, maxI64(p.Y, r.gy[iy])+hw), net})
+		}
+		for nx := minInt(ix0, ix); nx <= maxInt(ix0, ix); nx++ {
+			if nx < 0 || nx >= len(r.gx) {
+				continue
+			}
+			t.physical = append(t.physical, r.key(up, nx, iy))
+			if offTrack {
+				for _, ny := range []int{iy - 1, iy + 1} {
+					if ny >= 0 && ny < len(r.gy) {
+						t.flanks = append(t.flanks, r.key(up, nx, ny))
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// freeEntry walks along the entry layer's preferred direction from the
+// snapped index to the first node not already claimed by another net, so two
+// neighboring pins never share an entry node. horiz selects which axis the
+// entry index moves on (true: x).
+func (r *Router) freeEntry(l, ix, iy int, horiz bool, net int) int {
+	limit := 10
+	idx := iy
+	n := len(r.gy)
+	if horiz {
+		idx = ix
+		n = len(r.gx)
+	}
+	keyOf := func(i int) int64 {
+		if horiz {
+			return r.key(l, i, iy)
+		}
+		return r.key(l, ix, i)
+	}
+	// Pass 0: a free node whose continuation (the next node outward) is also
+	// free, so the net can actually escape without brushing a neighbor's
+	// enclosure. Pass 1: any free node. Pass 2: accept foreign reservations
+	// (physical presence wins over a clearance claim) but never foreign
+	// geometry.
+	free := func(i int, allowReserved bool) bool {
+		if i < 0 || i >= n {
+			return false
+		}
+		k := keyOf(i)
+		if owner, used := r.phys[k]; used && owner != int32(net) {
+			return false
+		}
+		if owner, used := r.occ[k]; used && owner != int32(net) {
+			return allowReserved
+		}
+		return true
+	}
+	for pass := 0; pass < 3; pass++ {
+		tryIdx := func(i, dir int) bool {
+			if !free(i, pass == 2) {
+				return false
+			}
+			if pass == 0 && !free(i+dir, false) {
+				return false
+			}
+			return true
+		}
+		if tryIdx(idx, 1) || tryIdx(idx, -1) {
+			return idx
+		}
+		for d := 1; d <= limit; d++ {
+			if tryIdx(idx+d, 1) {
+				return idx + d
+			}
+			if tryIdx(idx-d, -1) {
+				return idx - d
+			}
+		}
+	}
+	if horiz {
+		return ix
+	}
+	return iy
+}
+
+func (r *Router) termForIO(io *db.IOPin, net int) terminal {
+	c := io.Shape.Rect.Center()
+	l := io.Shape.Layer
+	var ix, iy int
+	if r.d.Tech.Metal(l).Dir == tech.Vertical {
+		ix = snapMasked(r.gx, r.maskX[l], c.X)
+		iy = snap(r.gy, c.Y)
+	} else {
+		iy = snapMasked(r.gy, r.maskY[l], c.Y)
+		ix = snap(r.gx, c.X)
+	}
+	return terminal{layer: l, ix: ix, iy: iy, net: net,
+		physical: []int64{r.key(l, ix, iy)}}
+}
+
+// Route routes every net and returns the result (without DRC; call Check).
+// conn is one two-pin connection with its routing state.
+type conn struct {
+	net  int
+	a, b terminal
+	rec  *commitRec // nil while unrouted
+	soft bool
+}
+
+// Route routes every net with negotiated rip-up-and-reroute: connections
+// route conflict-free where possible; a connection that can only complete by
+// crossing other nets' committed paths evicts those victims (they rejoin the
+// queue) for up to MaxRipupRounds rounds. Whatever still needs soft routing
+// after the final round keeps its overlaps, which then surface as shorts in
+// the DRC report. Call Check for the DRC results.
+func (r *Router) Route() *Result {
+	res := &Result{}
+	var conns []conn
+	for netIdx, net := range r.d.Nets {
+		n := netIdx + 1
+		var terms []terminal
+		for _, t := range net.Terms {
+			terms = append(terms, r.termFor(t.Inst, t.Pin, n))
+		}
+		for _, io := range net.IOPins {
+			terms = append(terms, r.termForIO(io, n))
+		}
+		for _, t := range terms {
+			r.placeTerminal(t)
+		}
+		if len(terms) < 2 {
+			continue
+		}
+		for _, pair := range mstPairs(terms) {
+			conns = append(conns, conn{net: n, a: terms[pair[0]], b: terms[pair[1]]})
+		}
+	}
+	// Short connections first: they have the least flexibility.
+	sort.SliceStable(conns, func(i, j int) bool {
+		return connSpan(conns[i].a, conns[i].b) < connSpan(conns[j].a, conns[j].b)
+	})
+
+	rounds := r.cfg.MaxRipupRounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		ripped := false
+		for i := range conns {
+			if conns[i].rec != nil {
+				continue
+			}
+			c := &conns[i]
+			if c.a.layer == c.b.layer && c.a.ix == c.b.ix && c.a.iy == c.b.iy {
+				c.rec = &commitRec{}
+				continue
+			}
+			if path := r.astar(c.net, c.a, c.b, false); path != nil {
+				c.rec = r.commit(c.net, path)
+				continue
+			}
+			if round == rounds-1 {
+				continue // final round: leave for the soft pass below
+			}
+			// Blocked: find a soft path and evict the connections whose
+			// committed geometry it crosses, then take the freed space.
+			path := r.astar(c.net, c.a, c.b, true)
+			if path == nil {
+				continue
+			}
+			for _, it := range path {
+				if owner, used := r.phys[it.key]; used && owner != int32(c.net) {
+					for j := range conns {
+						if conns[j].rec != nil && conns[j].net == int(owner) && conns[j].rec.owns(it.key) {
+							r.uncommit(&conns[j])
+							ripped = true
+						}
+					}
+				}
+			}
+			if hard := r.astar(c.net, c.a, c.b, false); hard != nil {
+				c.rec = r.commit(c.net, hard)
+			}
+		}
+		if !ripped {
+			break
+		}
+	}
+	// Soft pass for whatever remains.
+	for i := range conns {
+		if conns[i].rec != nil {
+			continue
+		}
+		c := &conns[i]
+		if path := r.astar(c.net, c.a, c.b, true); path != nil {
+			c.rec = r.commit(c.net, path)
+			c.soft = true
+		}
+	}
+	for i := range conns {
+		switch {
+		case conns[i].rec == nil:
+			res.Failed++
+		case conns[i].soft:
+			res.Routed++
+			res.RoutedSoft++
+		default:
+			res.Routed++
+		}
+	}
+	// Materialize the committed geometry.
+	for i := range conns {
+		if conns[i].rec == nil {
+			continue
+		}
+		res.Wires = append(res.Wires, conns[i].rec.wires...)
+		res.Vias = append(res.Vias, conns[i].rec.vias...)
+	}
+	res.Wires = append(res.Wires, r.wires...) // terminal stubs
+	res.Vias = append(res.Vias, r.vias...)    // access vias
+	r.patchMinArea(res)
+	for _, w := range res.Wires {
+		res.WireLength += w.Rect.MaxDim()
+	}
+	return res
+}
+
+// patchMinArea appends metal fill to routed components that fall short of
+// their layer's minimum area — the post-route "area fix" every production
+// router performs. Each undersized component's longest rectangle extends
+// symmetrically along the layer's preferred direction; the extension stays
+// within the clearance the component's own blocking radius already reserved,
+// so no new conflicts arise.
+func (r *Router) patchMinArea(res *Result) {
+	type key struct{ net, layer int }
+	groups := make(map[key][]geom.Rect)
+	for _, w := range res.Wires {
+		if w.Layer >= 2 {
+			groups[key{w.Net, w.Layer}] = append(groups[key{w.Net, w.Layer}], w.Rect)
+		}
+	}
+	for _, v := range res.Vias {
+		if v.Def.CutBelow >= 2 {
+			groups[key{v.Net, v.Def.CutBelow}] = append(groups[key{v.Net, v.Def.CutBelow}], v.Def.BotRect(v.Pos))
+		}
+		if v.Def.CutBelow+1 >= 2 {
+			groups[key{v.Net, v.Def.CutBelow + 1}] = append(groups[key{v.Net, v.Def.CutBelow + 1}], v.Def.TopRect(v.Pos))
+		}
+	}
+	for k, rects := range groups {
+		l := r.d.Tech.Metal(k.layer)
+		if l == nil || l.Area <= 0 {
+			continue
+		}
+		for _, poly := range geom.UnionRects(rects) {
+			area := poly.Area()
+			if area >= l.Area {
+				continue
+			}
+			// Longest rect of the component, by preferred-direction extent.
+			bbox := poly.BBox()
+			var spine geom.Rect
+			var best int64 = -1
+			for _, rc := range rects {
+				if !rc.Touches(bbox) {
+					continue
+				}
+				ext := rc.Width()
+				if l.Dir == tech.Vertical {
+					ext = rc.Height()
+				}
+				if ext > best {
+					best, spine = ext, rc
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			width := spine.Height()
+			if l.Dir == tech.Vertical {
+				width = spine.Width()
+			}
+			if width <= 0 {
+				continue
+			}
+			d := (l.Area - area + 2*width - 1) / (2 * width)
+			var patch geom.Rect
+			if l.Dir == tech.Vertical {
+				patch = geom.R(spine.XL, spine.YL-d, spine.XH, spine.YH+d)
+			} else {
+				patch = geom.R(spine.XL-d, spine.YL, spine.XH+d, spine.YH)
+			}
+			res.Wires = append(res.Wires, Wire{Layer: k.layer, Rect: patch, Net: k.net})
+		}
+	}
+}
+
+func connSpan(a, b terminal) int {
+	return absInt(a.ix-b.ix) + absInt(a.iy-b.iy)
+}
+
+// placeTerminal materializes a terminal's fixed geometry and reserves its
+// entry nodes and via site.
+func (r *Router) placeTerminal(t terminal) {
+	if t.via != nil {
+		r.vias = append(r.vias, *t.via)
+		r.wires = append(r.wires, t.stubs...)
+		k := t.via.Def.CutBelow
+		r.viaOcc[k][[2]int{snap(r.gx, t.via.Pos.X), snap(r.gy, t.via.Pos.Y)}] = true
+	}
+	nxny := int64(len(r.gx)) * int64(len(r.gy))
+	decode := func(k int64) (int, int, int) {
+		l := int(k / nxny)
+		rest := k % nxny
+		return l, int(rest / int64(len(r.gy))), int(rest % int64(len(r.gy)))
+	}
+	for _, k := range t.physical {
+		// Physical geometry overrides clearance reservations by other nets.
+		r.phys[k] = int32(t.net)
+		r.occ[k] = int32(t.net)
+		l, ix, iy := decode(k)
+		r.claimRec(t.net, l, ix, iy, nil)
+	}
+	for _, k := range t.flanks {
+		l, ix, iy := decode(k)
+		r.claimRec(t.net, l, ix, iy, nil)
+	}
+}
+
+// mstPairs returns index pairs of a Manhattan-distance MST over terminals.
+func mstPairs(terms []terminal) [][2]int {
+	n := len(terms)
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	dist := make([]int, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		dist[i] = connSpan(terms[0], terms[i])
+		from[i] = 0
+	}
+	var out [][2]int
+	for len(out) < n-1 {
+		best, bd := -1, 1<<30
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inTree[best] = true
+		out = append(out, [2]int{from[best], best})
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := connSpan(terms[best], terms[i]); d < dist[i] {
+					dist[i], from[i] = d, best
+				}
+			}
+		}
+	}
+	return out
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,323 @@
+package router
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/def"
+	"repro/internal/guide"
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+// routeScaled routes a scaled pao_test5 in the given mode and returns the
+// checked result.
+func routeScaled(t *testing.T, mode AccessMode, frac float64) (*Result, *pao.Analyzer) {
+	t.Helper()
+	spec := suite.Testcases[4].Scale(frac)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	cfg := Config{Mode: mode}
+	if mode == AccessPAAF {
+		cfg.Access = a.Run()
+	}
+	r, err := New(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	Check(a, res)
+	return res, a
+}
+
+func TestRoutePAAFSmall(t *testing.T) {
+	res, _ := routeScaled(t, AccessPAAF, 0.002)
+	if res.Routed == 0 {
+		t.Fatal("nothing routed")
+	}
+	if res.Failed > res.Routed/5 {
+		t.Errorf("too many failed connections: %d failed, %d routed", res.Failed, res.Routed)
+	}
+	if len(res.Wires) == 0 || len(res.Vias) == 0 {
+		t.Fatal("no geometry emitted")
+	}
+	if res.WireLength == 0 {
+		t.Error("zero wirelength")
+	}
+}
+
+// TestExperiment3Shape is the Experiment 3 headline: ad-hoc pin access leaves
+// far more DRCs than PAAF access on the same router and design (the paper
+// reports 755 vs 2 on the full test5).
+func TestExperiment3Shape(t *testing.T) {
+	adhoc, _ := routeScaled(t, AccessAdHoc, 0.002)
+	paaf, _ := routeScaled(t, AccessPAAF, 0.002)
+
+	t.Logf("adhoc: %d violations (%d access), routed %d/%d",
+		len(adhoc.Violations), adhoc.AccessViolations, adhoc.Routed, adhoc.Routed+adhoc.Failed)
+	t.Logf("paaf : %d violations (%d access), routed %d/%d",
+		len(paaf.Violations), paaf.AccessViolations, paaf.Routed, paaf.Routed+paaf.Failed)
+
+	if adhoc.AccessViolations == 0 {
+		t.Error("ad-hoc access produced no access DRCs; the mode contrast is lost")
+	}
+	if paaf.AccessViolations*5 > adhoc.AccessViolations {
+		t.Errorf("PAAF access DRCs (%d) not clearly below ad-hoc (%d)",
+			paaf.AccessViolations, adhoc.AccessViolations)
+	}
+	if len(paaf.Violations) >= len(adhoc.Violations) {
+		t.Errorf("total DRCs: paaf %d >= adhoc %d", len(paaf.Violations), len(adhoc.Violations))
+	}
+}
+
+func TestSnap(t *testing.T) {
+	coords := []int64{70, 210, 350}
+	cases := []struct {
+		v    int64
+		want int
+	}{{0, 0}, {70, 0}, {139, 0}, {141, 1}, {1000, 2}, {281, 2}, {280, 1}}
+	for _, c := range cases {
+		if got := snap(coords, c.v); got != c.want {
+			t.Errorf("snap(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := snapIn(coords, 1000, 0, 360); got != 2 {
+		t.Errorf("snapIn high = %d", got)
+	}
+	if got := snapIn(coords, 0, 200, 360); coords[got] < 200 || coords[got] > 360 {
+		t.Errorf("snapIn must clamp into range, got index %d", got)
+	}
+}
+
+func TestMSTPairs(t *testing.T) {
+	terms := []terminal{
+		{layer: 2, ix: 0, iy: 0},
+		{layer: 2, ix: 10, iy: 0},
+		{layer: 2, ix: 0, iy: 10},
+		{layer: 2, ix: 10, iy: 10},
+	}
+	pairs := mstPairs(terms)
+	if len(pairs) != 3 {
+		t.Fatalf("MST edges = %d, want 3", len(pairs))
+	}
+	// Connectivity: union-find over the pairs.
+	parent := []int{0, 1, 2, 3}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, p := range pairs {
+		parent[find(p[0])] = find(p[1])
+	}
+	root := find(0)
+	for i := 1; i < 4; i++ {
+		if find(i) != root {
+			t.Fatal("MST does not connect all terminals")
+		}
+	}
+	if mstPairs(terms[:1]) != nil {
+		t.Error("single terminal must yield no pairs")
+	}
+}
+
+func TestRouterDeterministic(t *testing.T) {
+	a, _ := routeScaled(t, AccessPAAF, 0.001)
+	b, _ := routeScaled(t, AccessPAAF, 0.001)
+	if a.Routed != b.Routed || a.WireLength != b.WireLength || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("nondeterministic routing: %+v vs %+v", a.Routed, b.Routed)
+	}
+}
+
+func TestExportRoutingRoundTrip(t *testing.T) {
+	spec := suite.Testcases[4].Scale(0.001)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	r, err := New(d, Config{Mode: AccessPAAF, Access: a.Run()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	routing := ExportRouting(d, res)
+	if len(routing) == 0 {
+		t.Fatal("no routing exported")
+	}
+	// Segment counts match the wires per net.
+	perNet := map[string]int{}
+	for _, w := range res.Wires {
+		perNet[d.Nets[w.Net-1].Name]++
+	}
+	for name, rt := range routing {
+		if len(rt.Segments) != perNet[name] {
+			t.Fatalf("net %s: %d segments != %d wires", name, len(rt.Segments), perNet[name])
+		}
+		for _, s := range rt.Segments {
+			if s.From.X != s.To.X && s.From.Y != s.To.Y {
+				t.Fatalf("net %s: diagonal segment %+v", name, s)
+			}
+		}
+	}
+	// Round trip through DEF.
+	var buf bytes.Buffer
+	if err := def.WriteRouted(&buf, d, routing); err != nil {
+		t.Fatal(err)
+	}
+	got, gotRouting, err := def.ParseRouted(bytes.NewReader(buf.Bytes()), d.Tech, d.Masters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nets) != len(d.Nets) {
+		t.Fatalf("nets %d != %d", len(got.Nets), len(d.Nets))
+	}
+	totalSegs := func(m map[string]*def.Routing) (n int) {
+		for _, rt := range m {
+			n += len(rt.Segments) + len(rt.Vias)
+		}
+		return
+	}
+	if totalSegs(gotRouting) != totalSegs(routing) {
+		t.Fatalf("routing elements %d != %d after round trip", totalSegs(gotRouting), totalSegs(routing))
+	}
+}
+
+// TestGuidedRouting: routing with global-router guides completes with quality
+// comparable to unguided routing (the TritonRoute flow consumes guides).
+func TestGuidedRouting(t *testing.T) {
+	spec := suite.Testcases[4].Scale(0.002)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	access := a.Run()
+
+	gr := guide.New(d, guide.Config{})
+	guides := gr.Route()
+	byNet := make(map[string][]guide.Box, len(guides))
+	for _, g := range guides {
+		byNet[g.Net] = g.Boxes
+	}
+
+	r, err := New(d, Config{Mode: AccessPAAF, Access: access, Guides: byNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	Check(a, res)
+	if res.Routed == 0 {
+		t.Fatal("nothing routed with guides")
+	}
+	if res.Failed > res.Routed/10 {
+		t.Errorf("guided routing failed %d of %d", res.Failed, res.Routed+res.Failed)
+	}
+
+	// Guides must not blow up the DRC count relative to unguided.
+	d2, _ := suite.Generate(spec)
+	a2 := pao.NewAnalyzer(d2, pao.DefaultConfig())
+	r2, err := New(d2, Config{Mode: AccessPAAF, Access: a2.Run()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := r2.Route()
+	Check(a2, res2)
+	t.Logf("guided: %d DRCs, WL %d; unguided: %d DRCs, WL %d",
+		len(res.Violations), res.WireLength, len(res2.Violations), res2.WireLength)
+	if len(res.Violations) > 3*len(res2.Violations)+20 {
+		t.Errorf("guided DRCs %d far above unguided %d", len(res.Violations), len(res2.Violations))
+	}
+}
+
+// TestRouteWithMacrosAndIO: a testcase with macros (blocked regions) and IO
+// pads (grid terminals) routes cleanly through the blocked-shape and
+// IO-terminal paths.
+func TestRouteWithMacrosAndIO(t *testing.T) {
+	spec := suite.Testcases[6] // test7: 16 macros
+	spec = spec.Scale(0.001)
+	spec.Macros = 2 // Scale zeroes macros; put a couple back
+	spec.IOPins = 12
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumMacros() == 0 {
+		t.Skip("macros did not fit at this scale")
+	}
+	hasIONet := false
+	for _, n := range d.Nets {
+		if len(n.IOPins) > 0 {
+			hasIONet = true
+		}
+	}
+	if !hasIONet {
+		t.Fatal("no IO-driven nets generated")
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	r, err := New(d, Config{Mode: AccessPAAF, Access: a.Run()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Route()
+	Check(a, res)
+	if res.Routed == 0 {
+		t.Fatal("nothing routed")
+	}
+	// No routed wire may overlap a macro obstruction on its own layer.
+	for _, inst := range d.Instances {
+		for _, s := range inst.ObsShapes() {
+			if s.Layer < 2 {
+				continue
+			}
+			for _, w := range res.Wires {
+				if w.Layer == s.Layer && w.Rect.Overlaps(s.Rect) {
+					t.Fatalf("wire %v crosses macro obstruction %v on M%d", w.Rect, s.Rect, s.Layer)
+				}
+			}
+		}
+	}
+	if AccessAdHoc.String() != "adhoc" || AccessPAAF.String() != "paaf" {
+		t.Error("AccessMode.String broken")
+	}
+}
+
+// TestRipupReducesSoftRouting: with tight search windows (forced congestion)
+// the negotiated rip-up rounds must not leave more conflict-tolerant (soft)
+// routes than a single round does.
+func TestRipupReducesSoftRouting(t *testing.T) {
+	spec := suite.Testcases[4].Scale(0.004)
+	run := func(rounds int) *Result {
+		d, err := suite.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := pao.NewAnalyzer(d, pao.DefaultConfig())
+		r, err := New(d, Config{
+			Mode: AccessPAAF, Access: a.Run(),
+			BBoxMarginTracks: 3, MaxLayer: 3, MaxRipupRounds: rounds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Route()
+	}
+	one := run(1)
+	three := run(3)
+	t.Logf("rounds=1: routed %d soft %d failed %d; rounds=3: routed %d soft %d failed %d",
+		one.Routed, one.RoutedSoft, one.Failed, three.Routed, three.RoutedSoft, three.Failed)
+	if three.RoutedSoft > one.RoutedSoft {
+		t.Errorf("rip-up increased soft routes: %d > %d", three.RoutedSoft, one.RoutedSoft)
+	}
+	if one.RoutedSoft == 0 && one.Failed == 0 {
+		t.Skip("no congestion even at the tight window; comparison vacuous")
+	}
+	if three.Routed+three.Failed != one.Routed+one.Failed {
+		t.Errorf("connection count changed: %d vs %d", three.Routed+three.Failed, one.Routed+one.Failed)
+	}
+}

@@ -1,0 +1,407 @@
+// Package stdcell generates the synthetic standard-cell libraries the
+// benchmark suite uses in place of the proprietary ISPD-2018 libraries.
+//
+// All geometry is expressed in two technology-relative units so one spec set
+// scales across the 45/32/14 nm nodes:
+//
+//   - hp (half pitch) for x coordinates — by construction hp equals the M1
+//     wire width and the M1 min spacing in every synthetic node;
+//   - rows for y coordinates — row r's track runs at pitch/2 + r*pitch; cells
+//     are 10 tracks tall.
+//
+// Pin bars come in two styles (both horizontal, matching the M1 preferred
+// direction):
+//
+//   - centered: one wire-width bar centered on its row track — on-track via
+//     access works when the enclosure aligns (Fig. 3(c) geometry);
+//   - between: a pitch-tall bar spanning from track r to track r+1 — no
+//     on-track y is enclosure-clean, so half-track and enclosure-boundary
+//     coordinates must kick in.
+//
+// The specs deliberately place pins of different nets on adjacent rows with
+// overlapping x ranges (via-to-via top-enclosure conflicts for the Step-2 DP)
+// and near cell edges (end-of-line conflicts across cell boundaries for BCA
+// and Step 3).
+package stdcell
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// barStyle selects the pin bar geometry.
+type barStyle uint8
+
+const (
+	centered barStyle = iota // one-width bar centered on the row track
+	between                  // pitch-tall bar spanning rows r..r+1
+)
+
+// pinSpec is one pin of a cell spec, in abstract units.
+type pinSpec struct {
+	name  string
+	dir   db.PinDir
+	row   int // row of the bar (between style spans row..row+1)
+	x0    int // in hp units
+	x1    int
+	style barStyle
+}
+
+// cellSpec describes one base cell.
+type cellSpec struct {
+	name  string
+	sites int
+	pins  []pinSpec
+	obs   bool // add an obstruction bar on row 8
+}
+
+// baseSpecs is the cell zoo. Sites are one M1 pitch (2 hp) wide in every
+// synthetic node, so x ranges must satisfy x1 <= 2*sites - 1 (one hp margin
+// at each cell edge).
+var baseSpecs = []cellSpec{
+	{name: "FILL1", sites: 1},
+	{name: "FILL2", sites: 2},
+	{name: "INVX1", sites: 5, pins: []pinSpec{
+		{"A", db.DirInput, 3, 1, 4, centered},
+		{"Y", db.DirOutput, 6, 4, 7, centered},
+	}},
+	{name: "INVX2", sites: 5, pins: []pinSpec{
+		{"A", db.DirInput, 3, 1, 7, between},
+		{"Y", db.DirOutput, 6, 4, 7, centered},
+	}, obs: true},
+	{name: "BUFX1", sites: 5, pins: []pinSpec{
+		{"A", db.DirInput, 2, 1, 4, centered},
+		{"Y", db.DirOutput, 7, 4, 7, centered},
+	}},
+	{name: "NAND2X1", sites: 6, pins: []pinSpec{
+		{"A", db.DirInput, 3, 1, 4, centered},
+		{"B", db.DirInput, 4, 3, 6, centered},
+		{"Y", db.DirOutput, 6, 6, 9, centered},
+	}},
+	{name: "NOR2X1", sites: 6, pins: []pinSpec{
+		{"A", db.DirInput, 3, 1, 7, between},
+		{"B", db.DirInput, 5, 1, 4, centered},
+		{"Y", db.DirOutput, 6, 6, 9, centered},
+	}, obs: true},
+	{name: "AND2X1", sites: 6, pins: []pinSpec{
+		{"A", db.DirInput, 2, 1, 4, centered},
+		{"B", db.DirInput, 3, 3, 6, centered},
+		{"Y", db.DirOutput, 5, 6, 9, centered},
+	}},
+	{name: "OR2X1", sites: 6, pins: []pinSpec{
+		{"A", db.DirInput, 5, 1, 4, centered},
+		{"B", db.DirInput, 4, 3, 6, centered},
+		{"Y", db.DirOutput, 2, 6, 9, centered},
+	}},
+	{name: "AOI21X1", sites: 7, pins: []pinSpec{
+		{"A", db.DirInput, 2, 1, 4, centered},
+		{"B", db.DirInput, 3, 2, 5, centered},
+		{"C1", db.DirInput, 5, 5, 8, centered},
+		{"Y", db.DirOutput, 6, 9, 12, centered},
+	}, obs: true},
+	{name: "OAI21X1", sites: 7, pins: []pinSpec{
+		{"A", db.DirInput, 6, 1, 4, centered},
+		{"B", db.DirInput, 5, 2, 5, centered},
+		{"C1", db.DirInput, 3, 5, 8, centered},
+		{"Y", db.DirOutput, 2, 9, 12, centered},
+	}},
+	{name: "MUX2X1", sites: 9, pins: []pinSpec{
+		{"A", db.DirInput, 2, 1, 4, centered},
+		{"B", db.DirInput, 3, 1, 4, centered},
+		{"S", db.DirInput, 5, 9, 12, centered},
+		{"Y", db.DirOutput, 6, 12, 15, centered},
+	}},
+	{name: "DFFX1", sites: 11, pins: []pinSpec{
+		{"D", db.DirInput, 2, 1, 4, centered},
+		{"CK", db.DirInput, 3, 2, 5, centered},
+		{"QN", db.DirOutput, 5, 16, 19, centered},
+		{"Q", db.DirOutput, 6, 16, 19, centered},
+	}, obs: true},
+}
+
+// Options tunes library generation.
+type Options struct {
+	// Variants emits this many geometric variants per base cell (suffixes
+	// _V1.._Vn shift pin rows and x positions deterministically), growing the
+	// master count the way a real library's drive-strength spread does.
+	// 0 means base cells only.
+	Variants int
+	// MisalignY shifts every pin bar up by pitch/4, destroying on-track via
+	// alignment — the commercial-14nm-library situation of Fig. 9 where
+	// off-track access must be enabled automatically.
+	MisalignY bool
+	// LShapes adds cells with multi-rectangle (L/T-shaped) pins, exercising
+	// the maximal-rectangle decomposition path of access point generation.
+	// Off by default so the benchmark suite stays stable.
+	LShapes bool
+}
+
+// Library is a generated cell library.
+type Library struct {
+	Tech    *tech.Technology
+	Masters []*db.Master // all masters, fills included, deterministic order
+	Core    []*db.Master // signal cells (placeable, with pins)
+	Fills   []*db.Master
+}
+
+// Generate builds the library for a technology.
+func Generate(t *tech.Technology, opts Options) *Library {
+	lib := &Library{Tech: t}
+	for _, spec := range baseSpecs {
+		for v := 0; v <= opts.Variants; v++ {
+			m := buildCell(t, spec, v, opts.MisalignY)
+			if m == nil {
+				continue
+			}
+			lib.Masters = append(lib.Masters, m)
+			if len(m.SignalPins()) > 0 {
+				lib.Core = append(lib.Core, m)
+			} else {
+				lib.Fills = append(lib.Fills, m)
+			}
+			if len(spec.pins) == 0 {
+				break // fills need no variants
+			}
+		}
+	}
+	if opts.LShapes {
+		m := lShapeCell(t, opts.MisalignY)
+		lib.Masters = append(lib.Masters, m)
+		lib.Core = append(lib.Core, m)
+	}
+	return lib
+}
+
+// lShapeCell builds a cell whose output pin is an L (a horizontal bar on one
+// row plus a vertical connector up to the next row) — the polygon-pin case
+// Section II-C's shape-center discussion covers via maximal rectangles.
+func lShapeCell(t *tech.Technology, misalign bool) *db.Master {
+	hp := t.Metal(1).Width
+	pitch := t.Metal(1).Pitch
+	w := t.Metal(1).Width
+	const sites = 7
+	width := int64(sites) * t.SiteWidth
+	m := &db.Master{Name: "LPINX1", Class: db.ClassCore, Size: geom.Pt(width, t.SiteHeight)}
+	track := func(r int) int64 { return pitch/2 + int64(r)*pitch }
+	yOff := int64(0)
+	if misalign {
+		yOff = pitch / 4
+	}
+	t3, t5 := track(3)+yOff, track(5)+yOff
+	m.Pins = append(m.Pins,
+		&db.MPin{Name: "A", Dir: db.DirInput, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(hp, t3-w/2, 4*hp, t3+w/2)}}},
+		// Y: horizontal bar on row 5 plus a vertical drop to row 3 height —
+		// two overlapping maximal rectangles.
+		&db.MPin{Name: "Y", Dir: db.DirOutput, Use: db.UseSignal,
+			Shapes: []db.Shape{
+				{Layer: 1, Rect: geom.R(7*hp, t5-w/2, 12*hp, t5+w/2)},
+				{Layer: 1, Rect: geom.R(11*hp, t3-w/2, 12*hp, t5+w/2)},
+			}},
+		&db.MPin{Name: "VSS", Dir: db.DirInout, Use: db.UseGround,
+			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, 0, width, w)}}},
+		&db.MPin{Name: "VDD", Dir: db.DirInout, Use: db.UsePower,
+			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, t.SiteHeight-w, width, t.SiteHeight)}}},
+	)
+	if !CellClean(t, m) {
+		panic("stdcell: lShapeCell produced illegal geometry")
+	}
+	return m
+}
+
+// buildCell instantiates a spec at variant v. Variants shift pin rows by
+// (v mod 3) - 1 within [2,7] and x positions by v mod 2 hp where the cell
+// width allows, producing distinct but equally legal geometry.
+func buildCell(t *tech.Technology, spec cellSpec, v int, misalign bool) *db.Master {
+	hp := t.Metal(1).Width // == half pitch in every synthetic node
+	pitch := t.Metal(1).Pitch
+	w := t.Metal(1).Width
+	name := spec.name
+	if v > 0 {
+		name = fmt.Sprintf("%s_V%d", spec.name, v)
+	}
+	width := int64(spec.sites) * t.SiteWidth
+	m := &db.Master{Name: name, Class: db.ClassCore, Size: geom.Pt(width, t.SiteHeight)}
+
+	maxHp := width/hp - 1 // rightmost legal bar end, in hp
+	rowShift, xShift := 0, int64(0)
+	if v > 0 {
+		rowShift = v%3 - 1
+		xShift = int64(v % 2)
+	}
+
+	track := func(r int) int64 { return pitch/2 + int64(r)*pitch }
+	yOff := int64(0)
+	if misalign {
+		yOff = pitch / 4
+	}
+
+	for _, ps := range spec.pins {
+		row := ps.row + rowShift
+		if row < 2 {
+			row = 2
+		}
+		maxRow := 7
+		if ps.style == between {
+			maxRow = 6
+		}
+		if row > maxRow {
+			row = maxRow
+		}
+		x0 := int64(ps.x0)*hp + xShift*hp
+		x1 := int64(ps.x1)*hp + xShift*hp
+		if x1 > maxHp*hp {
+			d := x1 - maxHp*hp
+			x0 -= d
+			x1 -= d
+		}
+		var r geom.Rect
+		tc := track(row) + yOff
+		if ps.style == centered {
+			r = geom.R(x0, tc-w/2, x1, tc+w/2)
+		} else {
+			r = geom.R(x0, tc, x1, tc+pitch)
+		}
+		m.Pins = append(m.Pins, &db.MPin{
+			Name: ps.name, Dir: ps.dir, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 1, Rect: r}},
+		})
+	}
+	// Power rails: full-width M1 bars at the cell bottom (VSS) and top (VDD).
+	m.Pins = append(m.Pins,
+		&db.MPin{Name: "VSS", Dir: db.DirInout, Use: db.UseGround,
+			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, 0, width, w)}}},
+		&db.MPin{Name: "VDD", Dir: db.DirInout, Use: db.UsePower,
+			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, t.SiteHeight-w, width, t.SiteHeight)}}},
+	)
+	if spec.obs && maxHp >= 4 {
+		tc := track(8)
+		m.Obs = append(m.Obs, db.Shape{Layer: 1,
+			Rect: geom.R(hp, tc-w/2, (maxHp-1)*hp, tc+w/2)})
+	}
+	if !CellClean(t, m) {
+		return nil // variant shifting produced illegal geometry; skip it
+	}
+	return m
+}
+
+// CellClean verifies a master's fixed geometry is legal in isolation: no
+// shorts, spacing or end-of-line violations between shapes of different pins
+// (or pins vs obstructions). Power/ground shapes are blockage-class and
+// exempt against each other.
+func CellClean(t *tech.Technology, m *db.Master) bool {
+	eng := drc.NewEngine(t)
+	net := 1
+	type owned struct {
+		layer int
+		r     geom.Rect
+		net   int
+	}
+	var shapes []owned
+	for _, p := range m.Pins {
+		n := drc.NoNet
+		if p.Use == db.UseSignal || p.Use == db.UseClock {
+			n = net
+			net++
+		}
+		for _, s := range p.Shapes {
+			shapes = append(shapes, owned{s.Layer, s.Rect, n})
+		}
+	}
+	for _, s := range m.Obs {
+		shapes = append(shapes, owned{s.Layer, s.Rect, drc.NoNet})
+	}
+	for _, s := range shapes {
+		eng.AddMetal(s.layer, s.r, s.net, drc.KindPin, "")
+	}
+	for _, s := range shapes {
+		// Self-comparison is excluded by the same-net exemption (each signal
+		// pin has its own net id and NoNet never conflicts with NoNet).
+		if len(eng.CheckMetalRect(s.layer, s.r, s.net)) > 0 {
+			return false
+		}
+		if len(eng.CheckEOLRect(s.layer, s.r, s.net)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MultiHeight builds a double-height core cell — the paper's future-work
+// item (i). The cell spans two placement rows (twenty tracks) with power
+// rails at the bottom, middle and top (VSS-VDD-VSS, the standard
+// double-height rail sharing) and pins in both halves. Pin access analysis
+// needs no special casing: unique-instance extraction, Steps 1-3 and the
+// failed-pin accounting are all height-agnostic.
+func MultiHeight(t *tech.Technology, name string, sites int) *db.Master {
+	hp := t.Metal(1).Width
+	pitch := t.Metal(1).Pitch
+	w := t.Metal(1).Width
+	width := int64(sites) * t.SiteWidth
+	h := 2 * t.SiteHeight
+	track := func(r int) int64 { return pitch/2 + int64(r)*pitch }
+	maxHp := width/hp - 1
+
+	m := &db.Master{Name: name, Class: db.ClassCore, Size: geom.Pt(width, h)}
+	bar := func(row int, x0, x1 int64) geom.Rect {
+		tc := track(row)
+		return geom.R(x0*hp, tc-w/2, x1*hp, tc+w/2)
+	}
+	m.Pins = append(m.Pins,
+		&db.MPin{Name: "D", Dir: db.DirInput, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 1, Rect: bar(3, 1, 4)}}},
+		&db.MPin{Name: "CK", Dir: db.DirInput, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 1, Rect: bar(6, 2, 5)}}},
+		&db.MPin{Name: "Q", Dir: db.DirOutput, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 1, Rect: bar(13, maxHp-4, maxHp-1)}}},
+		&db.MPin{Name: "QN", Dir: db.DirOutput, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 1, Rect: bar(16, maxHp-4, maxHp-1)}}},
+		&db.MPin{Name: "VSS", Dir: db.DirInout, Use: db.UseGround,
+			Shapes: []db.Shape{
+				{Layer: 1, Rect: geom.R(0, 0, width, w)},
+				{Layer: 1, Rect: geom.R(0, h-w, width, h)},
+			}},
+		&db.MPin{Name: "VDD", Dir: db.DirInout, Use: db.UsePower,
+			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, t.SiteHeight-w/2, width, t.SiteHeight+w/2)}}},
+	)
+	if !CellClean(t, m) {
+		panic("stdcell: MultiHeight produced illegal geometry")
+	}
+	return m
+}
+
+// Macro builds a BLOCK-class master (a memory-like hard macro) of the given
+// size in sites/rows, with nPins horizontal M3 pin bars along its left edge
+// and an M1/M2 obstruction covering the block area.
+func Macro(t *tech.Technology, name string, sites, rows, nPins int) *db.Master {
+	w := int64(sites) * t.SiteWidth
+	h := int64(rows) * t.SiteHeight
+	m := &db.Master{Name: name, Class: db.ClassBlock, Size: geom.Pt(w, h)}
+	m3 := t.Metal(3)
+	pitch3 := m3.Pitch
+	// Pin bars are as tall as the V34 cut so an up-via enclosure can sit
+	// flush on the bar (a minimum-width M3 bar could never take a clean via
+	// to the wider M4), and they center on M3 tracks (macros place on row
+	// grid, so the local track phase is pitch3/2).
+	barH := t.Cut(3).Width
+	for i := 0; i < nPins; i++ {
+		tc := pitch3/2 + int64(2*i+4)*pitch3
+		if tc+barH/2+pitch3 > h {
+			break
+		}
+		m.Pins = append(m.Pins, &db.MPin{
+			Name: fmt.Sprintf("D%d", i), Dir: db.DirInput, Use: db.UseSignal,
+			Shapes: []db.Shape{{Layer: 3, Rect: geom.R(pitch3, tc-barH/2, 6*pitch3, tc+barH/2)}},
+		})
+	}
+	inner := geom.R(8*pitch3, 0, w, h)
+	m.Obs = append(m.Obs,
+		db.Shape{Layer: 1, Rect: inner},
+		db.Shape{Layer: 2, Rect: inner},
+	)
+	return m
+}

@@ -1,0 +1,171 @@
+package stdcell
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/tech"
+)
+
+func TestGenerateBase(t *testing.T) {
+	for _, nm := range []int{45, 32, 14} {
+		tt, _ := tech.ByNode(nm)
+		lib := Generate(tt, Options{})
+		if len(lib.Masters) < 10 {
+			t.Fatalf("node %d: only %d masters", nm, len(lib.Masters))
+		}
+		if len(lib.Fills) != 2 {
+			t.Errorf("node %d: fills = %d, want 2", nm, len(lib.Fills))
+		}
+		for _, m := range lib.Masters {
+			if m.Size.X%tt.SiteWidth != 0 {
+				t.Errorf("node %d: %s width %d not a site multiple", nm, m.Name, m.Size.X)
+			}
+			if m.Size.Y != tt.SiteHeight {
+				t.Errorf("node %d: %s height %d != site height", nm, m.Name, m.Size.Y)
+			}
+			if !CellClean(tt, m) {
+				t.Errorf("node %d: %s has base DRC violations", nm, m.Name)
+			}
+			// Power rails present and full width.
+			vdd, vss := m.PinByName("VDD"), m.PinByName("VSS")
+			if len(m.SignalPins()) > 0 && (vdd == nil || vss == nil) {
+				t.Errorf("node %d: %s missing rails", nm, m.Name)
+				continue
+			}
+			if vdd != nil && vdd.Shapes[0].Rect.Width() != m.Size.X {
+				t.Errorf("node %d: %s VDD rail not full width", nm, m.Name)
+			}
+			// All signal shapes stay one hp inside the cell and off the rails.
+			hp := tt.Metal(1).Width
+			for _, p := range m.SignalPins() {
+				for _, s := range p.Shapes {
+					if s.Rect.XL < hp || s.Rect.XH > m.Size.X-hp {
+						t.Errorf("%s/%s shape %v leaves x margin", m.Name, p.Name, s.Rect)
+					}
+					if s.Rect.YL < 2*hp || s.Rect.YH > m.Size.Y-2*hp {
+						t.Errorf("%s/%s shape %v too close to rails", m.Name, p.Name, s.Rect)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateVariants(t *testing.T) {
+	tt := tech.N45()
+	lib := Generate(tt, Options{Variants: 8})
+	base := Generate(tt, Options{})
+	if len(lib.Core) <= len(base.Core) {
+		t.Fatalf("variants did not grow the library: %d vs %d", len(lib.Core), len(base.Core))
+	}
+	names := map[string]bool{}
+	for _, m := range lib.Masters {
+		if names[m.Name] {
+			t.Errorf("duplicate master name %s", m.Name)
+		}
+		names[m.Name] = true
+		if !CellClean(tt, m) {
+			t.Errorf("variant %s is dirty", m.Name)
+		}
+	}
+	if !names["INVX1_V3"] {
+		t.Error("expected variant INVX1_V3")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tt := tech.N32()
+	a := Generate(tt, Options{Variants: 4})
+	b := Generate(tt, Options{Variants: 4})
+	if len(a.Masters) != len(b.Masters) {
+		t.Fatal("nondeterministic master count")
+	}
+	for i := range a.Masters {
+		ma, mb := a.Masters[i], b.Masters[i]
+		if ma.Name != mb.Name || ma.Size != mb.Size || len(ma.Pins) != len(mb.Pins) {
+			t.Fatalf("master %d differs: %s vs %s", i, ma.Name, mb.Name)
+		}
+		for j := range ma.Pins {
+			if len(ma.Pins[j].Shapes) != len(mb.Pins[j].Shapes) {
+				t.Fatal("pin shapes differ")
+			}
+			for k := range ma.Pins[j].Shapes {
+				if ma.Pins[j].Shapes[k] != mb.Pins[j].Shapes[k] {
+					t.Fatal("pin shape geometry differs")
+				}
+			}
+		}
+	}
+}
+
+func TestMisalignY(t *testing.T) {
+	tt := tech.N14()
+	lib := Generate(tt, Options{MisalignY: true})
+	pitch := tt.Metal(1).Pitch
+	found := false
+	for _, m := range lib.Core {
+		for _, p := range m.SignalPins() {
+			for _, s := range p.Shapes {
+				c := s.Rect.Center()
+				// Pin centers must sit pitch/4 off the track grid.
+				if (c.Y-pitch/2)%pitch == 0 {
+					t.Errorf("%s/%s still track-aligned at %v", m.Name, p.Name, c)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no pins generated")
+	}
+}
+
+func TestMacro(t *testing.T) {
+	tt := tech.N32()
+	m := Macro(tt, "RAM1", 100, 8, 16)
+	if m.Class != db.ClassBlock {
+		t.Fatal("macro must be BLOCK class")
+	}
+	if len(m.SignalPins()) == 0 {
+		t.Fatal("macro has no pins")
+	}
+	for _, p := range m.SignalPins() {
+		if p.Shapes[0].Layer != 3 {
+			t.Errorf("macro pin %s on layer %d, want 3", p.Name, p.Shapes[0].Layer)
+		}
+	}
+	if len(m.Obs) != 2 {
+		t.Errorf("macro obs = %d, want 2", len(m.Obs))
+	}
+}
+
+func TestLShapeCell(t *testing.T) {
+	for _, nm := range []int{45, 32, 14} {
+		tt, _ := tech.ByNode(nm)
+		lib := Generate(tt, Options{LShapes: true})
+		var m *db.Master
+		for _, c := range lib.Core {
+			if c.Name == "LPINX1" {
+				m = c
+			}
+		}
+		if m == nil {
+			t.Fatalf("node %d: LPINX1 missing", nm)
+		}
+		y := m.PinByName("Y")
+		if len(y.Shapes) != 2 {
+			t.Fatalf("node %d: Y has %d shapes, want 2", nm, len(y.Shapes))
+		}
+		if !CellClean(tt, m) {
+			t.Fatalf("node %d: LPINX1 dirty", nm)
+		}
+	}
+	// Without the option the cell stays out of the library.
+	lib := Generate(tech.N45(), Options{})
+	for _, c := range lib.Core {
+		if c.Name == "LPINX1" {
+			t.Fatal("LPINX1 must be opt-in")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/drc"
+	"repro/internal/pao"
+)
+
+func TestSpecsMirrorTableI(t *testing.T) {
+	if len(Testcases) != 10 {
+		t.Fatalf("testcases = %d, want 10", len(Testcases))
+	}
+	// Spot-check the Table I mirror.
+	if Testcases[0].StdCells != 8879 || Testcases[0].Node != 45 {
+		t.Errorf("test1 spec wrong: %+v", Testcases[0])
+	}
+	if Testcases[9].StdCells != 290386 || Testcases[9].Node != 32 {
+		t.Errorf("test10 spec wrong: %+v", Testcases[9])
+	}
+	if Testcases[6].Macros != 16 || Testcases[2].Macros != 4 {
+		t.Error("macro counts wrong")
+	}
+	if _, err := ByName("pao_test5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("aes_14nm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) must fail")
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	spec := Testcases[0].Scale(0.02) // ~177 cells
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumStdCells() != spec.StdCells {
+		t.Errorf("placed %d cells, want %d", d.NumStdCells(), spec.StdCells)
+	}
+	if len(d.Nets) == 0 || len(d.Nets) > spec.Nets {
+		t.Errorf("nets = %d, want (0,%d]", len(d.Nets), spec.Nets)
+	}
+	if len(d.Rows) == 0 || len(d.Tracks) != 9 {
+		t.Errorf("rows %d tracks %d", len(d.Rows), len(d.Tracks))
+	}
+	// Structural validation: no overlaps, everything on grid and in the die.
+	if problems := d.Validate(5); len(problems) > 0 {
+		t.Fatalf("generated design has structural problems: %v", problems)
+	}
+	// Clusters exist (cells abut).
+	multi := 0
+	for _, c := range d.Clusters() {
+		if len(c.Insts) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-instance clusters; Step 3 would be vacuous")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Testcases[1].Scale(0.004)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != len(b.Instances) || len(a.Nets) != len(b.Nets) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Instances {
+		ia, ib := a.Instances[i], b.Instances[i]
+		if ia.Name != ib.Name || ia.Pos != ib.Pos || ia.Orient != ib.Orient || ia.Master.Name != ib.Master.Name {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}
+
+// TestBaseDesignClean: the generated fixed geometry (pins, rails, obs) must
+// be DRC-clean before any pin access work happens — otherwise failed-pin
+// counts would blame the generator, not the access strategy.
+func TestBaseDesignClean(t *testing.T) {
+	spec := Testcases[0].Scale(0.01)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	eng := a.GlobalEngine()
+	vs := eng.CheckAll()
+	for i, v := range vs {
+		if i > 10 {
+			break
+		}
+		t.Errorf("base violation: %s", v)
+	}
+	if len(vs) > 0 {
+		t.Fatalf("%d base violations", len(vs))
+	}
+	_ = drc.NoNet
+}
+
+// TestPAAFCleanOnSuite is the headline integration test: PAAF achieves zero
+// failed pins on a scaled testcase (the Table III "PAAF w/ BCA" column).
+func TestPAAFCleanOnSuite(t *testing.T) {
+	spec := Testcases[0].Scale(0.02)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	if res.Stats.TotalPins == 0 {
+		t.Fatal("no pins to access")
+	}
+	if res.Stats.FailedPins != 0 {
+		t.Fatalf("FailedPins = %d of %d, want 0", res.Stats.FailedPins, res.Stats.TotalPins)
+	}
+	if res.Stats.NumUnique == 0 || res.Stats.TotalAPs == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+}
+
+// TestJitterDrivesUniqueInstances: the row-jitter knob must multiply the
+// unique-instance count (the Experiment 1 contrast between test4-6 and
+// test7-10).
+func TestJitterDrivesUniqueInstances(t *testing.T) {
+	aligned := Testcases[3].Scale(0.02)
+	aligned.RowJitters = []int64{0}
+	many := Testcases[3].Scale(0.02) // keeps the 12 jitters
+
+	da, err := Generate(aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := Generate(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, um := len(da.UniqueInstances()), len(dm.UniqueInstances())
+	if um <= ua {
+		t.Fatalf("jittered unique instances %d must exceed aligned %d", um, ua)
+	}
+	if um < 2*ua {
+		t.Errorf("jitter effect weak: %d vs %d", um, ua)
+	}
+}
+
+func TestAES14Generates(t *testing.T) {
+	spec := AES14.Scale(0.01)
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tech.NodeNM != 14 {
+		t.Fatal("wrong node")
+	}
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	if res.Stats.FailedPins != 0 {
+		t.Fatalf("14nm FailedPins = %d of %d", res.Stats.FailedPins, res.Stats.TotalPins)
+	}
+	// Off-track access must dominate (Fig. 9): the misaligned library leaves
+	// no on-track-clean enclosures.
+	if res.Stats.OffTrackAPs < res.Stats.TotalAPs/2 {
+		t.Errorf("off-track APs = %d of %d, expected the majority", res.Stats.OffTrackAPs, res.Stats.TotalAPs)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Testcases[4].Scale(0.1)
+	if s.StdCells >= Testcases[4].StdCells || s.StdCells < 20 {
+		t.Errorf("scaled cells = %d", s.StdCells)
+	}
+	if s.DieW >= Testcases[4].DieW {
+		t.Error("die not scaled")
+	}
+	full := Testcases[4].Scale(1.5)
+	if full.Name != Testcases[4].Name {
+		t.Error("Scale(>=1) must be identity")
+	}
+}
+
+// TestMultiHeightSuite: the pao_mh testcase mixes double-height cells into
+// the placement and still reaches zero failed pins (paper future work (i)).
+func TestMultiHeightSuite(t *testing.T) {
+	spec := MultiHeight.Scale(0.03)
+	spec.MultiHeightEvery = MultiHeight.MultiHeightEvery // Scale preserves it
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := d.Validate(5); len(problems) > 0 {
+		t.Fatalf("structural problems: %v", problems)
+	}
+	doubles := 0
+	for _, inst := range d.Instances {
+		if inst.Master.Name == "DFF2HX1" {
+			doubles++
+			if inst.Master.Size.Y != 2*d.Tech.SiteHeight {
+				t.Fatal("wrong double-height size")
+			}
+		}
+	}
+	if doubles == 0 {
+		t.Fatal("no double-height cells placed")
+	}
+	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	if res.Stats.FailedPins != 0 {
+		t.Fatalf("FailedPins = %d of %d with %d double-height cells",
+			res.Stats.FailedPins, res.Stats.TotalPins, doubles)
+	}
+	t.Logf("placed %d double-height cells among %d, %d pins clean",
+		doubles, len(d.Instances), res.Stats.TotalPins)
+}

@@ -1,0 +1,229 @@
+package tech
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// nodeParams captures everything that differs between the synthetic nodes.
+type nodeParams struct {
+	nodeNM     int
+	siteW      int64
+	siteH      int64
+	numMetals  int
+	pitchLo    int64 // M1..M4
+	pitchMid   int64 // M5..M7
+	pitchHi    int64 // M8+
+	widthLo    int64
+	widthMid   int64
+	widthHi    int64
+	minStep    int64
+	areaLo     int64
+	eol        EOLRule
+	cutW       int64
+	cutSpc     int64
+	encLong    int64 // via enclosure beyond cut, long sides
+	encShort   int64 // via enclosure beyond cut, short sides
+	wideSpacer int64 // spacing for wide shapes
+	baseSpacer int64 // default spacing
+}
+
+// N45 builds the synthetic 45 nm node (stand-in for the ISPD-2018 test1-3
+// technology): 9 metals, M1 horizontal, 140 nm lower-metal pitch.
+func N45() *Technology {
+	return build("pao45", nodeParams{
+		nodeNM: 45, siteW: 140, siteH: 1400, numMetals: 9,
+		pitchLo: 140, pitchMid: 280, pitchHi: 560,
+		widthLo: 70, widthMid: 140, widthHi: 280,
+		minStep: 60, areaLo: 19600,
+		eol:  EOLRule{EOLWidth: 90, EOLSpace: 90, EOLWithin: 25},
+		cutW: 70, cutSpc: 80, encLong: 35, encShort: 0,
+		baseSpacer: 70, wideSpacer: 140,
+	})
+}
+
+// N32 builds the synthetic 32 nm node (stand-in for the ISPD-2018 test4-10
+// technology): 9 metals, 100 nm lower-metal pitch.
+func N32() *Technology {
+	return build("pao32", nodeParams{
+		nodeNM: 32, siteW: 100, siteH: 1000, numMetals: 9,
+		pitchLo: 100, pitchMid: 200, pitchHi: 400,
+		widthLo: 50, widthMid: 100, widthHi: 200,
+		minStep: 45, areaLo: 10000,
+		eol:  EOLRule{EOLWidth: 70, EOLSpace: 70, EOLWithin: 20},
+		cutW: 50, cutSpc: 60, encLong: 25, encShort: 0,
+		baseSpacer: 50, wideSpacer: 100,
+	})
+}
+
+// N14 builds the synthetic 14 nm node used for the Fig. 9 study. Its cell
+// library (internal/stdcell) deliberately misaligns pin fingers against the
+// routing tracks, so on-track via enclosures step off the pin shapes and
+// off-track (shape-center / enclosure-boundary) access must kick in — the
+// behaviour Fig. 9 illustrates.
+func N14() *Technology {
+	return build("pao14", nodeParams{
+		nodeNM: 14, siteW: 64, siteH: 640, numMetals: 9,
+		pitchLo: 64, pitchMid: 128, pitchHi: 256,
+		widthLo: 32, widthMid: 64, widthHi: 128,
+		minStep: 30, areaLo: 4096,
+		eol:  EOLRule{EOLWidth: 40, EOLSpace: 48, EOLWithin: 16},
+		cutW: 32, cutSpc: 42, encLong: 20, encShort: 0,
+		baseSpacer: 32, wideSpacer: 64,
+	})
+}
+
+// ByNode returns the builder output for a node in nanometers (45, 32 or 14).
+func ByNode(nm int) (*Technology, error) {
+	switch nm {
+	case 45:
+		return N45(), nil
+	case 32:
+		return N32(), nil
+	case 14:
+		return N14(), nil
+	}
+	return nil, fmt.Errorf("tech: no synthetic node for %d nm", nm)
+}
+
+func build(name string, p nodeParams) *Technology {
+	t := &Technology{
+		Name:         name,
+		NodeNM:       p.nodeNM,
+		DBUPerMicron: 1000,
+		SiteWidth:    p.siteW,
+		SiteHeight:   p.siteH,
+	}
+	for i := 1; i <= p.numMetals; i++ {
+		pitch, width := p.pitchLo, p.widthLo
+		switch {
+		case i > 7:
+			pitch, width = p.pitchHi, p.widthHi
+		case i > 4:
+			pitch, width = p.pitchMid, p.widthMid
+		}
+		dir := Horizontal
+		if i%2 == 0 {
+			dir = Vertical
+		}
+		scale := width / p.widthLo
+		l := &RoutingLayer{
+			Name:   fmt.Sprintf("M%d", i),
+			Num:    i,
+			Dir:    dir,
+			Pitch:  pitch,
+			Width:  width,
+			MinWid: width,
+			Area:   p.areaLo * scale * scale,
+			Step:   MinStepRule{MinStepLength: p.minStep * scale, MaxEdges: 0},
+			EOL: EOLRule{
+				EOLWidth:  p.eol.EOLWidth * scale,
+				EOLSpace:  p.eol.EOLSpace * scale,
+				EOLWithin: p.eol.EOLWithin * scale,
+			},
+			Corner: CornerSpacingRule{
+				EligibleWidth: 3 * width,
+				Spacing:       p.baseSpacer*scale + p.baseSpacer*scale/2,
+			},
+			EncArea: p.areaLo * scale * scale / 2,
+			Spacing: SpacingTable{
+				Widths:  []int64{0, 3 * width},
+				PRLs:    []int64{0, 2 * width},
+				Spacing: [][]int64{{p.baseSpacer * scale, p.baseSpacer * scale}, {p.baseSpacer * scale, p.wideSpacer * scale}},
+			},
+		}
+		t.Metals = append(t.Metals, l)
+	}
+	for k := 1; k < p.numMetals; k++ {
+		scale := t.Metals[k-1].Width / p.widthLo
+		if s2 := t.Metals[k].Width / p.widthLo; s2 > scale {
+			scale = s2
+		}
+		t.Cuts = append(t.Cuts, &CutLayer{
+			Name:     fmt.Sprintf("V%d%d", k, k+1),
+			BelowNum: k,
+			Width:    p.cutW * scale,
+			Spacing:  p.cutSpc * scale,
+		})
+		t.Vias = append(t.Vias, makeVias(t, k, p)...)
+	}
+	if err := t.Validate(); err != nil {
+		panic("tech: builder produced invalid technology: " + err.Error())
+	}
+	return t
+}
+
+// makeVias builds the via variants for cut layer k (between metal k and k+1):
+// a variant with the bottom enclosure long axis horizontal, one with it
+// vertical, and a square variant. Top enclosures always run along the upper
+// layer's preferred direction so that on-track up-via access aligns with
+// upper-layer tracks (Section II-C of the paper).
+func makeVias(t *Technology, k int, p nodeParams) []*ViaDef {
+	cut := t.Cuts[k-1]
+	half := cut.Width / 2
+	cutRect := geom.R(-half, -half, half, half)
+	topDir := t.Metals[k].Dir // metal k+1 (0-indexed k)
+	scale := cut.Width / p.cutW
+	long := p.encLong * scale
+	short := p.encShort * scale
+
+	enc := func(longX bool) geom.Rect {
+		if longX {
+			return geom.R(-half-long, -half-short, half+long, half+short)
+		}
+		return geom.R(-half-short, -half-long, half+short, half+long)
+	}
+	topEnc := enc(topDir == Horizontal)
+	sq := (long + short) / 2
+	sqEnc := geom.R(-half-sq, -half-sq, half+sq, half+sq)
+
+	return []*ViaDef{
+		{Name: fmt.Sprintf("VIA%d_H", k), CutBelow: k, BotEnc: enc(true), Cuts: []geom.Rect{cutRect}, TopEnc: topEnc},
+		{Name: fmt.Sprintf("VIA%d_V", k), CutBelow: k, BotEnc: enc(false), Cuts: []geom.Rect{cutRect}, TopEnc: topEnc},
+		{Name: fmt.Sprintf("VIA%d_SQ", k), CutBelow: k, BotEnc: sqEnc, Cuts: []geom.Rect{cutRect}, TopEnc: topEnc},
+	}
+}
+
+// AddDoubleCutVias appends a redundant (two-cut) via variant above each
+// metal: two cuts spaced at exactly the cut-spacing rule along the upper
+// layer's preferred direction, under one enclosure pair. Callers opt in (the
+// benchmark suite keeps the paper-style single-cut set); the variants sit
+// last, so primaries are unaffected where single-cut vias remain valid.
+func AddDoubleCutVias(t *Technology) {
+	for k := 1; k < t.NumMetals(); k++ {
+		cut := t.Cuts[k-1]
+		half := cut.Width / 2
+		off := (cut.Width + cut.Spacing) / 2 // cut centers at +/- off
+		base := geom.R(-half, -half, half, half)
+		topDir := t.Metals[k].Dir
+		botDir := t.Metals[k-1].Dir
+		var shift geom.Point
+		if topDir == Vertical {
+			shift = geom.Pt(0, off)
+		} else {
+			shift = geom.Pt(off, 0)
+		}
+		c1 := base.Shift(geom.Pt(-shift.X, -shift.Y))
+		c2 := base.Shift(shift)
+		span := c1.UnionBBox(c2)
+		// Enclosures: extend by half a cut along each layer's preferred
+		// direction and hug the cuts on the perpendicular sides.
+		enc := func(dir Dir) geom.Rect {
+			if dir == Horizontal {
+				return span.BloatXY(half, 0)
+			}
+			return span.BloatXY(0, half)
+		}
+		t.Vias = append(t.Vias, &ViaDef{
+			Name:     fmt.Sprintf("VIA%d_D", k),
+			CutBelow: k,
+			BotEnc:   enc(botDir),
+			Cuts:     []geom.Rect{c1, c2},
+			TopEnc:   enc(topDir),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		panic("tech: AddDoubleCutVias produced invalid technology: " + err.Error())
+	}
+}

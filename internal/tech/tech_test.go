@@ -1,0 +1,233 @@
+package tech
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNodesValidate(t *testing.T) {
+	for _, nm := range []int{45, 32, 14} {
+		tt, err := ByNode(nm)
+		if err != nil {
+			t.Fatalf("ByNode(%d): %v", nm, err)
+		}
+		if err := tt.Validate(); err != nil {
+			t.Errorf("node %d invalid: %v", nm, err)
+		}
+		if tt.NumMetals() != 9 {
+			t.Errorf("node %d has %d metals, want 9", nm, tt.NumMetals())
+		}
+		if tt.DBUPerMicron != 1000 {
+			t.Errorf("node %d DBUPerMicron = %d", nm, tt.DBUPerMicron)
+		}
+	}
+	if _, err := ByNode(7); err == nil {
+		t.Error("ByNode(7) must fail")
+	}
+}
+
+func TestLayerAlternation(t *testing.T) {
+	tt := N45()
+	if tt.Metal(1).Dir != Horizontal {
+		t.Fatal("M1 must be horizontal (paper Section III-A example)")
+	}
+	for i := 2; i <= tt.NumMetals(); i++ {
+		if tt.Metal(i).Dir == tt.Metal(i-1).Dir {
+			t.Errorf("M%d and M%d share a direction", i-1, i)
+		}
+	}
+}
+
+func TestMetalAccessors(t *testing.T) {
+	tt := N32()
+	if tt.Metal(0) != nil || tt.Metal(10) != nil {
+		t.Error("out-of-range Metal() must return nil")
+	}
+	if got := tt.MetalByName("M3"); got == nil || got.Num != 3 {
+		t.Errorf("MetalByName(M3) = %+v", got)
+	}
+	if tt.MetalByName("M99") != nil {
+		t.Error("MetalByName(M99) must be nil")
+	}
+	if tt.Cut(0) != nil || tt.Cut(9) != nil {
+		t.Error("out-of-range Cut() must return nil")
+	}
+	if c := tt.Cut(1); c == nil || c.BelowNum != 1 {
+		t.Errorf("Cut(1) = %+v", c)
+	}
+}
+
+func TestViasAbove(t *testing.T) {
+	tt := N45()
+	vias := tt.ViasAbove(1)
+	if len(vias) != 3 {
+		t.Fatalf("got %d via variants above M1, want 3", len(vias))
+	}
+	names := map[string]bool{}
+	for _, v := range vias {
+		names[v.Name] = true
+		if v.CutBelow != 1 {
+			t.Errorf("via %s CutBelow = %d", v.Name, v.CutBelow)
+		}
+		for _, c := range v.Cuts {
+			if !v.BotEnc.ContainsRect(c) || !v.TopEnc.ContainsRect(c) {
+				t.Errorf("via %s enclosure does not cover cut", v.Name)
+			}
+		}
+	}
+	for _, want := range []string{"VIA1_H", "VIA1_V", "VIA1_SQ"} {
+		if !names[want] {
+			t.Errorf("missing via variant %s", want)
+		}
+	}
+	if tt.ViaByName("VIA1_H") == nil {
+		t.Error("ViaByName(VIA1_H) = nil")
+	}
+	if tt.ViaByName("nope") != nil {
+		t.Error("ViaByName(nope) != nil")
+	}
+}
+
+func TestViaGeometryPlacement(t *testing.T) {
+	tt := N45()
+	v := tt.ViaByName("VIA1_H")
+	p := geom.Pt(1000, 2000)
+	bot := v.BotRect(p)
+	cut := v.CutRect(p)
+	top := v.TopRect(p)
+	if cut.Center() != p {
+		t.Errorf("cut center = %v, want %v", cut.Center(), p)
+	}
+	if !bot.ContainsRect(cut) || !top.ContainsRect(cut) {
+		t.Error("placed enclosures must contain placed cut")
+	}
+	// H variant: bottom enclosure extends beyond the cut along x only.
+	if bot.Width() <= cut.Width() {
+		t.Error("H variant bottom enclosure must be wider than the cut")
+	}
+	if bot.Height() != cut.Height() {
+		t.Errorf("H variant bottom enclosure height %d != cut height %d (45nm short enclosure is 0)", bot.Height(), cut.Height())
+	}
+	// Top layer above M1 is M2 (vertical) so the top enclosure is tall.
+	if top.Height() <= top.Width() {
+		t.Error("top enclosure above M1 must run vertically (M2 preferred direction)")
+	}
+}
+
+func TestSpacingTableLookup(t *testing.T) {
+	tbl := &SpacingTable{
+		Widths:  []int64{0, 210},
+		PRLs:    []int64{0, 140},
+		Spacing: [][]int64{{70, 70}, {70, 140}},
+	}
+	cases := []struct {
+		w, prl, want int64
+	}{
+		{70, 0, 70},
+		{70, 1000, 70},
+		{210, 0, 70},
+		{210, 140, 140},
+		{500, 500, 140},
+		{500, 139, 70},
+	}
+	for _, c := range cases {
+		if got := tbl.Lookup(c.w, c.prl); got != c.want {
+			t.Errorf("Lookup(%d,%d) = %d, want %d", c.w, c.prl, got, c.want)
+		}
+	}
+	var nilTbl *SpacingTable
+	if nilTbl.Lookup(100, 100) != 0 {
+		t.Error("nil table must return 0")
+	}
+	if tbl.MaxSpacing() != 140 {
+		t.Errorf("MaxSpacing = %d, want 140", tbl.MaxSpacing())
+	}
+}
+
+func TestRuleEnabled(t *testing.T) {
+	if (MinStepRule{}).Enabled() {
+		t.Error("zero MinStepRule must be disabled")
+	}
+	if !(MinStepRule{MinStepLength: 70, MaxEdges: 1}).Enabled() {
+		t.Error("populated MinStepRule must be enabled")
+	}
+	if (EOLRule{}).Enabled() {
+		t.Error("zero EOLRule must be disabled")
+	}
+	if !(EOLRule{EOLWidth: 90, EOLSpace: 90}).Enabled() {
+		t.Error("populated EOLRule must be enabled")
+	}
+}
+
+func TestDirOrthogonal(t *testing.T) {
+	if Horizontal.Orthogonal() != Vertical || Vertical.Orthogonal() != Horizontal {
+		t.Error("Orthogonal broken")
+	}
+	if Horizontal.String() != "HORIZONTAL" || Vertical.String() != "VERTICAL" {
+		t.Error("Dir.String broken")
+	}
+}
+
+func TestMinStepBelowWidth(t *testing.T) {
+	// A minimum-width wire end must not be a min-step violation by itself, so
+	// every node keeps MinStepLength below the wire width; with MaxEdges = 0
+	// any shorter outline edge (e.g. a via enclosure stepping off a pin) is
+	// illegal — the Fig. 3 mechanism.
+	for _, nm := range []int{45, 32, 14} {
+		tt, _ := ByNode(nm)
+		for _, l := range tt.Metals {
+			if !l.Step.Enabled() {
+				t.Errorf("node %d %s: min step disabled", nm, l.Name)
+			}
+			if l.Step.MinStepLength > l.Width {
+				t.Errorf("node %d %s: min step %d exceeds width %d (bare wire ends would violate)",
+					nm, l.Name, l.Step.MinStepLength, l.Width)
+			}
+			if l.Step.MaxEdges != 0 {
+				t.Errorf("node %d %s: MaxEdges = %d, want 0", nm, l.Name, l.Step.MaxEdges)
+			}
+		}
+	}
+}
+
+func TestUpperLayerScaling(t *testing.T) {
+	tt := N32()
+	if tt.Metal(5).Width <= tt.Metal(4).Width {
+		t.Error("mid metals must be wider than lower metals")
+	}
+	if tt.Metal(8).Pitch <= tt.Metal(5).Pitch {
+		t.Error("top metals must have larger pitch than mid metals")
+	}
+	if tt.Cut(5).Width <= tt.Cut(1).Width {
+		t.Error("upper cuts must scale with metal width")
+	}
+}
+
+func TestAddDoubleCutVias(t *testing.T) {
+	for _, nm := range []int{45, 32, 14} {
+		tt, _ := ByNode(nm)
+		before := len(tt.Vias)
+		AddDoubleCutVias(tt)
+		if len(tt.Vias) != before+tt.NumMetals()-1 {
+			t.Fatalf("node %d: vias %d, want %d", nm, len(tt.Vias), before+tt.NumMetals()-1)
+		}
+		if err := tt.Validate(); err != nil {
+			t.Fatalf("node %d: %v", nm, err)
+		}
+		v := tt.ViaByName("VIA1_D")
+		if v == nil || len(v.Cuts) != 2 {
+			t.Fatalf("node %d: VIA1_D = %+v", nm, v)
+		}
+		// The two cuts respect their own cut spacing.
+		c := tt.Cut(1)
+		if d := v.Cuts[0].DistSquared(v.Cuts[1]); d < c.Spacing*c.Spacing {
+			t.Errorf("node %d: double cuts only %d apart (need %d)", nm, d, c.Spacing*c.Spacing)
+		}
+		// The default single-cut variants keep their positions (primaries
+		// unchanged).
+		if tt.ViasAbove(1)[0].Name != "VIA1_H" {
+			t.Errorf("node %d: primary via changed to %s", nm, tt.ViasAbove(1)[0].Name)
+		}
+	}
+}
