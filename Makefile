@@ -16,9 +16,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# One benchmark run per paper table/figure plus the ablations.
+# One benchmark run per paper table/figure plus the ablations; the output is
+# kept in BENCH_PR1.txt as the PR's perf record.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | tee BENCH_PR1.txt
 
 # Laptop-scale experiment sweep (~4 minutes).
 experiments:

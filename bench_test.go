@@ -33,6 +33,7 @@ func BenchmarkTable1SuiteGen(b *testing.B) {
 	for _, spec := range suite.Testcases {
 		spec := spec
 		b.Run(spec.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cells int
 			for i := 0; i < b.N; i++ {
 				d, err := suite.Generate(spec.Scale(*benchScale))
@@ -50,6 +51,7 @@ func BenchmarkTable2Exp1(b *testing.B) {
 	for _, spec := range suite.Testcases {
 		spec := spec
 		b.Run(spec.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var row exp.Exp1Row
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -71,6 +73,7 @@ func BenchmarkTable3Exp2(b *testing.B) {
 	for _, spec := range suite.Testcases {
 		spec := spec
 		b.Run(spec.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var row exp.Exp2Row
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -96,6 +99,7 @@ func BenchmarkFig8Exp3(b *testing.B) {
 	for _, mode := range []router.AccessMode{router.AccessAdHoc, router.AccessPAAF} {
 		mode := mode
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var viol, accessViol int
 			for i := 0; i < b.N; i++ {
 				d, err := suite.Generate(suite.Testcases[4].Scale(scale))
@@ -123,6 +127,7 @@ func BenchmarkFig8Exp3(b *testing.B) {
 }
 
 func BenchmarkFig9Aes14nm(b *testing.B) {
+	b.ReportAllocs()
 	var res exp.AES14Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -140,6 +145,7 @@ func BenchmarkFig9Aes14nm(b *testing.B) {
 
 func benchConfig(b *testing.B, cfg pao.Config) {
 	b.Helper()
+	b.ReportAllocs()
 	d, err := suite.Generate(suite.Testcases[0].Scale(*benchScale))
 	if err != nil {
 		b.Fatal(err)
@@ -202,6 +208,7 @@ func BenchmarkStep1AccessPoints(b *testing.B) {
 	}
 	a := pao.NewAnalyzer(d, pao.DefaultConfig())
 	uis := d.UniqueInstances()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.AnalyzeUnique(uis[i%len(uis)])
@@ -213,6 +220,7 @@ func BenchmarkBaselineAnalyze(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		baseline.Analyze(d)
@@ -224,6 +232,7 @@ func BenchmarkUniqueInstanceExtraction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.UniqueInstances()
@@ -235,6 +244,7 @@ func BenchmarkGeomUnionRects(b *testing.B) {
 		geom.R(0, 0, 1000, 70), geom.R(0, 0, 70, 1000), geom.R(500, 0, 570, 800),
 		geom.R(200, 300, 900, 370), geom.R(850, 300, 920, 900),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		geom.UnionRects(rects)
@@ -246,6 +256,7 @@ func BenchmarkGeomMaxRects(b *testing.B) {
 		geom.R(0, 0, 1000, 70), geom.R(0, 0, 70, 1000), geom.R(500, 0, 570, 800),
 		geom.R(200, 300, 900, 370),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		geom.MaxRects(rects)
@@ -261,6 +272,7 @@ func BenchmarkWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		w := w
 		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[w], func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := pao.DefaultConfig()
 			cfg.Workers = w
 			var stats pao.Stats
@@ -279,11 +291,13 @@ func BenchmarkDRCCheckAll(b *testing.B) {
 	}
 	eng := pao.NewAnalyzer(d, pao.DefaultConfig()).GlobalEngine()
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng.CheckAllParallel(1)
 		}
 	})
 	b.Run("parallel4", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eng.CheckAllParallel(4)
 		}

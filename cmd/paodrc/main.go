@@ -2,9 +2,13 @@
 // fixed geometry (pins, obstructions, power shapes) and prints every
 // violation.
 //
+// Observability: -metrics=text|json emits the DRC engine's counters (checks
+// per rule kind, query volume) and the parse/check span tree; -trace,
+// -cpuprofile and -memprofile behave as in paorun.
+//
 // Usage:
 //
-//	paodrc -lef design.lef -def design.def [-max 50]
+//	paodrc -lef design.lef -def design.def [-max 50] [-metrics text|json]
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 
 	"repro/internal/def"
 	"repro/internal/lef"
+	"repro/internal/obs"
 	"repro/internal/pao"
 )
 
@@ -21,37 +26,51 @@ func main() {
 	lefPath := flag.String("lef", "", "LEF file")
 	defPath := flag.String("def", "", "DEF file")
 	maxPrint := flag.Int("max", 50, "maximum violations to print")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *lefPath == "" || *defPath == "" {
 		fmt.Fprintln(os.Stderr, "paodrc: -lef and -def are required")
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *defPath, *maxPrint); err != nil {
+	nviol, err := run(*lefPath, *defPath, *maxPrint, ofl)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paodrc:", err)
+		os.Exit(1)
+	}
+	if nviol > 0 {
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, defPath string, maxPrint int) error {
+// run returns the violation count so the caller decides the exit status after
+// the observability report has been flushed.
+func run(lefPath, defPath string, maxPrint int, ofl *obs.Flags) (int, error) {
+	o, finish, err := ofl.Start("paodrc")
+	if err != nil {
+		return 0, err
+	}
+
+	spParse := o.Root().Start("parse")
 	lf, err := os.Open(lefPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer lf.Close()
 	lib, err := lef.Parse(lf)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	df, err := os.Open(defPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer df.Close()
 	d, err := def.Parse(df, lib.Tech, lib.Masters)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	spParse.End()
 
 	if problems := d.Validate(maxPrint); len(problems) > 0 {
 		fmt.Printf("%s: %d structural problems\n", d.Name, len(problems))
@@ -59,8 +78,15 @@ func run(lefPath, defPath string, maxPrint int) error {
 			fmt.Println(" ", p)
 		}
 	}
+	spBuild := o.Root().Start("buildengine")
 	eng := pao.NewAnalyzer(d, pao.DefaultConfig()).GlobalEngine()
+	spBuild.End()
+	spCheck := o.Root().Start("checkall")
 	vs := eng.CheckAll()
+	spCheck.End()
+	if reg := o.Reg(); reg != nil {
+		reg.AddAll(eng.Counters.Snapshot())
+	}
 	fmt.Printf("%s: %d shapes, %d violations\n", d.Name, eng.NumObjs(), len(vs))
 	for i, v := range vs {
 		if i >= maxPrint {
@@ -69,8 +95,5 @@ func run(lefPath, defPath string, maxPrint int) error {
 		}
 		fmt.Println(" ", v)
 	}
-	if len(vs) > 0 {
-		os.Exit(1)
-	}
-	return nil
+	return len(vs), finish()
 }

@@ -1,9 +1,15 @@
 // Command paoexp reproduces the paper's experiments on the synthetic
 // ISPD-2018-style suite and prints the corresponding tables.
 //
+// Observability: -metrics=text|json emits the experiment span tree (one span
+// per table row phase — the row's reported seconds ARE these span durations)
+// plus the aggregated DRC and worker counters; -trace, -cpuprofile and
+// -memprofile behave as in paorun.
+//
 // Usage:
 //
 //	paoexp -exp table1|1|2|3|14nm|ablate|all [-scale 0.05] [-cases pao_test1,pao_test5]
+//	       [-metrics text|json] [-trace out.json]
 //
 // Scale proportionally shrinks every testcase (1.0 runs the full Table I
 // sizes; expect minutes of runtime and several GB of memory at full scale).
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/suite"
 )
 
@@ -23,9 +30,10 @@ func main() {
 	expName := flag.String("exp", "all", "experiment: table1, 1, 2, 3, 14nm, ablate, all")
 	scale := flag.Float64("scale", 0.05, "testcase scale factor (1.0 = full Table I sizes)")
 	cases := flag.String("cases", "", "comma-separated testcase subset (default: all)")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*expName, *scale, *cases); err != nil {
+	if err := run(*expName, *scale, *cases, ofl); err != nil {
 		fmt.Fprintln(os.Stderr, "paoexp:", err)
 		os.Exit(1)
 	}
@@ -46,8 +54,12 @@ func selectedSpecs(cases string) ([]suite.Spec, error) {
 	return out, nil
 }
 
-func run(expName string, scale float64, cases string) error {
+func run(expName string, scale float64, cases string, ofl *obs.Flags) error {
 	specs, err := selectedSpecs(cases)
+	if err != nil {
+		return err
+	}
+	o, finish, err := ofl.Start("paoexp")
 	if err != nil {
 		return err
 	}
@@ -63,7 +75,7 @@ func run(expName string, scale float64, cases string) error {
 	if all || expName == "1" {
 		var rows []exp.Exp1Row
 		for _, s := range specs {
-			r, err := exp.RunExp1(s, scale)
+			r, err := exp.RunExp1Obs(o, s, scale)
 			if err != nil {
 				return err
 			}
@@ -75,7 +87,7 @@ func run(expName string, scale float64, cases string) error {
 	if all || expName == "2" {
 		var rows []exp.Exp2Row
 		for _, s := range specs {
-			r, err := exp.RunExp2(s, scale)
+			r, err := exp.RunExp2Obs(o, s, scale)
 			if err != nil {
 				return err
 			}
@@ -85,7 +97,7 @@ func run(expName string, scale float64, cases string) error {
 		fmt.Println()
 	}
 	if all || expName == "3" {
-		rows, err := exp.RunExp3(minF(scale, 0.02))
+		rows, err := exp.RunExp3Obs(o, minF(scale, 0.02))
 		if err != nil {
 			return err
 		}
@@ -93,7 +105,7 @@ func run(expName string, scale float64, cases string) error {
 		fmt.Println()
 	}
 	if all || expName == "14nm" {
-		r, err := exp.RunAES14(scale)
+		r, err := exp.RunAES14Obs(o, scale)
 		if err != nil {
 			return err
 		}
@@ -101,7 +113,7 @@ func run(expName string, scale float64, cases string) error {
 		fmt.Println()
 	}
 	if all || expName == "ablate" {
-		rows, err := exp.RunAblations(suite.Testcases[0], scale)
+		rows, err := exp.RunAblationsObs(o, suite.Testcases[0], scale)
 		if err != nil {
 			return err
 		}
@@ -114,7 +126,7 @@ func run(expName string, scale float64, cases string) error {
 			return fmt.Errorf("unknown experiment %q", expName)
 		}
 	}
-	return nil
+	return finish()
 }
 
 // minF caps the routing experiment's scale: the track-graph router is a

@@ -1,9 +1,13 @@
 // Command paogen generates a synthetic benchmark testcase and writes it as a
 // LEF/DEF pair.
 //
+// Observability: -metrics=text|json emits spans for generation, file
+// writing, global routing and the heatmap; -trace, -cpuprofile and
+// -memprofile behave as in paorun.
+//
 // Usage:
 //
-//	paogen -case pao_test1 [-scale 0.1] [-out dir]
+//	paogen -case pao_test1 [-scale 0.1] [-out dir] [-metrics text|json]
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"repro/internal/def"
 	"repro/internal/guide"
 	"repro/internal/lef"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/suite"
 )
@@ -23,29 +28,37 @@ func main() {
 	name := flag.String("case", "pao_test1", "testcase name (pao_test1..pao_test10, aes_14nm)")
 	scale := flag.Float64("scale", 1.0, "scale factor")
 	out := flag.String("out", ".", "output directory")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*name, *scale, *out); err != nil {
+	if err := run(*name, *scale, *out, ofl); err != nil {
 		fmt.Fprintln(os.Stderr, "paogen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale float64, out string) error {
+func run(name string, scale float64, out string, ofl *obs.Flags) error {
 	spec, err := suite.ByName(name)
 	if err != nil {
 		return err
 	}
+	o, finish, err := ofl.Start("paogen")
+	if err != nil {
+		return err
+	}
+	spGen := o.Root().Start("generate")
 	d, err := suite.Generate(spec.Scale(scale))
 	if err != nil {
 		return err
 	}
+	spGen.End()
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
 	lefPath := filepath.Join(out, d.Name+".lef")
 	defPath := filepath.Join(out, d.Name+".def")
 
+	spWrite := o.Root().Start("write")
 	lf, err := os.Create(lefPath)
 	if err != nil {
 		return err
@@ -62,10 +75,13 @@ func run(name string, scale float64, out string) error {
 	if err := def.Write(df, d); err != nil {
 		return err
 	}
+	spWrite.End()
 	// Global-route and emit the contest-style guide file alongside.
+	spGuide := o.Root().Start("globalroute")
 	guidePath := filepath.Join(out, d.Name+".guide")
 	gr := guide.New(d, guide.Config{})
 	guides := gr.Route()
+	spGuide.End()
 	gf, err := os.Create(guidePath)
 	if err != nil {
 		return err
@@ -75,6 +91,7 @@ func run(name string, scale float64, out string) error {
 		return err
 	}
 	// Congestion heatmap of the global-routing solution.
+	spHeat := o.Root().Start("heatmap")
 	heatPath := filepath.Join(out, d.Name+"_congestion.svg")
 	hf, err := os.Create(heatPath)
 	if err != nil {
@@ -86,8 +103,9 @@ func run(name string, scale float64, out string) error {
 		d.Name+" global-routing congestion"); err != nil {
 		return err
 	}
+	spHeat.End()
 	over, maxOver := gr.CongestionReport()
 	fmt.Printf("wrote %s (%d masters), %s (%d instances, %d nets), %s and %s (overflow edges: %d, max %d)\n",
 		lefPath, len(d.Masters), defPath, len(d.Instances), len(d.Nets), guidePath, heatPath, over, maxOver)
-	return nil
+	return finish()
 }

@@ -3,9 +3,14 @@
 // summary, and optionally writes the routed DEF and a Fig. 8-style SVG of the
 // densest violation window.
 //
+// Observability: -metrics=text|json emits spans for parse, access analysis,
+// routing and the post-route check, plus the analyzer's DRC counters;
+// -trace, -cpuprofile and -memprofile behave as in paorun.
+//
 // Usage:
 //
 //	paoroute -lef d.lef -def d.def [-access paaf|adhoc] [-out routed.def] [-svg win.svg]
+//	         [-metrics text|json] [-trace out.json]
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"repro/internal/def"
 	"repro/internal/guide"
 	"repro/internal/lef"
+	"repro/internal/obs"
 	"repro/internal/pao"
 	"repro/internal/render"
 	"repro/internal/report"
@@ -29,19 +35,25 @@ func main() {
 	guidePath := flag.String("guide", "", "route-guide file (contest format; empty: unguided)")
 	outPath := flag.String("out", "", "write the routed DEF here")
 	svgPath := flag.String("svg", "", "write a violation-window SVG here")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *lefPath == "" || *defPath == "" {
 		fmt.Fprintln(os.Stderr, "paoroute: -lef and -def are required")
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *defPath, *access, *guidePath, *outPath, *svgPath); err != nil {
+	if err := run(*lefPath, *defPath, *access, *guidePath, *outPath, *svgPath, ofl); err != nil {
 		fmt.Fprintln(os.Stderr, "paoroute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, defPath, access, guidePath, outPath, svgPath string) error {
+func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.Flags) error {
+	o, finish, err := ofl.Start("paoroute")
+	if err != nil {
+		return err
+	}
+	spParse := o.Root().Start("parse")
 	lf, err := os.Open(lefPath)
 	if err != nil {
 		return err
@@ -60,8 +72,10 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string) error {
 	if err != nil {
 		return err
 	}
+	spParse.End()
 
 	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	a.Obs = o
 	cfg := router.Config{}
 	if guidePath != "" {
 		gf, err := os.Open(guidePath)
@@ -91,8 +105,13 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string) error {
 	if err != nil {
 		return err
 	}
+	spRoute := o.Root().Start("route")
 	res := r.Route()
+	spRoute.End()
+	spCheck := o.Root().Start("check")
 	router.Check(a, res)
+	spCheck.End()
+	a.PublishObs()
 
 	t := report.New(fmt.Sprintf("Routing summary for %s (%s access)", d.Name, access),
 		"Routed", "Failed", "WL (um)", "#Vias", "#DRCs", "#Access DRCs")
@@ -127,5 +146,5 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string) error {
 		}
 		fmt.Println("SVG written to", svgPath)
 	}
-	return nil
+	return finish()
 }

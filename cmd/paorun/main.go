@@ -1,11 +1,16 @@
 // Command paorun runs the pin access analysis framework on a LEF/DEF pair
 // and reports the results: per-unique-instance access points and patterns,
 // plus the failed-pin summary. With -dump it lists every selected access
-// point.
+// point; -v prints the per-step durations.
+//
+// Observability: -metrics=text|json emits the run's counters, worker
+// telemetry and span timing tree; -trace writes the span tree as JSON to a
+// file; -cpuprofile/-memprofile write runtime/pprof profiles.
 //
 // Usage:
 //
-//	paorun -lef design.lef -def design.def [-dump] [-nobca] [-k 3]
+//	paorun -lef design.lef -def design.def [-dump] [-nobca] [-k 3] [-workers 4]
+//	       [-v] [-metrics text|json] [-trace out.json] [-cpuprofile cpu.pb.gz]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"repro/internal/def"
 	"repro/internal/lef"
+	"repro/internal/obs"
 	"repro/internal/pao"
 	"repro/internal/report"
 )
@@ -23,21 +29,30 @@ func main() {
 	lefPath := flag.String("lef", "", "LEF file")
 	defPath := flag.String("def", "", "DEF file")
 	dump := flag.Bool("dump", false, "list every selected access point")
+	verbose := flag.Bool("v", false, "print per-step durations")
 	noBCA := flag.Bool("nobca", false, "disable boundary conflict awareness")
 	k := flag.Int("k", 3, "target access points per pin")
+	workers := flag.Int("workers", 1, "analysis worker goroutines")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *lefPath == "" || *defPath == "" {
 		fmt.Fprintln(os.Stderr, "paorun: -lef and -def are required")
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *defPath, *dump, *noBCA, *k); err != nil {
+	if err := run(*lefPath, *defPath, *dump, *verbose, *noBCA, *k, *workers, ofl); err != nil {
 		fmt.Fprintln(os.Stderr, "paorun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, defPath string, dump, noBCA bool, k int) error {
+func run(lefPath, defPath string, dump, verbose, noBCA bool, k, workers int, ofl *obs.Flags) error {
+	o, finish, err := ofl.Start("paorun")
+	if err != nil {
+		return err
+	}
+
+	spParse := o.Root().Start("parse")
 	lf, err := os.Open(lefPath)
 	if err != nil {
 		return err
@@ -56,17 +71,33 @@ func run(lefPath, defPath string, dump, noBCA bool, k int) error {
 	if err != nil {
 		return err
 	}
+	spParse.End()
 
 	cfg := pao.DefaultConfig()
 	cfg.K = k
 	cfg.BCA = !noBCA
-	res := pao.NewAnalyzer(d, cfg).Run()
+	cfg.Workers = workers
+	a := pao.NewAnalyzer(d, cfg)
+	a.Obs = o
+	res := a.Run()
+	a.PublishObs()
 
 	t := report.New(fmt.Sprintf("Pin access summary for %s", d.Name),
 		"#Inst", "#Unique", "#APs", "#OffTrack", "#Patterns", "#Pins", "#Failed")
 	t.AddRow(len(d.Instances), res.Stats.NumUnique, res.Stats.TotalAPs,
 		res.Stats.OffTrackAPs, res.Stats.PatternsBuilt, res.Stats.TotalPins, res.Stats.FailedPins)
 	t.Render(os.Stdout)
+
+	if verbose {
+		st := res.Stats.Steps
+		fmt.Println("per-step durations:")
+		fmt.Printf("  step1 (AP generation):  %12v\n", st.Step1)
+		fmt.Printf("  step2 (patterns):       %12v\n", st.Step2)
+		fmt.Printf("  step1+2 wall:           %12v\n", st.Step12Wall)
+		fmt.Printf("  step3 (selection):      %12v\n", st.Step3)
+		fmt.Printf("  failed-pin check:       %12v\n", st.FailedPins)
+		fmt.Printf("  total:                  %12v\n", st.Total)
+	}
 
 	if dump {
 		for _, net := range d.Nets {
@@ -85,5 +116,5 @@ func run(lefPath, defPath string, dump, noBCA bool, k int) error {
 			}
 		}
 	}
-	return nil
+	return finish()
 }

@@ -3,9 +3,13 @@
 // placement — the per-cell view used to inspect library pin access quality
 // (the paper's Figs. 2 and 9 style).
 //
+// Observability: -metrics=text|json emits the analysis span tree and DRC
+// counters for the one-cell run; -trace, -cpuprofile and -memprofile behave
+// as in paorun.
+//
 // Usage:
 //
-//	paoview -lef lib.lef -cell NAND2X1 -out nand2.svg [-orient N]
+//	paoview -lef lib.lef -cell NAND2X1 -out nand2.svg [-orient N] [-metrics text|json]
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/geom"
 	"repro/internal/lef"
+	"repro/internal/obs"
 	"repro/internal/pao"
 	"repro/internal/render"
 	"repro/internal/tech"
@@ -26,19 +31,20 @@ func main() {
 	cell := flag.String("cell", "", "master name")
 	out := flag.String("out", "", "output SVG path")
 	orientName := flag.String("orient", "N", "placement orientation (N, S, FN, FS, ...)")
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *lefPath == "" || *cell == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "paoview: -lef, -cell and -out are required")
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *cell, *out, *orientName); err != nil {
+	if err := run(*lefPath, *cell, *out, *orientName, ofl); err != nil {
 		fmt.Fprintln(os.Stderr, "paoview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, cell, out, orientName string) error {
+func run(lefPath, cell, out, orientName string, ofl *obs.Flags) error {
 	lf, err := os.Open(lefPath)
 	if err != nil {
 		return err
@@ -89,7 +95,14 @@ func run(lefPath, cell, out, orientName string) error {
 	}
 	d.Nets = []*db.Net{net}
 
-	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	o, finish, err := ofl.Start("paoview")
+	if err != nil {
+		return err
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	a.Obs = o
+	res := a.Run()
+	a.PublishObs()
 	fmt.Printf("%s (%s): %d signal pins, %d access points, %d failed\n",
 		cell, orient, len(master.SignalPins()), res.Stats.TotalAPs, res.Stats.FailedPins)
 	for _, p := range master.SignalPins() {
@@ -114,5 +127,8 @@ func run(lefPath, cell, out, orientName string) error {
 		return err
 	}
 	defer f.Close()
-	return c.WriteSVG(f, fmt.Sprintf("%s (%s) pin access", cell, orient))
+	if err := c.WriteSVG(f, fmt.Sprintf("%s (%s) pin access", cell, orient)); err != nil {
+		return err
+	}
+	return finish()
 }

@@ -24,6 +24,7 @@ func (e *Engine) CheckMetalRectCtx(layer int, r geom.Rect, net int, ctx *QueryCt
 	if l == nil {
 		return nil
 	}
+	e.Counters.MetalChecks.Add(1)
 	var out []Violation
 	win := r.Bloat(l.Spacing.MaxSpacing())
 	for _, id := range e.QueryMetalCtx(layer, win, ctx) {
@@ -33,6 +34,7 @@ func (e *Engine) CheckMetalRectCtx(layer int, r geom.Rect, net int, ctx *QueryCt
 		}
 		out = append(out, checkMetalPair(l, r, net, "candidate", o.Rect, o.Net, o.describe())...)
 	}
+	e.Counters.Violations.Add(int64(len(out)))
 	return out
 }
 
@@ -163,6 +165,7 @@ func (e *Engine) CheckCutRectCtx(cutBelow int, r geom.Rect, net int, ctx *QueryC
 	if c == nil {
 		return nil
 	}
+	e.Counters.CutChecks.Add(1)
 	var out []Violation
 	win := r.Bloat(c.Spacing)
 	for _, id := range e.QueryCutCtx(cutBelow, win, ctx) {
@@ -181,6 +184,7 @@ func (e *Engine) CheckCutRectCtx(cutBelow int, r geom.Rect, net int, ctx *QueryC
 				Note: fmt.Sprintf("cut within %d of %s (net %d)", c.Spacing, o.describe(), o.Net)})
 		}
 	}
+	e.Counters.Violations.Add(int64(len(out)))
 	return out
 }
 
@@ -304,6 +308,7 @@ func (e *Engine) CheckEOLRectCtx(layer int, r geom.Rect, net int, ctx *QueryCtx)
 	if l == nil {
 		return nil
 	}
+	e.Counters.EOLChecks.Add(1)
 	var out []Violation
 	for _, win := range eolWindows(l, r) {
 		for _, id := range e.QueryMetalCtx(layer, win, ctx) {
@@ -318,6 +323,7 @@ func (e *Engine) CheckEOLRectCtx(layer int, r geom.Rect, net int, ctx *QueryCtx)
 			}
 		}
 	}
+	e.Counters.Violations.Add(int64(len(out)))
 	return out
 }
 
@@ -343,6 +349,7 @@ func (e *Engine) CheckViaCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects
 	bot := v.BotRect(p)
 	top := v.TopRect(p)
 
+	e.Counters.ViaChecks.Add(1)
 	var out []Violation
 	out = append(out, e.CheckMetalRectCtx(k, bot, net, ctx)...)
 	out = append(out, e.CheckMetalRectCtx(k+1, top, net, ctx)...)
@@ -353,12 +360,22 @@ func (e *Engine) CheckViaCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects
 	out = append(out, e.CheckEOLRectCtx(k+1, top, net, ctx)...)
 
 	if lb := e.Tech.Metal(k); lb.Step.Enabled() {
-		out = append(out, CheckMinStepUnion(lb, connectedTo(bot, sameNetRects))...)
+		e.Counters.MinStepChecks.Add(1)
+		vs := CheckMinStepUnion(lb, connectedTo(bot, sameNetRects))
+		e.Counters.Violations.Add(int64(len(vs)))
+		out = append(out, vs...)
 	}
 	if lt := e.Tech.Metal(k + 1); lt.Step.Enabled() {
-		out = append(out, CheckMinStepUnion(lt, []geom.Rect{top})...)
+		e.Counters.MinStepChecks.Add(1)
+		vs := CheckMinStepUnion(lt, []geom.Rect{top})
+		e.Counters.Violations.Add(int64(len(vs)))
+		out = append(out, vs...)
 	}
-	return Dedup(out)
+	out = Dedup(out)
+	if len(out) == 0 {
+		e.Counters.ViaClean.Add(1)
+	}
+	return out
 }
 
 // connectedTo returns seed plus every rect transitively touching it.
@@ -389,6 +406,7 @@ func connectedTo(seed geom.Rect, rects []geom.Rect) []geom.Rect {
 // Each violating pair is reported once.
 func (e *Engine) CheckAll() []Violation {
 	var out []Violation
+	pairs := int64(0)
 	for id := range e.objs {
 		if !e.alive[id] {
 			continue
@@ -402,6 +420,7 @@ func (e *Engine) CheckAll() []Violation {
 				if jd <= id {
 					continue
 				}
+				pairs++
 				q := &e.objs[jd]
 				if sameNet(o.Net, q.Net) {
 					continue
@@ -415,6 +434,7 @@ func (e *Engine) CheckAll() []Violation {
 				if jd <= id {
 					continue
 				}
+				pairs++
 				q := &e.objs[jd]
 				if o.Rect.Overlaps(q.Rect) {
 					ov, _ := o.Rect.Intersect(q.Rect)
@@ -429,6 +449,8 @@ func (e *Engine) CheckAll() []Violation {
 			}
 		}
 	}
+	e.Counters.PairChecks.Add(pairs)
+	e.Counters.Violations.Add(int64(len(out)))
 	return Dedup(out)
 }
 
@@ -438,6 +460,7 @@ func (e *Engine) CheckAll() []Violation {
 func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []int) ([]Violation, []int) {
 	o := &e.objs[id]
 	var out []Violation
+	pairs := int64(0)
 	switch {
 	case o.MetalLayer > 0:
 		l := e.Tech.Metal(o.MetalLayer)
@@ -447,6 +470,7 @@ func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []in
 			if jd <= id {
 				continue
 			}
+			pairs++
 			q := &e.objs[jd]
 			if sameNet(o.Net, q.Net) {
 				continue
@@ -461,6 +485,7 @@ func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []in
 			if jd <= id {
 				continue
 			}
+			pairs++
 			q := &e.objs[jd]
 			if o.Rect.Overlaps(q.Rect) {
 				ov, _ := o.Rect.Intersect(q.Rect)
@@ -474,6 +499,8 @@ func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []in
 			}
 		}
 	}
+	e.Counters.PairChecks.Add(pairs)
+	e.Counters.Violations.Add(int64(len(out)))
 	return out, scratch
 }
 

@@ -1,0 +1,67 @@
+package drc
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// TestCountersTrackChecks: the engine's counters record query volume and
+// per-kind check counts as checks run.
+func TestCountersTrackChecks(t *testing.T) {
+	e := NewEngine(tech.N45())
+	e.AddMetal(1, geom.R(0, 0, 1000, 70), 1, KindPin, "a")
+
+	vs := e.CheckMetalRect(1, geom.R(0, 130, 1000, 200), 2) // spacing violation
+	if len(vs) == 0 {
+		t.Fatal("expected a spacing violation")
+	}
+	e.CheckMetalRect(1, geom.R(0, 140, 1000, 210), 2) // clean
+
+	c := e.Counters
+	if got := c.MetalChecks.Load(); got != 2 {
+		t.Fatalf("MetalChecks = %d, want 2", got)
+	}
+	if c.Queries.Load() == 0 {
+		t.Fatal("Queries not counted")
+	}
+	if got := c.Violations.Load(); got != int64(len(vs)) {
+		t.Fatalf("Violations = %d, want %d", got, len(vs))
+	}
+
+	snap := c.Snapshot()
+	if snap["drc.check.metal"] != 2 {
+		t.Fatalf("snapshot drc.check.metal = %d, want 2", snap["drc.check.metal"])
+	}
+	if snap["drc.query.count"] != c.Queries.Load() {
+		t.Fatal("snapshot disagrees with counter")
+	}
+	// Every family is present in the snapshot even when zero, so downstream
+	// registries always expose the full name set.
+	for _, name := range []string{
+		"drc.query.count", "drc.query.objects", "drc.check.metal", "drc.check.cut",
+		"drc.check.eol", "drc.check.minstep", "drc.check.pair",
+		"drc.via.attempted", "drc.via.clean", "drc.violations",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("snapshot missing %q", name)
+		}
+	}
+}
+
+// TestCountersSharedAcrossEngines: several engines can publish into one
+// Counters instance (the analyzer shares one across its per-cell and global
+// engines).
+func TestCountersSharedAcrossEngines(t *testing.T) {
+	shared := &Counters{}
+	for i := 0; i < 3; i++ {
+		e := NewEngine(tech.N45())
+		e.Counters = shared
+		e.AddMetal(1, geom.R(0, 0, 1000, 70), 1, KindPin, "a")
+		e.CheckMetalRect(1, geom.R(0, 130, 1000, 200), 2)
+	}
+	if got := shared.MetalChecks.Load(); got != 3 {
+		t.Fatalf("shared MetalChecks = %d, want 3", got)
+	}
+}

@@ -8,6 +8,7 @@ package drc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/tech"
@@ -134,9 +135,52 @@ func floorDiv(a, b int64) int64 {
 	return q
 }
 
+// Counters aggregates the engine's instrumentation: region-query volume,
+// checks executed per rule family, via drops attempted vs clean, and
+// violations found (pre-dedup). All fields are atomic, so concurrent readers
+// (QueryCtx checks, CheckAllParallel workers) may share one instance, and
+// several engines may point at the same Counters to aggregate across
+// contexts — the pao analyzer shares one across its per-cell engines and the
+// global engine.
+type Counters struct {
+	Queries       atomic.Int64 // region queries executed
+	QueryObjects  atomic.Int64 // objects returned by region queries
+	MetalChecks   atomic.Int64 // hypothetical-metal short/spacing checks
+	CutChecks     atomic.Int64 // hypothetical-cut spacing checks
+	EOLChecks     atomic.Int64 // end-of-line window checks
+	MinStepChecks atomic.Int64 // min-step union checks (via enclosures)
+	PairChecks    atomic.Int64 // full-design pairwise checks (CheckAll)
+	ViaChecks     atomic.Int64 // via drops attempted
+	ViaClean      atomic.Int64 // via drops that validated clean
+	Violations    atomic.Int64 // violations found (pre-dedup)
+}
+
+// Snapshot exports the counters under their canonical metric names.
+func (c *Counters) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	return map[string]int64{
+		"drc.query.count":   c.Queries.Load(),
+		"drc.query.objects": c.QueryObjects.Load(),
+		"drc.check.metal":   c.MetalChecks.Load(),
+		"drc.check.cut":     c.CutChecks.Load(),
+		"drc.check.eol":     c.EOLChecks.Load(),
+		"drc.check.minstep": c.MinStepChecks.Load(),
+		"drc.check.pair":    c.PairChecks.Load(),
+		"drc.via.attempted": c.ViaChecks.Load(),
+		"drc.via.clean":     c.ViaClean.Load(),
+		"drc.violations":    c.Violations.Load(),
+	}
+}
+
 // Engine indexes design shapes per layer and runs rule checks against them.
 type Engine struct {
 	Tech *tech.Technology
+
+	// Counters receives the engine's instrumentation. Always non-nil after
+	// NewEngine; reassign it to share one accumulator across engines.
+	Counters *Counters
 
 	objs    []Obj
 	alive   []bool
@@ -149,7 +193,7 @@ type Engine struct {
 // NewEngine creates an empty engine for the given technology. Bin size is
 // derived from the lower-metal pitch.
 func NewEngine(t *tech.Technology) *Engine {
-	e := &Engine{Tech: t}
+	e := &Engine{Tech: t, Counters: &Counters{}}
 	bin := 24 * t.Metal(1).Pitch
 	e.metal = make([]*binIndex, t.NumMetals()+1)
 	for i := 1; i <= t.NumMetals(); i++ {
@@ -238,6 +282,8 @@ func (e *Engine) queryIdx(idx *binIndex, r geom.Rect) []int {
 			}
 		}
 	}
+	e.Counters.Queries.Add(1)
+	e.Counters.QueryObjects.Add(int64(len(out)))
 	return out
 }
 
@@ -274,6 +320,7 @@ func (e *Engine) queryIdxInto(idx *binIndex, r geom.Rect, stamp []int32, pass in
 	if idx == nil {
 		return out
 	}
+	before := len(out)
 	x0, y0, x1, y1 := idx.keyRange(r)
 	for x := x0; x <= x1; x++ {
 		for y := y0; y <= y1; y++ {
@@ -288,6 +335,8 @@ func (e *Engine) queryIdxInto(idx *binIndex, r geom.Rect, stamp []int32, pass in
 			}
 		}
 	}
+	e.Counters.Queries.Add(1)
+	e.Counters.QueryObjects.Add(int64(len(out) - before))
 	return out
 }
 

@@ -9,15 +9,22 @@ package exp
 import (
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/pao"
 	"repro/internal/report"
 	"repro/internal/router"
 	"repro/internal/suite"
 )
+
+// Timing discipline: every experiment phase runs under an obs span, and the
+// reported row seconds ARE the span durations — the printed tables and an
+// exported trace can never disagree. The plain Run* entry points keep their
+// original signatures and run with a private observer; the *Obs variants
+// attach the spans (and, for phases that run the analyzer, the deep per-pin
+// instrumentation plus DRC counters) to a caller-provided observer.
 
 // Table1Row summarizes one generated testcase (the Table I mirror).
 type Table1Row struct {
@@ -80,26 +87,42 @@ type Exp1Row struct {
 
 // RunExp1 runs Experiment 1 on one testcase spec at the given scale.
 func RunExp1(spec suite.Spec, scale float64) (Exp1Row, error) {
+	return RunExp1Obs(nil, spec, scale)
+}
+
+// RunExp1Obs is RunExp1 with the phases attached to the given observer's
+// trace (nil runs with a private one).
+func RunExp1Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp1Row, error) {
+	deep := o != nil
+	o = obs.Ensure(o, "exp1")
 	d, err := suite.Generate(spec.Scale(scale))
 	if err != nil {
 		return Exp1Row{}, err
 	}
 	row := Exp1Row{Name: d.Name}
 
-	start := time.Now()
+	sp := o.Root().Start("exp1." + d.Name + ".trrte")
 	base := baseline.Analyze(d)
-	row.TrSeconds = time.Since(start).Seconds()
+	row.TrSeconds = sp.End().Seconds()
 
 	a := pao.NewAnalyzer(d, pao.DefaultConfig())
-	start = time.Now()
+	if deep {
+		a.Obs = o
+	}
+	sp = o.Root().Start("exp1." + d.Name + ".paaf")
 	paafRes := runStep1Only(a, d)
-	row.PaafSecond = time.Since(start).Seconds()
+	row.PaafSecond = sp.End().Seconds()
 
 	row.NumUnique = paafRes.Stats.NumUnique
 	row.TrAPs = base.Stats.TotalAPs
 	row.PaafAPs = paafRes.Stats.TotalAPs
+	sp = o.Root().Start("exp1." + d.Name + ".dirty")
 	row.TrDirty = a.CountDirtyAPs(base)
 	row.PaafDirty = a.CountDirtyAPs(paafRes)
+	sp.End()
+	if deep {
+		a.PublishObs()
+	}
 	return row, nil
 }
 
@@ -145,6 +168,14 @@ type Exp2Row struct {
 
 // RunExp2 runs Experiment 2 on one testcase spec at the given scale.
 func RunExp2(spec suite.Spec, scale float64) (Exp2Row, error) {
+	return RunExp2Obs(nil, spec, scale)
+}
+
+// RunExp2Obs is RunExp2 with the phases attached to the given observer's
+// trace (nil runs with a private one).
+func RunExp2Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp2Row, error) {
+	deep := o != nil
+	o = obs.Ensure(o, "exp2")
 	d, err := suite.Generate(spec.Scale(scale))
 	if err != nil {
 		return Exp2Row{}, err
@@ -152,28 +183,45 @@ func RunExp2(spec suite.Spec, scale float64) (Exp2Row, error) {
 	row := Exp2Row{Name: d.Name}
 
 	// Baseline: first-AP-per-pin, no compatibility.
-	start := time.Now()
+	sp := o.Root().Start("exp2." + d.Name + ".trrte")
 	base := baseline.Analyze(d)
 	a := pao.NewAnalyzer(d, pao.DefaultConfig())
 	a.CountFailedPins(base, a.GlobalEngine())
-	row.TrSeconds = time.Since(start).Seconds()
+	row.TrSeconds = sp.End().Seconds()
 	row.TotalPins = base.Stats.TotalPins
 	row.TrFailed = base.Stats.FailedPins
+	if deep {
+		a.PublishObs()
+	}
 
 	// PAAF without boundary conflict awareness (one pattern per unique
 	// instance).
 	cfg := pao.DefaultConfig()
 	cfg.BCA = false
-	start = time.Now()
-	noBCA := pao.NewAnalyzer(d, cfg).Run()
-	row.NoBCASecond = time.Since(start).Seconds()
+	noBCAAn := pao.NewAnalyzer(d, cfg)
+	if deep {
+		noBCAAn.Obs = o
+	}
+	sp = o.Root().Start("exp2." + d.Name + ".nobca")
+	noBCA := noBCAAn.Run()
+	row.NoBCASecond = sp.End().Seconds()
 	row.NoBCAFailed = noBCA.Stats.FailedPins
+	if deep {
+		noBCAAn.PublishObs()
+	}
 
 	// PAAF with BCA (up to three patterns, cluster selection).
-	start = time.Now()
-	full := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
-	row.BCASeconds = time.Since(start).Seconds()
+	fullAn := pao.NewAnalyzer(d, pao.DefaultConfig())
+	if deep {
+		fullAn.Obs = o
+	}
+	sp = o.Root().Start("exp2." + d.Name + ".bca")
+	full := fullAn.Run()
+	row.BCASeconds = sp.End().Seconds()
 	row.BCAFailed = full.Stats.FailedPins
+	if deep {
+		fullAn.PublishObs()
+	}
 	return row, nil
 }
 
@@ -203,6 +251,14 @@ type Exp3Result struct {
 
 // RunExp3 routes the scaled pao_test5 in both access modes.
 func RunExp3(scale float64) ([]Exp3Result, error) {
+	return RunExp3Obs(nil, scale)
+}
+
+// RunExp3Obs is RunExp3 with the phases attached to the given observer's
+// trace (nil runs with a private one).
+func RunExp3Obs(o *obs.Observer, scale float64) ([]Exp3Result, error) {
+	deep := o != nil
+	o = obs.Ensure(o, "exp3")
 	spec := suite.Testcases[4].Scale(scale) // pao_test5, as in the paper
 	var out []Exp3Result
 	for _, mode := range []router.AccessMode{router.AccessAdHoc, router.AccessPAAF} {
@@ -211,7 +267,10 @@ func RunExp3(scale float64) ([]Exp3Result, error) {
 			return nil, err
 		}
 		a := pao.NewAnalyzer(d, pao.DefaultConfig())
-		start := time.Now()
+		if deep {
+			a.Obs = o
+		}
+		sp := o.Root().Start("exp3." + mode.String())
 		cfg := router.Config{Mode: mode}
 		if mode == router.AccessPAAF {
 			cfg.Access = a.Run()
@@ -222,11 +281,15 @@ func RunExp3(scale float64) ([]Exp3Result, error) {
 		}
 		res := r.Route()
 		router.Check(a, res)
+		sec := sp.End().Seconds()
+		if deep {
+			a.PublishObs()
+		}
 		out = append(out, Exp3Result{
 			Name: d.Name, Mode: mode.String(),
 			Routed: res.Routed, Failed: res.Failed, WireLength: res.WireLength,
 			Violations: len(res.Violations), AccessDRCs: res.AccessViolations,
-			Seconds: time.Since(start).Seconds(),
+			Seconds: sec,
 		})
 	}
 	return out, nil
@@ -256,13 +319,28 @@ type AES14Result struct {
 
 // RunAES14 runs the 14 nm study at the given scale.
 func RunAES14(scale float64) (AES14Result, error) {
+	return RunAES14Obs(nil, scale)
+}
+
+// RunAES14Obs is RunAES14 with the run attached to the given observer's
+// trace (nil runs with a private one).
+func RunAES14Obs(o *obs.Observer, scale float64) (AES14Result, error) {
+	deep := o != nil
+	o = obs.Ensure(o, "aes14")
 	d, err := suite.Generate(suite.AES14.Scale(scale))
 	if err != nil {
 		return AES14Result{}, err
 	}
-	start := time.Now()
-	res := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
-	sec := time.Since(start).Seconds()
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	if deep {
+		a.Obs = o
+	}
+	sp := o.Root().Start("aes14.run")
+	res := a.Run()
+	sec := sp.End().Seconds()
+	if deep {
+		a.PublishObs()
+	}
 	return AES14Result{
 		Insts:     len(d.Instances),
 		Unique:    res.Stats.NumUnique,
@@ -297,6 +375,14 @@ type AblationRow struct {
 // k (access points per pin), alpha (pin ordering weight), history-aware edge
 // costs, BCA, and coordinate-type restriction (on-track only).
 func RunAblations(spec suite.Spec, scale float64) ([]AblationRow, error) {
+	return RunAblationsObs(nil, spec, scale)
+}
+
+// RunAblationsObs is RunAblations with one span per swept configuration on
+// the given observer's trace (nil runs with a private one).
+func RunAblationsObs(o *obs.Observer, spec suite.Spec, scale float64) ([]AblationRow, error) {
+	deep := o != nil
+	o = obs.Ensure(o, "ablate")
 	d, err := suite.Generate(spec.Scale(scale))
 	if err != nil {
 		return nil, err
@@ -323,15 +409,23 @@ func RunAblations(spec suite.Spec, scale float64) ([]AblationRow, error) {
 	}
 	var out []AblationRow
 	for _, c := range cfgs {
-		start := time.Now()
-		res := pao.NewAnalyzer(d, c.cfg).Run()
+		a := pao.NewAnalyzer(d, c.cfg)
+		if deep {
+			a.Obs = o
+		}
+		sp := o.Root().Start("ablate." + c.name)
+		res := a.Run()
+		sec := sp.End().Seconds()
+		if deep {
+			a.PublishObs()
+		}
 		out = append(out, AblationRow{
 			Name:       c.name,
 			TotalAPs:   res.Stats.TotalAPs,
 			FailedPins: res.Stats.FailedPins,
 			Patterns:   res.Stats.PatternsBuilt,
 			Dropped:    res.Stats.PatternsDropped,
-			Seconds:    time.Since(start).Seconds(),
+			Seconds:    sec,
 		})
 	}
 	return out, nil

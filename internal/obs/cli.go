@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Observer bundles a metric registry and a span trace for one run. A nil
+// *Observer is fully usable: every accessor returns a nil component whose
+// methods are no-ops.
+type Observer struct {
+	Name     string
+	Registry *Registry
+	Trace    *Trace
+}
+
+// NewObserver creates an observer with a fresh registry and a running root
+// span.
+func NewObserver(name string) *Observer {
+	return &Observer{Name: name, Registry: NewRegistry(), Trace: NewTrace(name)}
+}
+
+// Ensure returns o, or a fresh observer when o is nil — for code that wants
+// spans to measure time even when the caller did not request observability.
+func Ensure(o *Observer, name string) *Observer {
+	if o != nil {
+		return o
+	}
+	return NewObserver(name)
+}
+
+// Root returns the trace's root span (nil-safe).
+func (o *Observer) Root() *Span {
+	if o == nil || o.Trace == nil {
+		return nil
+	}
+	return o.Trace.Root
+}
+
+// Reg returns the registry (nil-safe).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Report is the combined JSON document: registry metrics plus the span tree.
+type Report struct {
+	Name string `json:"name"`
+	Metrics
+	Trace *SpanExport `json:"trace,omitempty"`
+}
+
+// Report snapshots the observer.
+func (o *Observer) Report() Report {
+	if o == nil {
+		return Report{Metrics: Metrics{Counters: map[string]int64{}}}
+	}
+	return Report{Name: o.Name, Metrics: o.Registry.Snapshot(), Trace: o.Root().Export()}
+}
+
+// WriteJSON writes the combined report as indented JSON.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.Report())
+}
+
+// WriteText renders the metrics followed by the span tree.
+func (o *Observer) WriteText(w io.Writer) {
+	if o == nil {
+		return
+	}
+	fmt.Fprintf(w, "--- metrics (%s) ---\n", o.Name)
+	o.Registry.Snapshot().WriteText(w)
+	fmt.Fprintln(w, "--- spans ---")
+	o.Root().WriteText(w)
+}
+
+// Flags is the shared observability CLI surface of the command-line tools.
+type Flags struct {
+	Metrics    string
+	TracePath  string
+	CPUProfile string
+	MemProfile string
+
+	// Out receives the -metrics report; defaults to os.Stdout.
+	Out io.Writer
+}
+
+// RegisterFlags registers the observability flags on fs and returns the
+// struct they populate.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "off", "emit run metrics and span tree: off, text or json")
+	fs.StringVar(&f.TracePath, "trace", "", "write the span timing tree as JSON to this file")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file")
+	return f
+}
+
+func (f *Flags) enabled() bool {
+	return f.Metrics == "text" || f.Metrics == "json" || f.TracePath != ""
+}
+
+// Start validates the flags, begins CPU profiling if requested, and returns
+// the observer to instrument with — nil when neither metrics nor a trace
+// were requested, which turns all hooks into no-ops — plus a finish func
+// that ends the root span, emits the requested outputs and stops profiling.
+func (f *Flags) Start(name string) (*Observer, func() error, error) {
+	switch f.Metrics {
+	case "", "off", "text", "json":
+	default:
+		return nil, nil, fmt.Errorf("obs: unknown -metrics mode %q (want off, text or json)", f.Metrics)
+	}
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		var err error
+		if cpuFile, err = os.Create(f.CPUProfile); err != nil {
+			return nil, nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, nil, err
+		}
+	}
+	var o *Observer
+	if f.enabled() {
+		o = NewObserver(name)
+	}
+	finish := func() error {
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if o != nil {
+			o.Root().End()
+			out := f.Out
+			if out == nil {
+				out = os.Stdout
+			}
+			switch f.Metrics {
+			case "text":
+				o.WriteText(out)
+			case "json":
+				keep(o.WriteJSON(out))
+			}
+			if f.TracePath != "" {
+				tf, err := os.Create(f.TracePath)
+				if err == nil {
+					keep(o.Root().WriteJSON(tf))
+					keep(tf.Close())
+				} else {
+					keep(err)
+				}
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err == nil {
+				runtime.GC()
+				keep(pprof.WriteHeapProfile(mf))
+				keep(mf.Close())
+			} else {
+				keep(err)
+			}
+		}
+		return firstErr
+	}
+	return o, finish, nil
+}

@@ -1,0 +1,302 @@
+// Package obs is the repository's dependency-free observability layer:
+// named registries of race-safe counters, gauges and duration histograms,
+// hierarchical spans that assemble a run into a timing tree (span.go), and
+// CLI/profiling wiring shared by the command-line tools (cli.go).
+//
+// Every method tolerates a nil receiver, so instrumented code needs no
+// enabled-checks: a nil Observer (or nil Registry/Span/Counter) turns every
+// hook into a cheap no-op. Hot paths that would pay for a time.Now() even on
+// the no-op path should still gate on the observer being non-nil.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable level (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of log2 duration buckets. Bucket i counts
+// observations with a microsecond value whose bit length is i (so bucket 0 is
+// sub-microsecond, bucket i covers [2^(i-1), 2^i) microseconds); the last
+// bucket is a catch-all for anything longer (~36 minutes and up).
+const histBuckets = 32
+
+// Histogram is a race-safe log2 duration histogram with sum, count and max.
+type Histogram struct {
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+	bucket [histBuckets]atomic.Int64
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.bucket[bucketOf(d)].Add(1)
+}
+
+// Sum returns the accumulated duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// BucketCount is one non-empty histogram bucket in an export.
+type BucketCount struct {
+	LeUS  int64 `json:"le_us"` // upper bound of the bucket, microseconds
+	Count int64 `json:"count"`
+}
+
+// HistStat is the exported summary of a histogram.
+type HistStat struct {
+	Count   int64         `json:"count"`
+	SumMS   float64       `json:"sum_ms"`
+	AvgMS   float64       `json:"avg_ms"`
+	MaxMS   float64       `json:"max_ms"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram's current state.
+func (h *Histogram) Snapshot() HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	s := HistStat{
+		Count: h.count.Load(),
+		SumMS: float64(h.sumNS.Load()) / 1e6,
+		MaxMS: float64(h.maxNS.Load()) / 1e6,
+	}
+	if s.Count > 0 {
+		s.AvgMS = s.SumMS / float64(s.Count)
+	}
+	for i := range h.bucket {
+		if n := h.bucket[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{LeUS: int64(1) << i, Count: n})
+		}
+	}
+	return s
+}
+
+// Registry is a named, race-safe collection of counters, gauges and
+// histograms. Lookups get-or-create, so instrumentation sites never need
+// registration boilerplate.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AddAll folds a map of external counts (for example a DRC engine snapshot)
+// into the registry's counters.
+func (r *Registry) AddAll(counts map[string]int64) {
+	if r == nil {
+		return
+	}
+	for name, v := range counts {
+		r.Counter(name).Add(v)
+	}
+}
+
+// Metrics is a point-in-time export of a registry.
+type Metrics struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every metric in the registry.
+func (r *Registry) Snapshot() Metrics {
+	m := Metrics{Counters: map[string]int64{}}
+	if r == nil {
+		return m
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		m.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		if m.Gauges == nil {
+			m.Gauges = map[string]float64{}
+		}
+		m.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		if m.Histograms == nil {
+			m.Histograms = map[string]HistStat{}
+		}
+		m.Histograms[name] = h.Snapshot()
+	}
+	return m
+}
+
+// WriteText renders the metrics sorted by name.
+func (m Metrics) WriteText(w io.Writer) {
+	for _, name := range sortedKeys(m.Counters) {
+		fmt.Fprintf(w, "%-40s %d\n", name, m.Counters[name])
+	}
+	for _, name := range sortedKeys(m.Gauges) {
+		fmt.Fprintf(w, "%-40s %.3f\n", name, m.Gauges[name])
+	}
+	for _, name := range sortedKeys(m.Histograms) {
+		h := m.Histograms[name]
+		fmt.Fprintf(w, "%-40s n=%d sum=%.2fms avg=%.3fms max=%.3fms\n",
+			name, h.Count, h.SumMS, h.AvgMS, h.MaxMS)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one node of a timing tree. Two usage styles combine freely:
+//
+//   - stopwatch: sp := parent.Start("phase"); ...; sp.End() records one
+//     timed interval as a new child of parent;
+//   - aggregated: parent.AddTime("item", d) (or sp := parent.Agg("item")
+//     plus sp.AddDur(d)) folds many intervals into a single child keyed by
+//     name, accumulating duration and count.
+//
+// Children may be created and accumulated concurrently: the parent's mutex
+// guards the child list, and duration/count are atomic. A nil *Span makes
+// every method a no-op, so instrumentation threads through call chains
+// without enabled-checks.
+type Span struct {
+	Name string
+
+	start time.Time
+	durNS atomic.Int64
+	count atomic.Int64
+
+	mu       sync.Mutex
+	children []*Span
+	index    map[string]*Span
+}
+
+// Trace is a tree of spans; Root is started at creation.
+type Trace struct{ Root *Span }
+
+// NewTrace creates a trace whose root span is running.
+func NewTrace(name string) *Trace {
+	return &Trace{Root: &Span{Name: name, start: time.Now()}}
+}
+
+// Start creates and starts a new child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops a span started with Start, accumulating the elapsed interval,
+// and returns it. A span may be started and ended repeatedly.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.durNS.Add(d.Nanoseconds())
+	s.count.Add(1)
+	return d
+}
+
+// Agg returns the child span with the given name, creating it if needed.
+// Unlike Start it does not start a stopwatch: accumulate with AddDur or
+// AddTime. Safe for concurrent callers.
+func (s *Span) Agg(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.index[name]
+	if c == nil {
+		if s.index == nil {
+			s.index = make(map[string]*Span)
+		}
+		c = &Span{Name: name}
+		s.index[name] = c
+		s.children = append(s.children, c)
+	}
+	return c
+}
+
+// AddDur accumulates one measured interval into the span.
+func (s *Span) AddDur(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.durNS.Add(d.Nanoseconds())
+	s.count.Add(1)
+}
+
+// AddTime accumulates one interval into the named aggregated child.
+func (s *Span) AddTime(name string, d time.Duration) { s.Agg(name).AddDur(d) }
+
+// Duration returns the accumulated duration.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.durNS.Load())
+}
+
+// Count returns the number of accumulated intervals.
+func (s *Span) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// SpanExport is the JSON shape of a span subtree.
+type SpanExport struct {
+	Name     string        `json:"name"`
+	DurMS    float64       `json:"dur_ms"`
+	Count    int64         `json:"count"`
+	Children []*SpanExport `json:"children,omitempty"`
+}
+
+// Export snapshots the subtree rooted at s (children in creation order).
+func (s *Span) Export() *SpanExport {
+	if s == nil {
+		return nil
+	}
+	e := &SpanExport{
+		Name:  s.Name,
+		DurMS: float64(s.durNS.Load()) / 1e6,
+		Count: s.count.Load(),
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		e.Children = append(e.Children, c.Export())
+	}
+	return e
+}
+
+// WriteJSON writes the subtree as indented JSON.
+func (s *Span) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}
+
+// WriteText renders the subtree as an indented table: name, accumulated
+// duration, share of the parent's duration, and interval count when > 1.
+func (s *Span) WriteText(w io.Writer) {
+	e := s.Export()
+	if e == nil {
+		return
+	}
+	writeSpanText(w, e, 0, e.DurMS)
+}
+
+func writeSpanText(w io.Writer, e *SpanExport, depth int, parentMS float64) {
+	pct := ""
+	if depth > 0 && parentMS > 0 {
+		pct = fmt.Sprintf("%5.1f%%", 100*e.DurMS/parentMS)
+	}
+	count := ""
+	if e.Count > 1 {
+		count = fmt.Sprintf("x%d", e.Count)
+	}
+	fmt.Fprintf(w, "%-48s %10.3fms %7s %s\n",
+		strings.Repeat("  ", depth)+e.Name, e.DurMS, pct, count)
+	for _, c := range e.Children {
+		writeSpanText(w, c, depth+1, e.DurMS)
+	}
+}

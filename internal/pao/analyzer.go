@@ -2,10 +2,13 @@ package pao
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/drc"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Analyzer runs the three-step pin access analysis over a placed design.
@@ -13,12 +16,24 @@ type Analyzer struct {
 	Design *db.Design
 	Cfg    Config
 
+	// Obs receives spans and worker telemetry when set (before the first
+	// Run/AnalyzeUnique call). Nil disables the deep instrumentation; the
+	// coarse per-step durations in Stats.Steps are always populated.
+	Obs *obs.Observer
+	// DRC accumulates the DRC engine counters of every engine the analyzer
+	// creates (per-cell contexts and the global engine). Always non-nil.
+	DRC *drc.Counters
+
 	// netOf maps (instance ID, pin name) to a net index (>= 1). Pins not on
 	// any net receive fresh pseudo-net indexes so that they still conflict
 	// with everything else but never with themselves.
 	netOf map[termKey]int
 	// nextPseudo is the next free pseudo-net index.
 	nextPseudo int
+
+	// step1NS/step2NS accumulate per-step CPU time across workers for the
+	// current Run (reset at Run start).
+	step1NS, step2NS atomic.Int64
 }
 
 type termKey struct {
@@ -28,7 +43,7 @@ type termKey struct {
 
 // NewAnalyzer builds an analyzer for the design with the given configuration.
 func NewAnalyzer(d *db.Design, cfg Config) *Analyzer {
-	a := &Analyzer{Design: d, Cfg: cfg.normalized(), netOf: make(map[termKey]int)}
+	a := &Analyzer{Design: d, Cfg: cfg.normalized(), DRC: &drc.Counters{}, netOf: make(map[termKey]int)}
 	for idx, net := range d.Nets {
 		for _, t := range net.Terms {
 			a.netOf[termKey{t.Inst.ID, t.Pin.Name}] = idx + 1
@@ -36,6 +51,14 @@ func NewAnalyzer(d *db.Design, cfg Config) *Analyzer {
 	}
 	a.nextPseudo = len(d.Nets) + 1
 	return a
+}
+
+// PublishObs folds the analyzer's accumulated DRC counters into the
+// observer's registry. Call once per analyzer, after its last Run.
+func (a *Analyzer) PublishObs() {
+	if reg := a.Obs.Reg(); reg != nil {
+		reg.AddAll(a.DRC.Snapshot())
+	}
 }
 
 // NetOf returns the net index of an instance pin, allocating a pseudo net for
@@ -60,6 +83,7 @@ func (a *Analyzer) NetOf(inst *db.Instance, pin *db.MPin) int {
 // Step 3's job.
 func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]int) {
 	eng := drc.NewEngine(a.Design.Tech)
+	eng.Counters = a.DRC
 	pivot := ui.Pivot()
 	nets := make(map[string]int)
 	nextNet := 1
@@ -85,6 +109,7 @@ func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]in
 // Step-3 inter-cell checks and failed-pin accounting.
 func (a *Analyzer) GlobalEngine() *drc.Engine {
 	eng := drc.NewEngine(a.Design.Tech)
+	eng.Counters = a.DRC
 	for _, inst := range a.Design.Instances {
 		for _, pin := range inst.Master.Pins {
 			net := drc.NoNet
@@ -118,28 +143,94 @@ func (a *Analyzer) ioNet(io *db.IOPin) int {
 
 // AnalyzeUnique runs Steps 1 and 2 for one unique instance.
 func (a *Analyzer) AnalyzeUnique(ui *db.UniqueInstance) *UniqueAccess {
+	var parent *obs.Span
+	if a.Obs != nil {
+		parent = a.Obs.Root()
+	}
+	return a.analyzeUnique(ui, parent)
+}
+
+// analyzeUnique is AnalyzeUnique with an explicit span parent: when non-nil,
+// an aggregated child span per unique instance is created under it, with
+// per-pin DRC-validation leaves below. Step 1/2 CPU time always accumulates
+// into the analyzer's per-Run totals.
+func (a *Analyzer) analyzeUnique(ui *db.UniqueInstance, parent *obs.Span) *UniqueAccess {
+	t0 := time.Now()
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Agg("ui:" + ui.Signature())
+	}
 	eng, nets := a.cellEngine(ui)
 	pivot := ui.Pivot()
 	ua := &UniqueAccess{UI: ui, PivotPos: pivot.Pos}
 	for _, pin := range pivot.Master.SignalPins() {
+		var tp time.Time
+		if sp != nil {
+			tp = time.Now()
+		}
 		pa := a.genAccessPoints(eng, pivot, pin, nets[pin.Name])
+		if sp != nil {
+			sp.AddTime("pin:"+pin.Name, time.Since(tp))
+		}
 		ua.Pins = append(ua.Pins, pa)
 	}
+	t1 := time.Now()
 	a.orderPins(ua)
 	a.genPatterns(ua)
+	t2 := time.Now()
+	a.step1NS.Add(t1.Sub(t0).Nanoseconds())
+	a.step2NS.Add(t2.Sub(t1).Nanoseconds())
+	sp.AddDur(t2.Sub(t0))
 	return ua
+}
+
+// analyzeWorker drains unique-instance indexes from next, recording
+// per-goroutine busy time and queue wait when telemetry is enabled.
+func (a *Analyzer) analyzeWorker(next <-chan int, uis []*db.UniqueInstance, uas []*UniqueAccess,
+	sp12 *obs.Span, busyTotal *atomic.Int64) {
+
+	reg := a.Obs.Reg()
+	if reg == nil {
+		for i := range next {
+			uas[i] = a.analyzeUnique(uis[i], nil)
+		}
+		return
+	}
+	var busy, wait time.Duration
+	for {
+		tw := time.Now()
+		i, ok := <-next
+		wait += time.Since(tw)
+		if !ok {
+			break
+		}
+		tb := time.Now()
+		uas[i] = a.analyzeUnique(uis[i], sp12)
+		busy += time.Since(tb)
+	}
+	busyTotal.Add(busy.Nanoseconds())
+	reg.Histogram("pao.step12.worker.busy").Observe(busy)
+	reg.Histogram("pao.step12.worker.wait").Observe(wait)
 }
 
 // Run executes the full three-step flow. When Cfg.Workers > 1 the
 // per-unique-instance analysis (Steps 1 and 2) fans out across goroutines;
 // classes are independent, so the result is identical to the sequential run.
 func (a *Analyzer) Run() *Result {
+	tRun := time.Now()
+	a.step1NS.Store(0)
+	a.step2NS.Store(0)
+	reg := a.Obs.Reg()
+	spRun := a.Obs.Root().Start("pao.run")
 	res := &Result{
 		ByInstance: make(map[int]*UniqueAccess),
 		Selected:   make(map[int]int),
 	}
 	uis := a.Design.UniqueInstances()
 	uas := make([]*UniqueAccess, len(uis))
+	sp12 := spRun.Start("pao.step12")
+	t12 := time.Now()
+	var busyTotal atomic.Int64
 	if w := a.Cfg.Workers; w > 1 {
 		var wg sync.WaitGroup
 		next := make(chan int)
@@ -147,9 +238,7 @@ func (a *Analyzer) Run() *Result {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					uas[i] = a.AnalyzeUnique(uis[i])
-				}
+				a.analyzeWorker(next, uis, uas, sp12, &busyTotal)
 			}()
 		}
 		for i := range uis {
@@ -157,11 +246,22 @@ func (a *Analyzer) Run() *Result {
 		}
 		close(next)
 		wg.Wait()
+	} else if reg != nil {
+		var busy time.Duration
+		for i := range uis {
+			tb := time.Now()
+			uas[i] = a.analyzeUnique(uis[i], sp12)
+			busy += time.Since(tb)
+		}
+		busyTotal.Add(busy.Nanoseconds())
+		reg.Histogram("pao.step12.worker.busy").Observe(busy)
 	} else {
 		for i := range uis {
-			uas[i] = a.AnalyzeUnique(uis[i])
+			uas[i] = a.analyzeUnique(uis[i], nil)
 		}
 	}
+	step12Wall := time.Since(t12)
+	sp12.End()
 	for i, ui := range uis {
 		ua := uas[i]
 		res.Unique = append(res.Unique, ua)
@@ -181,9 +281,41 @@ func (a *Analyzer) Run() *Result {
 		}
 	}
 	res.indexSignatures(a.Design)
+	spEng := spRun.Start("pao.globalengine")
 	eng := a.GlobalEngine()
+	spEng.End()
+	spSel := spRun.Start("pao.step3.select")
+	tSel := time.Now()
 	a.SelectPatterns(res, eng)
+	selDur := time.Since(tSel)
+	spSel.End()
+	spFail := spRun.Start("pao.failedpins")
+	tFail := time.Now()
 	a.CountFailedPins(res, eng)
+	failDur := time.Since(tFail)
+	spFail.End()
+	spRun.End()
+
+	res.Stats.Steps = StepTimes{
+		Step1:      time.Duration(a.step1NS.Load()),
+		Step2:      time.Duration(a.step2NS.Load()),
+		Step12Wall: step12Wall,
+		Step3:      selDur,
+		FailedPins: failDur,
+		Total:      time.Since(tRun),
+	}
+	if reg != nil {
+		w := a.Cfg.Workers
+		if w < 1 {
+			w = 1
+		}
+		reg.Gauge("pao.workers").Set(float64(w))
+		if wall := step12Wall.Nanoseconds(); wall > 0 {
+			reg.Gauge("pao.workers.utilization").Set(
+				float64(busyTotal.Load()) / (float64(wall) * float64(w)))
+		}
+		reg.Counter("pao.step12.items").Add(int64(len(uis)))
+	}
 	return res
 }
 

@@ -98,8 +98,8 @@ func TestParallelEquivalence(t *testing.T) {
 	cfg.Workers = 4
 	par := NewAnalyzer(d, cfg).Run()
 
-	if seq.Stats != par.Stats {
-		t.Fatalf("stats differ:\nseq %+v\npar %+v", seq.Stats, par.Stats)
+	if seq.Stats.Counts() != par.Stats.Counts() {
+		t.Fatalf("stats differ:\nseq %+v\npar %+v", seq.Stats.Counts(), par.Stats.Counts())
 	}
 	for _, net := range d.Nets {
 		for _, term := range net.Terms {

@@ -15,6 +15,7 @@ package pao
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/geom"
@@ -255,7 +256,20 @@ func (c Config) typeAllowed(t CoordType) bool {
 	return false
 }
 
-// Stats aggregates the counters the paper's tables report.
+// StepTimes records the durations of one Run's phases. Step1 and Step2 are
+// CPU time summed across workers (they can exceed Step12Wall when
+// Config.Workers > 1); the remaining fields are wall clock.
+type StepTimes struct {
+	Step1      time.Duration // access point generation (Algorithm 1)
+	Step2      time.Duration // pattern generation (Algorithms 2-3)
+	Step12Wall time.Duration // wall clock of the step 1+2 fan-out
+	Step3      time.Duration // cluster-based pattern selection
+	FailedPins time.Duration // failed-pin accounting
+	Total      time.Duration // full Run wall clock
+}
+
+// Stats aggregates the counters the paper's tables report, plus the
+// per-step durations of the Run that produced them.
 type Stats struct {
 	NumUnique       int
 	TotalAPs        int // Table II "Total #APs"
@@ -265,6 +279,14 @@ type Stats struct {
 	PatternsBuilt   int
 	PatternsDropped int
 	OffTrackAPs     int
+	Steps           StepTimes
+}
+
+// Counts returns the stats with the timing fields zeroed — the deterministic
+// portion that must be identical across worker counts.
+func (s Stats) Counts() Stats {
+	s.Steps = StepTimes{}
+	return s
 }
 
 // Result is the full analysis output.

@@ -3,6 +3,7 @@ package pao
 import (
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/drc"
@@ -43,12 +44,17 @@ func (a *Analyzer) SelectPatterns(res *Result, eng *drc.Engine) {
 	}
 	// Clusters are disjoint, and the engine is only read — fan out and merge
 	// the per-cluster selections afterwards.
+	reg := a.Obs.Reg()
 	picks := make([]map[int]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var t0 time.Time
+			if reg != nil {
+				t0 = time.Now()
+			}
 			ctx := eng.NewQueryCtx()
 			local := make(map[int]int)
 			for i := w; i < len(clusters); i += workers {
@@ -57,6 +63,9 @@ func (a *Analyzer) SelectPatterns(res *Result, eng *drc.Engine) {
 				}
 			}
 			picks[w] = local
+			if reg != nil {
+				reg.Histogram("pao.step3.worker.busy").Observe(time.Since(t0))
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -260,12 +269,17 @@ func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
 			}
 		}
 	} else {
+		reg := a.Obs.Reg()
 		counts := make([]int, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var t0 time.Time
+				if reg != nil {
+					t0 = time.Now()
+				}
 				ctx := eng.NewQueryCtx()
 				for i := w; i < len(all); i += workers {
 					p := all[i]
@@ -273,6 +287,9 @@ func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
 					if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, ctx)) > 0 {
 						counts[w]++
 					}
+				}
+				if reg != nil {
+					reg.Histogram("pao.failedpins.worker.busy").Observe(time.Since(t0))
 				}
 			}(w)
 		}
