@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments experiments-full examples clean
+.PHONY: all build test vet bench experiments experiments-full examples clean \
+	difftest golden-update fuzz-smoke cover
 
 all: build vet test
 
@@ -15,6 +16,29 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Differential DRC oracle + metamorphic invariants under the race detector:
+# thousands of seeded via-drop/spacing queries replayed through the engine and
+# the naive reference checker, failing on any verdict divergence.
+difftest:
+	$(GO) test -race -v -run 'TestDifferential|TestTranslation|TestMirror|TestWorkers|TestRebind' ./internal/difftest
+
+# Re-pin the golden per-testcase result snapshots after an intentional
+# behaviour change (testdata/golden/*.json).
+golden-update:
+	$(GO) test ./internal/difftest -update -run TestGolden
+
+# Short coverage-guided fuzz of each parser, seeded from testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/lef
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/def
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/guide
+
+# Coverage over the core analysis/check packages (the CI floor gates on this).
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/pao,./internal/drc,./internal/oracle \
+		./internal/pao ./internal/drc ./internal/oracle ./internal/difftest
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # One benchmark run per paper table/figure plus the ablations; the output is
 # kept in BENCH_PR1.txt as the PR's perf record.

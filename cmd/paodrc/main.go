@@ -22,37 +22,61 @@ import (
 	"repro/internal/pao"
 )
 
-func main() {
-	lefPath := flag.String("lef", "", "LEF file")
-	defPath := flag.String("def", "", "DEF file")
-	maxPrint := flag.Int("max", 50, "maximum violations to print")
-	ofl := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	lefPath, defPath string
+	maxPrint         int
+	obs              *obs.Flags
+}
 
-	if *lefPath == "" || *defPath == "" {
-		fmt.Fprintln(os.Stderr, "paodrc: -lef and -def are required")
-		os.Exit(2)
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.lefPath, "lef", "", "LEF file")
+	fs.StringVar(&o.defPath, "def", "", "DEF file")
+	fs.IntVar(&o.maxPrint, "max", 50, "maximum violations to print")
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
-	nviol, err := run(*lefPath, *defPath, *maxPrint, ofl)
+	if o.lefPath == "" || o.defPath == "" {
+		return nil, fmt.Errorf("-lef and -def are required")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paodrc", flag.ExitOnError), os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paodrc:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	if nviol > 0 {
-		os.Exit(1)
+	nviol, err := run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paodrc:", err)
 	}
+	os.Exit(exitCode(nviol, err))
+}
+
+// exitCode maps the run outcome to the process exit status: any violation or
+// error is nonzero, so CI can gate on a clean check.
+func exitCode(nviol int, err error) int {
+	if err != nil || nviol > 0 {
+		return 1
+	}
+	return 0
 }
 
 // run returns the violation count so the caller decides the exit status after
 // the observability report has been flushed.
-func run(lefPath, defPath string, maxPrint int, ofl *obs.Flags) (int, error) {
-	o, finish, err := ofl.Start("paodrc")
+func run(opts *options) (int, error) {
+	o, finish, err := opts.obs.Start("paodrc")
 	if err != nil {
 		return 0, err
 	}
 
 	spParse := o.Root().Start("parse")
-	lf, err := os.Open(lefPath)
+	lf, err := os.Open(opts.lefPath)
 	if err != nil {
 		return 0, err
 	}
@@ -61,7 +85,7 @@ func run(lefPath, defPath string, maxPrint int, ofl *obs.Flags) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	df, err := os.Open(defPath)
+	df, err := os.Open(opts.defPath)
 	if err != nil {
 		return 0, err
 	}
@@ -72,7 +96,7 @@ func run(lefPath, defPath string, maxPrint int, ofl *obs.Flags) (int, error) {
 	}
 	spParse.End()
 
-	if problems := d.Validate(maxPrint); len(problems) > 0 {
+	if problems := d.Validate(opts.maxPrint); len(problems) > 0 {
 		fmt.Printf("%s: %d structural problems\n", d.Name, len(problems))
 		for _, p := range problems {
 			fmt.Println(" ", p)
@@ -89,8 +113,8 @@ func run(lefPath, defPath string, maxPrint int, ofl *obs.Flags) (int, error) {
 	}
 	fmt.Printf("%s: %d shapes, %d violations\n", d.Name, eng.NumObjs(), len(vs))
 	for i, v := range vs {
-		if i >= maxPrint {
-			fmt.Printf("... and %d more\n", len(vs)-maxPrint)
+		if i >= opts.maxPrint {
+			fmt.Printf("... and %d more\n", len(vs)-opts.maxPrint)
 			break
 		}
 		fmt.Println(" ", v)

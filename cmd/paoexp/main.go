@@ -26,14 +26,34 @@ import (
 	"repro/internal/suite"
 )
 
-func main() {
-	expName := flag.String("exp", "all", "experiment: table1, 1, 2, 3, 14nm, ablate, all")
-	scale := flag.Float64("scale", 0.05, "testcase scale factor (1.0 = full Table I sizes)")
-	cases := flag.String("cases", "", "comma-separated testcase subset (default: all)")
-	ofl := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	expName string
+	scale   float64
+	cases   string
+	obs     *obs.Flags
+}
 
-	if err := run(*expName, *scale, *cases, ofl); err != nil {
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.expName, "exp", "all", "experiment: table1, 1, 2, 3, 14nm, ablate, all")
+	fs.Float64Var(&o.scale, "scale", 0.05, "testcase scale factor (1.0 = full Table I sizes)")
+	fs.StringVar(&o.cases, "cases", "", "comma-separated testcase subset (default: all)")
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paoexp", flag.ExitOnError), os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paoexp:", err)
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paoexp:", err)
 		os.Exit(1)
 	}
@@ -54,12 +74,13 @@ func selectedSpecs(cases string) ([]suite.Spec, error) {
 	return out, nil
 }
 
-func run(expName string, scale float64, cases string, ofl *obs.Flags) error {
-	specs, err := selectedSpecs(cases)
+func run(opts *options) error {
+	expName, scale := opts.expName, opts.scale
+	specs, err := selectedSpecs(opts.cases)
 	if err != nil {
 		return err
 	}
-	o, finish, err := ofl.Start("paoexp")
+	o, finish, err := opts.obs.Start("paoexp")
 	if err != nil {
 		return err
 	}

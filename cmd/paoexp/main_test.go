@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("paoexp", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(newFlagSet(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.expName != "all" || o.scale != 0.05 || o.cases != "" {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o, err = parseFlags(newFlagSet(), []string{"-exp", "1", "-scale", "0.004", "-cases", "pao_test1", "-metrics", "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.expName != "1" || o.scale != 0.004 || o.cases != "pao_test1" || o.obs.Metrics != "text" {
+		t.Errorf("parsed values wrong: %+v obs=%+v", o, o.obs)
+	}
+}
+
+func TestSelectedSpecs(t *testing.T) {
+	all, err := selectedSpecs("")
+	if err != nil || len(all) != 10 {
+		t.Fatalf("default selection: %d specs, err %v", len(all), err)
+	}
+	sub, err := selectedSpecs("pao_test1, pao_test5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "pao_test1" || sub[1].Name != "pao_test5" {
+		t.Fatalf("subset wrong: %+v", sub)
+	}
+	if _, err := selectedSpecs("pao_test1,nope"); err == nil {
+		t.Fatal("unknown testcase must be an error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	opts := &options{expName: "bogus", scale: 0.004, obs: &obs.Flags{}}
+	err := run(opts)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunExp1Tiny runs Experiment 1 on one tiny testcase and checks the
+// metrics report carries the per-phase experiment spans.
+func TestRunExp1Tiny(t *testing.T) {
+	var buf bytes.Buffer
+	opts := &options{
+		expName: "1", scale: 0.004, cases: "pao_test1",
+		obs: &obs.Flags{Metrics: "json", Out: &buf},
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-metrics json output invalid: %v\n%s", err, buf.Bytes())
+	}
+	if rep.Name != "paoexp" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+	if rep.Trace == nil || len(rep.Trace.Children) == 0 {
+		t.Fatal("experiment ran without emitting any spans")
+	}
+}

@@ -24,39 +24,59 @@ import (
 	"repro/internal/suite"
 )
 
-func main() {
-	name := flag.String("case", "pao_test1", "testcase name (pao_test1..pao_test10, aes_14nm)")
-	scale := flag.Float64("scale", 1.0, "scale factor")
-	out := flag.String("out", ".", "output directory")
-	ofl := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	name  string
+	scale float64
+	out   string
+	obs   *obs.Flags
+}
 
-	if err := run(*name, *scale, *out, ofl); err != nil {
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.name, "case", "pao_test1", "testcase name (pao_test1..pao_test10, aes_14nm)")
+	fs.Float64Var(&o.scale, "scale", 1.0, "scale factor")
+	fs.StringVar(&o.out, "out", ".", "output directory")
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paogen", flag.ExitOnError), os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paogen:", err)
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paogen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale float64, out string, ofl *obs.Flags) error {
-	spec, err := suite.ByName(name)
+func run(opts *options) error {
+	spec, err := suite.ByName(opts.name)
 	if err != nil {
 		return err
 	}
-	o, finish, err := ofl.Start("paogen")
+	o, finish, err := opts.obs.Start("paogen")
 	if err != nil {
 		return err
 	}
 	spGen := o.Root().Start("generate")
-	d, err := suite.Generate(spec.Scale(scale))
+	d, err := suite.Generate(spec.Scale(opts.scale))
 	if err != nil {
 		return err
 	}
 	spGen.End()
-	if err := os.MkdirAll(out, 0o755); err != nil {
+	if err := os.MkdirAll(opts.out, 0o755); err != nil {
 		return err
 	}
-	lefPath := filepath.Join(out, d.Name+".lef")
-	defPath := filepath.Join(out, d.Name+".def")
+	lefPath := filepath.Join(opts.out, d.Name+".lef")
+	defPath := filepath.Join(opts.out, d.Name+".def")
 
 	spWrite := o.Root().Start("write")
 	lf, err := os.Create(lefPath)
@@ -78,7 +98,7 @@ func run(name string, scale float64, out string, ofl *obs.Flags) error {
 	spWrite.End()
 	// Global-route and emit the contest-style guide file alongside.
 	spGuide := o.Root().Start("globalroute")
-	guidePath := filepath.Join(out, d.Name+".guide")
+	guidePath := filepath.Join(opts.out, d.Name+".guide")
 	gr := guide.New(d, guide.Config{})
 	guides := gr.Route()
 	spGuide.End()
@@ -92,7 +112,7 @@ func run(name string, scale float64, out string, ofl *obs.Flags) error {
 	}
 	// Congestion heatmap of the global-routing solution.
 	spHeat := o.Root().Start("heatmap")
-	heatPath := filepath.Join(out, d.Name+"_congestion.svg")
+	heatPath := filepath.Join(opts.out, d.Name+"_congestion.svg")
 	hf, err := os.Create(heatPath)
 	if err != nil {
 		return err

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/def"
+	"repro/internal/lef"
+	"repro/internal/obs"
+	"repro/internal/suite"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("paogen", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(newFlagSet(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.name != "pao_test1" || o.scale != 1.0 || o.out != "." {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o, err = parseFlags(newFlagSet(), []string{"-case", "aes_14nm", "-scale", "0.25", "-out", "/tmp/x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.name != "aes_14nm" || o.scale != 0.25 || o.out != "/tmp/x" {
+		t.Errorf("parsed values wrong: %+v", o)
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	opts := &options{name: "nope", scale: 0.01, out: t.TempDir(), obs: &obs.Flags{}}
+	if err := run(opts); err == nil {
+		t.Fatal("unknown testcase must be an error")
+	}
+}
+
+// TestRunWritesParseableOutputs: the generated LEF/DEF/guide triple plus the
+// congestion SVG all land on disk, and the LEF/DEF pair parses back into a
+// design of the expected size — the full generator round trip.
+func TestRunWritesParseableOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	opts := &options{
+		name: "pao_test1", scale: 0.01, out: dir,
+		obs: &obs.Flags{TracePath: tracePath},
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := suite.ByName("pao_test1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec.Scale(0.01).Name // scaled testcases are renamed
+	for _, name := range []string{base + ".lef", base + ".def", base + ".guide", base + "_congestion.svg"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing output: %v", err)
+		}
+	}
+
+	lf, err := os.Open(filepath.Join(dir, base+".lef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	lib, err := lef.Parse(lf)
+	if err != nil {
+		t.Fatalf("written LEF does not parse: %v", err)
+	}
+	df, err := os.Open(filepath.Join(dir, base+".def"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	d, err := def.Parse(df, lib.Tech, lib.Masters)
+	if err != nil {
+		t.Fatalf("written DEF does not parse: %v", err)
+	}
+	if len(d.Instances) == 0 || len(d.Nets) == 0 {
+		t.Fatalf("round-tripped design empty: %d instances, %d nets", len(d.Instances), len(d.Nets))
+	}
+
+	svg, err := os.ReadFile(filepath.Join(dir, base+"_congestion.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("congestion heatmap is not an SVG document")
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var span obs.SpanExport
+	if err := json.Unmarshal(traceData, &span); err != nil {
+		t.Fatalf("-trace output invalid: %v", err)
+	}
+	if span.Name != "paogen" {
+		t.Errorf("trace root = %q", span.Name)
+	}
+}

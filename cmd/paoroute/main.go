@@ -28,33 +28,52 @@ import (
 	"repro/internal/router"
 )
 
-func main() {
-	lefPath := flag.String("lef", "", "LEF file")
-	defPath := flag.String("def", "", "DEF file")
-	access := flag.String("access", "paaf", "pin access mode: paaf or adhoc")
-	guidePath := flag.String("guide", "", "route-guide file (contest format; empty: unguided)")
-	outPath := flag.String("out", "", "write the routed DEF here")
-	svgPath := flag.String("svg", "", "write a violation-window SVG here")
-	ofl := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	lefPath, defPath  string
+	access, guidePath string
+	outPath, svgPath  string
+	obs               *obs.Flags
+}
 
-	if *lefPath == "" || *defPath == "" {
-		fmt.Fprintln(os.Stderr, "paoroute: -lef and -def are required")
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.lefPath, "lef", "", "LEF file")
+	fs.StringVar(&o.defPath, "def", "", "DEF file")
+	fs.StringVar(&o.access, "access", "paaf", "pin access mode: paaf or adhoc")
+	fs.StringVar(&o.guidePath, "guide", "", "route-guide file (contest format; empty: unguided)")
+	fs.StringVar(&o.outPath, "out", "", "write the routed DEF here")
+	fs.StringVar(&o.svgPath, "svg", "", "write a violation-window SVG here")
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.lefPath == "" || o.defPath == "" {
+		return nil, fmt.Errorf("-lef and -def are required")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paoroute", flag.ExitOnError), os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paoroute:", err)
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *defPath, *access, *guidePath, *outPath, *svgPath, ofl); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paoroute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.Flags) error {
-	o, finish, err := ofl.Start("paoroute")
+func run(opts *options) error {
+	o, finish, err := opts.obs.Start("paoroute")
 	if err != nil {
 		return err
 	}
 	spParse := o.Root().Start("parse")
-	lf, err := os.Open(lefPath)
+	lf, err := os.Open(opts.lefPath)
 	if err != nil {
 		return err
 	}
@@ -63,7 +82,7 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.
 	if err != nil {
 		return err
 	}
-	df, err := os.Open(defPath)
+	df, err := os.Open(opts.defPath)
 	if err != nil {
 		return err
 	}
@@ -77,8 +96,8 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.
 	a := pao.NewAnalyzer(d, pao.DefaultConfig())
 	a.Obs = o
 	cfg := router.Config{}
-	if guidePath != "" {
-		gf, err := os.Open(guidePath)
+	if opts.guidePath != "" {
+		gf, err := os.Open(opts.guidePath)
 		if err != nil {
 			return err
 		}
@@ -92,14 +111,14 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.
 			cfg.Guides[g.Net] = g.Boxes
 		}
 	}
-	switch access {
+	switch opts.access {
 	case "paaf":
 		cfg.Mode = router.AccessPAAF
 		cfg.Access = a.Run()
 	case "adhoc":
 		cfg.Mode = router.AccessAdHoc
 	default:
-		return fmt.Errorf("unknown access mode %q", access)
+		return fmt.Errorf("unknown access mode %q", opts.access)
 	}
 	r, err := router.New(d, cfg)
 	if err != nil {
@@ -113,14 +132,14 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.
 	spCheck.End()
 	a.PublishObs()
 
-	t := report.New(fmt.Sprintf("Routing summary for %s (%s access)", d.Name, access),
+	t := report.New(fmt.Sprintf("Routing summary for %s (%s access)", d.Name, opts.access),
 		"Routed", "Failed", "WL (um)", "#Vias", "#DRCs", "#Access DRCs")
 	t.AddRow(res.Routed, res.Failed, res.WireLength/1000, len(res.Vias),
 		len(res.Violations), res.AccessViolations)
 	t.Render(os.Stdout)
 
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
 		if err != nil {
 			return err
 		}
@@ -128,23 +147,23 @@ func run(lefPath, defPath, access, guidePath, outPath, svgPath string, ofl *obs.
 		if err := def.WriteRouted(f, d, router.ExportRouting(d, res)); err != nil {
 			return err
 		}
-		fmt.Println("routed DEF written to", outPath)
+		fmt.Println("routed DEF written to", opts.outPath)
 	}
-	if svgPath != "" {
+	if opts.svgPath != "" {
 		win := render.ViolationWindow(d, res.Violations, 12000)
 		c := render.NewCanvas(win)
 		c.DrawDesign(d, 3)
 		c.DrawRouting(res, 3)
 		c.DrawViolations(res.Violations)
-		f, err := os.Create(svgPath)
+		f, err := os.Create(opts.svgPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := c.WriteSVG(f, d.Name+" ("+access+" access)"); err != nil {
+		if err := c.WriteSVG(f, d.Name+" ("+opts.access+" access)"); err != nil {
 			return err
 		}
-		fmt.Println("SVG written to", svgPath)
+		fmt.Println("SVG written to", opts.svgPath)
 	}
 	return finish()
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+	"repro/internal/obs"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("paoroute", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags(newFlagSet(), nil); err == nil {
+		t.Fatal("missing -lef/-def must be an error")
+	}
+	o, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-def", "a.def"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.access != "paaf" || o.outPath != "" || o.svgPath != "" {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o, err = parseFlags(newFlagSet(), []string{
+		"-lef", "a.lef", "-def", "a.def", "-access", "adhoc",
+		"-out", "r.def", "-svg", "w.svg", "-metrics", "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.access != "adhoc" || o.outPath != "r.def" || o.svgPath != "w.svg" || o.obs.Metrics != "json" {
+		t.Errorf("parsed values wrong: %+v obs=%+v", o, o.obs)
+	}
+}
+
+func TestRunUnknownAccessMode(t *testing.T) {
+	lefPath, defPath := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	opts := &options{lefPath: lefPath, defPath: defPath, access: "bogus", obs: &obs.Flags{}}
+	err := run(opts)
+	if err == nil || !strings.Contains(err.Error(), "unknown access mode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunPAAFWritesOutputs routes the tiny testcase with PAAF access and
+// checks the routed DEF, the violation-window SVG and the metrics report.
+func TestRunPAAFWritesOutputs(t *testing.T) {
+	lefPath, defPath := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "routed.def")
+	svgPath := filepath.Join(dir, "window.svg")
+	var buf bytes.Buffer
+	opts := &options{
+		lefPath: lefPath, defPath: defPath, access: "paaf",
+		outPath: outPath, svgPath: svgPath,
+		obs: &obs.Flags{Metrics: "json", Out: &buf},
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	routed, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(routed), "DESIGN") {
+		t.Error("routed output is not a DEF file")
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("violation window is not an SVG document")
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-metrics json output invalid: %v", err)
+	}
+	if rep.Name != "paoroute" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+	if rep.Trace == nil || len(rep.Trace.Children) == 0 {
+		t.Fatal("route run emitted no spans")
+	}
+}
+
+// TestRunAdhocAccess exercises the contrast mode: routing must still complete
+// without PAAF's precomputed access.
+func TestRunAdhocAccess(t *testing.T) {
+	lefPath, defPath := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	opts := &options{lefPath: lefPath, defPath: defPath, access: "adhoc", obs: &obs.Flags{}}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+}

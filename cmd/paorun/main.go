@@ -25,35 +25,54 @@ import (
 	"repro/internal/report"
 )
 
-func main() {
-	lefPath := flag.String("lef", "", "LEF file")
-	defPath := flag.String("def", "", "DEF file")
-	dump := flag.Bool("dump", false, "list every selected access point")
-	verbose := flag.Bool("v", false, "print per-step durations")
-	noBCA := flag.Bool("nobca", false, "disable boundary conflict awareness")
-	k := flag.Int("k", 3, "target access points per pin")
-	workers := flag.Int("workers", 1, "analysis worker goroutines")
-	ofl := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	lefPath, defPath     string
+	dump, verbose, noBCA bool
+	k, workers           int
+	obs                  *obs.Flags
+}
 
-	if *lefPath == "" || *defPath == "" {
-		fmt.Fprintln(os.Stderr, "paorun: -lef and -def are required")
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.lefPath, "lef", "", "LEF file")
+	fs.StringVar(&o.defPath, "def", "", "DEF file")
+	fs.BoolVar(&o.dump, "dump", false, "list every selected access point")
+	fs.BoolVar(&o.verbose, "v", false, "print per-step durations")
+	fs.BoolVar(&o.noBCA, "nobca", false, "disable boundary conflict awareness")
+	fs.IntVar(&o.k, "k", 3, "target access points per pin")
+	fs.IntVar(&o.workers, "workers", 1, "analysis worker goroutines")
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.lefPath == "" || o.defPath == "" {
+		return nil, fmt.Errorf("-lef and -def are required")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paorun", flag.ExitOnError), os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paorun:", err)
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *defPath, *dump, *verbose, *noBCA, *k, *workers, ofl); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paorun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, defPath string, dump, verbose, noBCA bool, k, workers int, ofl *obs.Flags) error {
-	o, finish, err := ofl.Start("paorun")
+func run(opts *options) error {
+	o, finish, err := opts.obs.Start("paorun")
 	if err != nil {
 		return err
 	}
 
 	spParse := o.Root().Start("parse")
-	lf, err := os.Open(lefPath)
+	lf, err := os.Open(opts.lefPath)
 	if err != nil {
 		return err
 	}
@@ -62,7 +81,7 @@ func run(lefPath, defPath string, dump, verbose, noBCA bool, k, workers int, ofl
 	if err != nil {
 		return err
 	}
-	df, err := os.Open(defPath)
+	df, err := os.Open(opts.defPath)
 	if err != nil {
 		return err
 	}
@@ -74,9 +93,9 @@ func run(lefPath, defPath string, dump, verbose, noBCA bool, k, workers int, ofl
 	spParse.End()
 
 	cfg := pao.DefaultConfig()
-	cfg.K = k
-	cfg.BCA = !noBCA
-	cfg.Workers = workers
+	cfg.K = opts.k
+	cfg.BCA = !opts.noBCA
+	cfg.Workers = opts.workers
 	a := pao.NewAnalyzer(d, cfg)
 	a.Obs = o
 	res := a.Run()
@@ -88,7 +107,7 @@ func run(lefPath, defPath string, dump, verbose, noBCA bool, k, workers int, ofl
 		res.Stats.OffTrackAPs, res.Stats.PatternsBuilt, res.Stats.TotalPins, res.Stats.FailedPins)
 	t.Render(os.Stdout)
 
-	if verbose {
+	if opts.verbose {
 		st := res.Stats.Steps
 		fmt.Println("per-step durations:")
 		fmt.Printf("  step1 (AP generation):  %12v\n", st.Step1)
@@ -99,7 +118,7 @@ func run(lefPath, defPath string, dump, verbose, noBCA bool, k, workers int, ofl
 		fmt.Printf("  total:                  %12v\n", st.Total)
 	}
 
-	if dump {
+	if opts.dump {
 		for _, net := range d.Nets {
 			for _, term := range net.Terms {
 				ap := res.AccessPointFor(term.Inst, term.Pin)

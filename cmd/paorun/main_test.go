@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clitest"
+	"repro/internal/obs"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("paorun", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags(newFlagSet(), nil); err == nil {
+		t.Fatal("missing -lef/-def must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef"}); err == nil {
+		t.Fatal("missing -def must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag must be an error")
+	}
+	o, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-def", "a.def"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.k != 3 || o.workers != 1 || o.dump || o.noBCA || o.obs.Metrics != "off" {
+		t.Errorf("defaults wrong: %+v obs=%+v", o, o.obs)
+	}
+	o, err = parseFlags(newFlagSet(), []string{
+		"-lef", "a.lef", "-def", "a.def", "-k", "5", "-workers", "4",
+		"-dump", "-nobca", "-metrics", "json", "-trace", "t.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.k != 5 || o.workers != 4 || !o.dump || !o.noBCA ||
+		o.obs.Metrics != "json" || o.obs.TracePath != "t.json" {
+		t.Errorf("parsed values wrong: %+v obs=%+v", o, o.obs)
+	}
+}
+
+// TestRunMetricsAndTrace is the end-to-end smoke test: parse the generated
+// LEF/DEF pair, run the analysis, and round-trip the -metrics json report and
+// the -trace file through the obs types.
+func TestRunMetricsAndTrace(t *testing.T) {
+	lefPath, defPath := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	opts := &options{
+		lefPath: lefPath, defPath: defPath, dump: true, k: 3, workers: 2,
+		obs: &obs.Flags{Metrics: "json", TracePath: tracePath, Out: &buf},
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var rep obs.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-metrics json output is not a Report: %v\n%s", err, buf.Bytes())
+	}
+	if rep.Name != "paorun" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+	if len(rep.Counters) == 0 {
+		t.Error("report has no counters; PublishObs not wired")
+	}
+	if rep.Trace == nil || len(rep.Trace.Children) == 0 {
+		t.Fatalf("report has no span tree: %+v", rep.Trace)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var span obs.SpanExport
+	if err := json.Unmarshal(data, &span); err != nil {
+		t.Fatalf("-trace output is not a span tree: %v", err)
+	}
+	if span.Name != "paorun" || len(span.Children) == 0 {
+		t.Errorf("trace root = %q with %d children", span.Name, len(span.Children))
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	opts := &options{lefPath: "/nonexistent.lef", defPath: "/nonexistent.def", obs: &obs.Flags{}}
+	if err := run(opts); err == nil {
+		t.Fatal("missing input files must be an error")
+	}
+}

@@ -26,26 +26,43 @@ import (
 	"repro/internal/tech"
 )
 
-func main() {
-	lefPath := flag.String("lef", "", "LEF file")
-	cell := flag.String("cell", "", "master name")
-	out := flag.String("out", "", "output SVG path")
-	orientName := flag.String("orient", "N", "placement orientation (N, S, FN, FS, ...)")
-	ofl := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	lefPath, cell, out, orientName string
+	obs                            *obs.Flags
+}
 
-	if *lefPath == "" || *cell == "" || *out == "" {
-		fmt.Fprintln(os.Stderr, "paoview: -lef, -cell and -out are required")
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.lefPath, "lef", "", "LEF file")
+	fs.StringVar(&o.cell, "cell", "", "master name")
+	fs.StringVar(&o.out, "out", "", "output SVG path")
+	fs.StringVar(&o.orientName, "orient", "N", "placement orientation (N, S, FN, FS, ...)")
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.lefPath == "" || o.cell == "" || o.out == "" {
+		return nil, fmt.Errorf("-lef, -cell and -out are required")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paoview", flag.ExitOnError), os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paoview:", err)
 		os.Exit(2)
 	}
-	if err := run(*lefPath, *cell, *out, *orientName, ofl); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paoview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lefPath, cell, out, orientName string, ofl *obs.Flags) error {
-	lf, err := os.Open(lefPath)
+func run(opts *options) error {
+	lf, err := os.Open(opts.lefPath)
 	if err != nil {
 		return err
 	}
@@ -56,14 +73,14 @@ func run(lefPath, cell, out, orientName string, ofl *obs.Flags) error {
 	}
 	var master *db.Master
 	for _, m := range lib.Masters {
-		if m.Name == cell {
+		if m.Name == opts.cell {
 			master = m
 		}
 	}
 	if master == nil {
-		return fmt.Errorf("master %q not in %s", cell, lefPath)
+		return fmt.Errorf("master %q not in %s", opts.cell, opts.lefPath)
 	}
-	orient, err := geom.ParseOrient(orientName)
+	orient, err := geom.ParseOrient(opts.orientName)
 	if err != nil {
 		return err
 	}
@@ -95,7 +112,7 @@ func run(lefPath, cell, out, orientName string, ofl *obs.Flags) error {
 	}
 	d.Nets = []*db.Net{net}
 
-	o, finish, err := ofl.Start("paoview")
+	o, finish, err := opts.obs.Start("paoview")
 	if err != nil {
 		return err
 	}
@@ -104,7 +121,7 @@ func run(lefPath, cell, out, orientName string, ofl *obs.Flags) error {
 	res := a.Run()
 	a.PublishObs()
 	fmt.Printf("%s (%s): %d signal pins, %d access points, %d failed\n",
-		cell, orient, len(master.SignalPins()), res.Stats.TotalAPs, res.Stats.FailedPins)
+		opts.cell, orient, len(master.SignalPins()), res.Stats.TotalAPs, res.Stats.FailedPins)
 	for _, p := range master.SignalPins() {
 		ap := res.AccessPointFor(inst, p)
 		if ap == nil {
@@ -122,12 +139,12 @@ func run(lefPath, cell, out, orientName string, ofl *obs.Flags) error {
 	c.PixelsPerMicron = 400
 	c.DrawDesign(d, 2)
 	c.DrawAccess(d, res)
-	f, err := os.Create(out)
+	f, err := os.Create(opts.out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := c.WriteSVG(f, fmt.Sprintf("%s (%s) pin access", cell, orient)); err != nil {
+	if err := c.WriteSVG(f, fmt.Sprintf("%s (%s) pin access", opts.cell, orient)); err != nil {
 		return err
 	}
 	return finish()

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+	"repro/internal/lef"
+	"repro/internal/obs"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("paoview", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-cell", "X"}); err == nil {
+		t.Fatal("missing -out must be an error")
+	}
+	o, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-cell", "X", "-out", "x.svg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.orientName != "N" {
+		t.Errorf("default orient = %q", o.orientName)
+	}
+	o, err = parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-cell", "X", "-out", "x.svg", "-orient", "FN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.orientName != "FN" {
+		t.Errorf("orient = %q", o.orientName)
+	}
+}
+
+// firstSignalMaster parses the LEF and returns the name of some master with
+// signal pins, so the test tracks whatever cell names the library generates.
+func firstSignalMaster(t *testing.T, lefPath string) string {
+	t.Helper()
+	f, err := os.Open(lefPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lib, err := lef.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range lib.Masters {
+		if len(m.SignalPins()) > 0 {
+			return m.Name
+		}
+	}
+	t.Fatal("no master with signal pins in the library")
+	return ""
+}
+
+// TestRunRendersSVG analyzes one cell in a mirrored orientation and checks
+// the rendered SVG plus the metrics report.
+func TestRunRendersSVG(t *testing.T) {
+	lefPath, _ := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	cell := firstSignalMaster(t, lefPath)
+	out := filepath.Join(t.TempDir(), "cell.svg")
+	var buf bytes.Buffer
+	opts := &options{
+		lefPath: lefPath, cell: cell, out: out, orientName: "FN",
+		obs: &obs.Flags{Metrics: "json", Out: &buf},
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("output is not an SVG document")
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-metrics json output invalid: %v", err)
+	}
+	if rep.Name != "paoview" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	lefPath, _ := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	out := filepath.Join(t.TempDir(), "x.svg")
+	opts := &options{lefPath: lefPath, cell: "NOSUCHCELL", out: out, orientName: "N", obs: &obs.Flags{}}
+	if err := run(opts); err == nil || !strings.Contains(err.Error(), "NOSUCHCELL") {
+		t.Fatalf("unknown cell: err = %v", err)
+	}
+	cell := firstSignalMaster(t, lefPath)
+	opts = &options{lefPath: lefPath, cell: cell, out: out, orientName: "Q", obs: &obs.Flags{}}
+	if err := run(opts); err == nil {
+		t.Fatal("bad orientation must be an error")
+	}
+}

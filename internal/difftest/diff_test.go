@@ -1,0 +1,233 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+// diffCase pairs a suite testcase with the replay seed. The seed flows into
+// suite generation (byte-for-byte reproducible designs) and into the query
+// stream, so a reported divergence replays exactly.
+type diffCase struct {
+	spec  suite.Spec
+	seed  int64
+	iters int
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{spec: suite.Testcases[0].Scale(0.01), seed: 101, iters: 1200},
+		{spec: suite.Testcases[3].Scale(0.004), seed: 104, iters: 1200},
+		{spec: suite.AES14.Scale(0.01), seed: 114, iters: 1200},
+	}
+}
+
+// TestDifferentialReplay drives seeded randomized via-drop, metal-spacing,
+// end-of-line and cut-spacing queries through both the production engine and
+// the naive oracle over the same design state, and fails on the first verdict
+// divergence with everything needed to reproduce it.
+func TestDifferentialReplay(t *testing.T) {
+	for _, tc := range diffCases() {
+		tc := tc
+		t.Run(tc.spec.Name, func(t *testing.T) {
+			t.Parallel()
+			replayCase(t, tc)
+		})
+	}
+}
+
+// replayCase replays tc.iters rounds of randomized queries (four comparisons
+// per round); each round compares the two implementations' verdicts.
+func replayCase(t *testing.T, tc diffCase) {
+	spec := tc.spec.WithSeed(tc.seed)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	eng := a.GlobalEngine()
+	orc := Mirror(eng)
+	if got, want := orc.NumShapes(), eng.NumObjs(); got != want {
+		t.Fatalf("mirror holds %d shapes, engine %d", got, want)
+	}
+
+	rng := rand.New(rand.NewSource(tc.seed))
+	queries, dirty := 0, 0
+	diverge := func(kind string, i int, detail string, engKeys, orcKeys []string) {
+		t.Fatalf("divergence: testcase=%s seed=%d query=%d kind=%s %s\nengine: %v\noracle: %v",
+			spec.Name, tc.seed, i, kind, detail, engKeys, orcKeys)
+	}
+	for i := 0; i < tc.iters; i++ {
+		inst := d.Instances[rng.Intn(len(d.Instances))]
+		pins := inst.Master.SignalPins()
+		if len(pins) == 0 {
+			continue
+		}
+		pin := pins[rng.Intn(len(pins))]
+		shapes := inst.PinShapes(pin)
+		s := shapes[rng.Intn(len(shapes))]
+		layer := s.Layer
+		l := d.Tech.Metal(layer)
+		net := queryNet(rng, a, inst, pin)
+
+		// A query point in or near the chosen pin shape, biased to land where
+		// real shapes make the verdict nontrivial.
+		halo := 3 * l.Pitch
+		p := geom.Pt(
+			s.Rect.XL-halo+rng.Int63n(s.Rect.XH-s.Rect.XL+2*halo+1),
+			s.Rect.YL-halo+rng.Int63n(s.Rect.YH-s.Rect.YL+2*halo+1),
+		)
+
+		// Via drop with the pin's same-layer rects as the min-step union.
+		if vias := d.Tech.ViasAbove(layer); len(vias) > 0 {
+			v := vias[rng.Intn(len(vias))]
+			var rects []geom.Rect
+			for _, ps := range shapes {
+				if ps.Layer == layer {
+					rects = append(rects, ps.Rect)
+				}
+			}
+			ek := DRCKeys(eng.CheckVia(v, p, net, rects))
+			ok := oracle.Keys(orc.CheckVia(v, p, net, rects))
+			queries++
+			dirty += min1(len(ek))
+			if !SameKeys(ek, ok) {
+				diverge("via", i, v.Name+" at "+p.String(), ek, ok)
+			}
+		}
+
+		// Metal rect: a wire-like stub around p.
+		w := l.Width
+		r := geom.R(p.X, p.Y, p.X+w+rng.Int63n(3*w), p.Y+w)
+		if rng.Intn(2) == 0 {
+			r = geom.R(p.X, p.Y, p.X+w, p.Y+w+rng.Int63n(3*w))
+		}
+		ek := DRCKeys(eng.CheckMetalRect(layer, r, net))
+		ok := oracle.Keys(orc.CheckMetalRect(layer, r, net))
+		queries++
+		dirty += min1(len(ek))
+		if !SameKeys(ek, ok) {
+			diverge("metal", i, r.String(), ek, ok)
+		}
+
+		// End-of-line windows of the same stub.
+		ek = DRCKeys(eng.CheckEOLRect(layer, r, net))
+		ok = oracle.Keys(orc.CheckEOLRect(layer, r, net))
+		queries++
+		dirty += min1(len(ek))
+		if !SameKeys(ek, ok) {
+			diverge("eol", i, r.String(), ek, ok)
+		}
+
+		// Cut rect on the cut layer above the pin's metal.
+		if cl := d.Tech.Cut(layer); cl != nil {
+			cw := cl.Width
+			cr := geom.R(p.X, p.Y, p.X+cw, p.Y+cw)
+			ek = DRCKeys(eng.CheckCutRect(layer, cr, net))
+			ok = oracle.Keys(orc.CheckCutRect(layer, cr, net))
+			queries++
+			dirty += min1(len(ek))
+			if !SameKeys(ek, ok) {
+				diverge("cut", i, cr.String(), ek, ok)
+			}
+		}
+	}
+	t.Logf("%s: %d queries (%d with violations), no divergence", spec.Name, queries, dirty)
+	if queries < 3400 {
+		t.Fatalf("only %d queries replayed, want >= 3400 per testcase", queries)
+	}
+	// A replay where (almost) every verdict is "clean" proves nothing; the
+	// halo bias must keep a healthy share of queries in conflict.
+	if dirty < queries/20 {
+		t.Fatalf("only %d of %d queries produced violations — replay is near-vacuous", dirty, queries)
+	}
+}
+
+// min1 clamps a count to {0, 1}: used to tally queries with any violation.
+func min1(n int) int {
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// queryNet picks the query's net identity: usually the pin's real net, else a
+// blockage or a random other net, so same-net exemption paths are exercised.
+func queryNet(rng *rand.Rand, a *pao.Analyzer, inst *db.Instance, pin *db.MPin) int {
+	switch rng.Intn(4) {
+	case 0:
+		return drc.NoNet
+	case 1:
+		return 1 + rng.Intn(64)
+	default:
+		return a.NetOf(inst, pin)
+	}
+}
+
+// TestDifferentialCheckAll compares the full-design pairwise sweep: the
+// engine's windowed CheckAll (and its parallel variant) against the oracle's
+// O(n^2) scan must agree on the complete violation set of vias dropped at
+// every selected access point.
+func TestDifferentialCheckAll(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.01).WithSeed(42)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	res := a.Run()
+	eng := a.GlobalEngine()
+	// Commit every selected access point's primary via into the engine so the
+	// full sweep sees post-access-routing state, not just placement shapes.
+	added := 0
+	for _, net := range d.Nets {
+		for _, term := range net.Terms {
+			ap := res.AccessPointFor(term.Inst, term.Pin)
+			if ap == nil || ap.Primary() == nil {
+				continue
+			}
+			v := ap.Primary()
+			n := a.NetOf(term.Inst, term.Pin)
+			eng.AddMetal(v.CutBelow, v.BotRect(ap.Pos), n, drc.KindViaEnc, "")
+			eng.AddMetal(v.CutBelow+1, v.TopRect(ap.Pos), n, drc.KindViaEnc, "")
+			for _, c := range v.CutRects(ap.Pos) {
+				eng.AddCut(v.CutBelow, c, n, "")
+			}
+			added++
+			// Every fifth via gets a deliberately conflicting twin half a
+			// pitch away on a foreign net, so the sweep compares real
+			// violations, not just an all-clean design.
+			if added%5 == 0 {
+				q := geom.Pt(ap.Pos.X+d.Tech.Metal(v.CutBelow).Pitch/2, ap.Pos.Y)
+				eng.AddMetal(v.CutBelow, v.BotRect(q), n+100000, drc.KindViaEnc, "")
+				for _, c := range v.CutRects(q) {
+					eng.AddCut(v.CutBelow, c, n+100000, "")
+				}
+			}
+		}
+	}
+	if added == 0 {
+		t.Fatal("no access vias committed")
+	}
+	orc := Mirror(eng)
+	ek := DRCKeys(eng.CheckAll())
+	ok := oracle.Keys(orc.CheckAll())
+	if !SameKeys(ek, ok) {
+		t.Fatalf("CheckAll divergence (%d vias committed)\nengine: %v\noracle: %v", added, ek, ok)
+	}
+	pk := DRCKeys(eng.CheckAllParallel(4))
+	if !SameKeys(pk, ek) {
+		t.Fatalf("CheckAllParallel diverges from CheckAll\nparallel: %v\nserial: %v", pk, ek)
+	}
+	if len(ek) == 0 {
+		t.Fatal("full sweep found no violations despite injected conflicts — comparison is vacuous")
+	}
+	t.Logf("CheckAll agrees: %d violations over %d objects", len(ek), eng.NumObjs())
+}

@@ -217,6 +217,16 @@ func (e *Engine) NumObjs() int {
 	return n
 }
 
+// ForEachObj calls fn for every live object in insertion order. The *Obj is
+// valid only for the duration of the call.
+func (e *Engine) ForEachObj(fn func(o *Obj)) {
+	for id := range e.objs {
+		if e.alive[id] {
+			fn(&e.objs[id])
+		}
+	}
+}
+
 // Add registers a shape and returns its ID.
 func (e *Engine) Add(o Obj) int {
 	o.ID = len(e.objs)

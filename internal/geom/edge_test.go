@@ -1,0 +1,169 @@
+package geom
+
+import "testing"
+
+// The oracle/difftest layers lean directly on these primitives; the tables
+// here pin down the edge semantics the DRC contract depends on: degenerate
+// (zero-area) rectangles, the open-Overlaps vs closed-Touches distinction,
+// and exact orientation transform round-trips.
+
+func TestZeroAreaRects(t *testing.T) {
+	pt := R(10, 10, 10, 10) // degenerate point
+	hseg := R(0, 5, 20, 5)  // horizontal segment
+	vseg := R(7, 0, 7, 30)  // vertical segment
+	box := R(0, 0, 20, 20)
+
+	cases := []struct {
+		name string
+		r    Rect
+		area int64
+		big  bool // empty per Empty()
+	}{
+		{"point", pt, 0, true},
+		{"hseg", hseg, 0, true},
+		{"vseg", vseg, 0, true},
+		{"box", box, 400, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Area(); got != c.area {
+			t.Errorf("%s: Area = %d, want %d", c.name, got, c.area)
+		}
+		if got := c.r.Empty(); got != c.big {
+			t.Errorf("%s: Empty = %v, want %v", c.name, got, c.big)
+		}
+		if !c.r.Valid() {
+			t.Errorf("%s: not normalized", c.name)
+		}
+	}
+
+	// A degenerate rect Overlaps when it crosses the other's interior (the
+	// comparisons are strict against the opposite bounds), but a point on the
+	// boundary only Touches. Both cases matter to short detection: a zero-area
+	// probe inside a shape must still read as a conflict.
+	if !pt.Overlaps(box) {
+		t.Error("point in the interior must Overlap")
+	}
+	if !hseg.Overlaps(vseg) {
+		t.Error("crossing segments must Overlap")
+	}
+	corner := R(20, 20, 20, 20)
+	if corner.Overlaps(box) {
+		t.Error("point on the boundary must not Overlap")
+	}
+	if !corner.Touches(box) {
+		t.Error("point on the boundary must Touch")
+	}
+	edge := R(20, 5, 20, 15) // segment lying on the box's right edge
+	if edge.Overlaps(box) {
+		t.Error("segment on the boundary must not Overlap")
+	}
+	if !edge.Touches(vseg.Shift(Pt(13, 0))) {
+		t.Error("coincident segments must Touch")
+	}
+	if d := pt.DistSquared(R(13, 14, 13, 14)); d != 3*3+4*4 {
+		t.Errorf("point-point DistSquared = %d, want 25", d)
+	}
+	if got, ok := hseg.Intersect(vseg); !ok || got != R(7, 5, 7, 5) {
+		t.Errorf("segment intersection = %v,%v", got, ok)
+	}
+}
+
+func TestTouchingVsOverlapping(t *testing.T) {
+	base := R(0, 0, 10, 10)
+	cases := []struct {
+		name     string
+		s        Rect
+		overlaps bool
+		touches  bool
+		distSq   int64
+	}{
+		{"coincident", R(0, 0, 10, 10), true, true, 0},
+		{"contained", R(2, 2, 8, 8), true, true, 0},
+		{"partial", R(5, 5, 15, 15), true, true, 0},
+		{"edge-abut-right", R(10, 0, 20, 10), false, true, 0},
+		{"edge-abut-top", R(0, 10, 10, 20), false, true, 0},
+		{"corner-abut", R(10, 10, 20, 20), false, true, 0},
+		{"gap-1-x", R(11, 0, 20, 10), false, false, 1},
+		{"gap-1-diag", R(11, 11, 20, 20), false, false, 2},
+		{"gap-3-4", R(13, 14, 20, 20), false, false, 25},
+	}
+	for _, c := range cases {
+		if got := base.Overlaps(c.s); got != c.overlaps {
+			t.Errorf("%s: Overlaps = %v, want %v", c.name, got, c.overlaps)
+		}
+		if got := c.s.Overlaps(base); got != c.overlaps {
+			t.Errorf("%s: Overlaps not symmetric", c.name)
+		}
+		if got := base.Touches(c.s); got != c.touches {
+			t.Errorf("%s: Touches = %v, want %v", c.name, got, c.touches)
+		}
+		if got := base.DistSquared(c.s); got != c.distSq {
+			t.Errorf("%s: DistSquared = %d, want %d", c.name, got, c.distSq)
+		}
+		// The DRC engines depend on: Touches <=> DistSquared == 0.
+		if c.touches != (c.distSq == 0) {
+			t.Errorf("%s: table inconsistent", c.name)
+		}
+	}
+}
+
+// inverseOrient maps each orientation to the one that undoes it: the
+// reflections are involutions, while the quarter rotations W and E undo each
+// other.
+var inverseOrient = map[Orient]Orient{
+	OrientN: OrientN, OrientS: OrientS,
+	OrientW: OrientE, OrientE: OrientW,
+	OrientFN: OrientFN, OrientFS: OrientFS,
+	OrientFW: OrientFW, OrientFE: OrientFE,
+}
+
+func TestOrientRoundTrips(t *testing.T) {
+	size := Point{X: 120, Y: 70} // asymmetric master
+	pts := []Point{{0, 0}, {120, 70}, {13, 49}, {120, 0}, {60, 35}}
+	rects := []Rect{R(0, 0, 120, 70), R(10, 20, 30, 25), R(5, 5, 5, 5)}
+
+	for o := OrientN; o <= OrientFE; o++ {
+		fwd := Transform{Orient: o, Size: size}
+		// The inverse transform's master is the placed cell, whose dimensions
+		// swap when the forward orientation rotates by 90 degrees.
+		inv := Transform{Orient: inverseOrient[o], Size: fwd.PlacedSize()}
+		for _, p := range pts {
+			q := inv.ApplyPt(fwd.ApplyPt(p))
+			if q != p {
+				t.Errorf("%v: point %v -> %v -> %v", o, p, fwd.ApplyPt(p), q)
+			}
+		}
+		for _, r := range rects {
+			rr := inv.ApplyRect(fwd.ApplyRect(r))
+			if rr != r {
+				t.Errorf("%v: rect %v round-trips to %v", o, r, rr)
+			}
+			if got, want := fwd.ApplyRect(r).Area(), r.Area(); got != want {
+				t.Errorf("%v: transform changed area %d -> %d", o, want, got)
+			}
+		}
+		// Transformed master corners stay inside the placed bounding box.
+		bb := fwd.BBox()
+		for _, p := range []Point{{0, 0}, {size.X, 0}, {0, size.Y}, {size.X, size.Y}} {
+			if q := fwd.ApplyPt(p); !bb.ContainsPt(q) {
+				t.Errorf("%v: corner %v maps outside bbox to %v", o, p, q)
+			}
+		}
+	}
+}
+
+func TestBloatDegenerate(t *testing.T) {
+	// Negative bloat that collapses the rect degrades to its center point, so
+	// window computations never produce denormalized rectangles.
+	r := R(0, 0, 10, 4)
+	got := r.Bloat(-3)
+	if !got.Valid() {
+		t.Fatalf("shrunk rect not normalized: %v", got)
+	}
+	if got != R(3, 2, 7, 2) {
+		t.Errorf("Bloat(-3) = %v", got)
+	}
+	if g := R(5, 5, 5, 5).Bloat(2); g != R(3, 3, 7, 7) {
+		t.Errorf("point bloat = %v", g)
+	}
+}

@@ -1,0 +1,78 @@
+package oracle
+
+import (
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// checkMinStepUnion evaluates the min-step rule over the outline of the union
+// of rects: an outline edge shorter than MinStepLength is a step, and any
+// maximal circular run of more than MaxEdges consecutive steps violates. A
+// contour made entirely of steps violates as a whole.
+//
+// This is an independent formulation of the rule: rather than walking the
+// ring from a pivot edge, it collects the maximal circular runs directly and
+// reports each oversized run at the bounding box of its edges, which yields
+// the same violation set as the engine.
+func checkMinStepUnion(l *tech.RoutingLayer, rects []geom.Rect) []Violation {
+	if !l.Step.Enabled() {
+		return nil
+	}
+	var out []Violation
+	for _, poly := range geom.UnionRects(rects) {
+		for _, ring := range poly.AllRings() {
+			out = append(out, ringStepRuns(l, ring)...)
+		}
+	}
+	return out
+}
+
+// ringStepRuns finds the min-step violations of one ring.
+func ringStepRuns(l *tech.RoutingLayer, ring geom.Ring) []Violation {
+	edges := ring.Edges()
+	n := len(edges)
+	if n == 0 {
+		return nil
+	}
+	isStep := func(i int) bool { return edges[i].Length() < l.Step.MinStepLength }
+
+	anchor := -1 // first non-step edge
+	for i := 0; i < n; i++ {
+		if !isStep(i) {
+			anchor = i
+			break
+		}
+	}
+	if anchor < 0 {
+		return []Violation{{Rule: "MinStep", Layer: l.Name, Where: ring.BBox()}}
+	}
+
+	// Walk the ring once starting just past the anchor; every maximal run of
+	// consecutive step edges is then seen in full (no run wraps past the
+	// anchor, since the anchor is not a step).
+	var out []Violation
+	runLen := 0
+	var runBox geom.Rect
+	flush := func() {
+		if runLen > l.Step.MaxEdges {
+			out = append(out, Violation{Rule: "MinStep", Layer: l.Name, Where: runBox})
+		}
+		runLen = 0
+	}
+	for k := 1; k <= n; k++ {
+		i := (anchor + k) % n
+		if !isStep(i) {
+			flush()
+			continue
+		}
+		er := edges[i].Rect()
+		if runLen == 0 {
+			runBox = er
+		} else {
+			runBox = runBox.UnionBBox(er)
+		}
+		runLen++
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,433 @@
+// Package oracle is a deliberately naive reference DRC checker used to
+// cross-validate internal/drc. It exposes the same via-drop and query surface
+// (add shapes, check a hypothetical metal rect / cut / end-of-line window /
+// via drop) but shares no code with the engine: every rule — PRL-table metal
+// spacing, corner spacing, cut spacing, end-of-line and min-step — is
+// re-derived here from the technology tables with pairwise O(n²) scans over a
+// flat shape list, no spatial index, no query contexts and no caching.
+//
+// The point is independence, not speed: internal/difftest replays identical
+// seeded queries through both implementations and fails on any verdict
+// divergence, so an optimization in the engine (sharding, caching, incremental
+// re-analysis) that silently changes behaviour is caught immediately. The
+// only shared substrate is internal/geom's primitive types and the rectilinear
+// union (geom.UnionRects), which internal/geom's own tests pin down.
+//
+// Verdict contract: a check here returns the same violation set as the engine
+// under Violation.Key() equality (rule, layer, violation box). Free-text notes
+// are not part of the contract.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// NoNet marks shapes that belong to no net. Mirrors the engine's convention:
+// a NoNet shape conflicts with every net but never with another NoNet shape.
+const NoNet = -1
+
+// shape is one rectangle known to the checker. Metal shapes carry the 1-based
+// metal number; via cuts carry the cut layer's lower metal number instead.
+type shape struct {
+	metal int
+	cut   int
+	rect  geom.Rect
+	net   int
+	alive bool
+}
+
+// Violation is one rule violation found by the reference checker.
+type Violation struct {
+	Rule  string
+	Layer string
+	Where geom.Rect
+}
+
+// Key renders the violation in the engine's dedup-key format so the two
+// implementations compare directly.
+func (v Violation) Key() string {
+	return fmt.Sprintf("%s|%s|%d,%d,%d,%d", v.Rule, v.Layer, v.Where.XL, v.Where.YL, v.Where.XH, v.Where.YH)
+}
+
+// Keys returns the sorted, deduplicated key set of a violation list — the
+// canonical form differential tests compare.
+func Keys(vs []Violation) []string {
+	seen := make(map[string]bool, len(vs))
+	var out []string
+	for _, v := range vs {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Checker holds the design shapes and the technology whose rules it applies.
+type Checker struct {
+	Tech   *tech.Technology
+	shapes []shape
+}
+
+// New creates an empty reference checker.
+func New(t *tech.Technology) *Checker { return &Checker{Tech: t} }
+
+// AddMetal registers a metal shape and returns its ID.
+func (c *Checker) AddMetal(layer int, r geom.Rect, net int) int {
+	c.shapes = append(c.shapes, shape{metal: layer, rect: r, net: net, alive: true})
+	return len(c.shapes) - 1
+}
+
+// AddCut registers a via cut on the cut layer above metal cutBelow.
+func (c *Checker) AddCut(cutBelow int, r geom.Rect, net int) int {
+	c.shapes = append(c.shapes, shape{cut: cutBelow, rect: r, net: net, alive: true})
+	return len(c.shapes) - 1
+}
+
+// Remove deletes a previously added shape.
+func (c *Checker) Remove(id int) {
+	if id >= 0 && id < len(c.shapes) {
+		c.shapes[id].alive = false
+	}
+}
+
+// NumShapes returns the number of live shapes.
+func (c *Checker) NumShapes() int {
+	n := 0
+	for _, s := range c.shapes {
+		if s.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// exempt reports whether two nets are exempt from spacing/short rules against
+// each other: same real net, or both netless blockages.
+func exempt(a, b int) bool {
+	if a == NoNet && b == NoNet {
+		return true
+	}
+	return a == b && a != NoNet
+}
+
+// gap1D returns the separation of two closed 1-D intervals (0 when they
+// overlap or touch).
+func gap1D(al, ah, bl, bh int64) int64 {
+	lo, hi := al, ah
+	if bl > lo {
+		lo = bl
+	}
+	if bh < hi {
+		hi = bh
+	}
+	if lo <= hi {
+		return 0
+	}
+	return lo - hi
+}
+
+// overlap1D returns the (possibly negative) overlap of two closed intervals.
+func overlap1D(al, ah, bl, bh int64) int64 {
+	lo, hi := al, ah
+	if bl > lo {
+		lo = bl
+	}
+	if bh < hi {
+		hi = bh
+	}
+	return hi - lo
+}
+
+// distSq returns the squared Euclidean distance between two rectangles as
+// closed sets.
+func distSq(a, b geom.Rect) int64 {
+	dx := gap1D(a.XL, a.XH, b.XL, b.XH)
+	dy := gap1D(a.YL, a.YH, b.YL, b.YH)
+	return dx*dx + dy*dy
+}
+
+// prl returns the parallel run length of two rectangles: the projection
+// overlap perpendicular to their separation, negative for diagonal neighbors.
+func prl(a, b geom.Rect) int64 {
+	ox := overlap1D(a.XL, a.XH, b.XL, b.XH)
+	oy := overlap1D(a.YL, a.YH, b.YL, b.YH)
+	switch {
+	case ox >= 0 && oy >= 0:
+		if ox > oy {
+			return ox
+		}
+		return oy
+	case ox >= 0:
+		return ox
+	case oy >= 0:
+		return oy
+	}
+	if ox > oy {
+		return ox
+	}
+	return oy
+}
+
+// lookupSpacing scans the PRL spacing table for the required spacing at the
+// given wider-shape width and parallel run length — a fresh implementation of
+// the LEF lookup semantics (row: largest width threshold not exceeding width;
+// column: largest PRL threshold not exceeding prl).
+func lookupSpacing(tbl *tech.SpacingTable, width, runLen int64) int64 {
+	if tbl == nil || len(tbl.Widths) == 0 {
+		return 0
+	}
+	row, col := 0, 0
+	for i := len(tbl.Widths) - 1; i >= 0; i-- {
+		if width >= tbl.Widths[i] {
+			row = i
+			break
+		}
+	}
+	for j := len(tbl.PRLs) - 1; j >= 0; j-- {
+		if runLen >= tbl.PRLs[j] {
+			col = j
+			break
+		}
+	}
+	return tbl.Spacing[row][col]
+}
+
+// minDim returns the smaller rectangle dimension.
+func minDim(r geom.Rect) int64 {
+	w, h := r.XH-r.XL, r.YH-r.YL
+	if w < h {
+		return w
+	}
+	return h
+}
+
+// metalPair applies the short, corner-spacing and PRL-spacing rules to one
+// pair of different-net shapes on layer l.
+func metalPair(l *tech.RoutingLayer, a, b geom.Rect) []Violation {
+	if a.Overlaps(b) {
+		ov, _ := a.Intersect(b)
+		return []Violation{{Rule: "Short", Layer: l.Name, Where: ov}}
+	}
+	w := minDim(a)
+	if bw := minDim(b); bw > w {
+		w = bw
+	}
+	run := prl(a, b)
+	diagonal := run < 0
+	if diagonal {
+		run = 0
+	}
+	req := lookupSpacing(&l.Spacing, w, run)
+	if diagonal && l.Corner.Enabled() && w >= l.Corner.EligibleWidth && l.Corner.Spacing > req {
+		if distSq(a, b) < l.Corner.Spacing*l.Corner.Spacing {
+			return []Violation{{Rule: "CornerSpacing", Layer: l.Name, Where: a.UnionBBox(b)}}
+		}
+		return nil
+	}
+	if req > 0 && distSq(a, b) < req*req {
+		return []Violation{{Rule: "Spacing", Layer: l.Name, Where: a.UnionBBox(b)}}
+	}
+	return nil
+}
+
+// CheckMetalRect validates a hypothetical metal shape against every indexed
+// shape on the layer: shorts, corner spacing and PRL-table spacing.
+func (c *Checker) CheckMetalRect(layer int, r geom.Rect, net int) []Violation {
+	l := c.Tech.Metal(layer)
+	if l == nil {
+		return nil
+	}
+	var out []Violation
+	for _, s := range c.shapes {
+		if !s.alive || s.metal != layer || exempt(net, s.net) {
+			continue
+		}
+		out = append(out, metalPair(l, r, s.rect)...)
+	}
+	return out
+}
+
+// CheckCutRect validates a hypothetical via cut on the cut layer above metal
+// cutBelow: cut spacing applies regardless of net; a coincident identical cut
+// is the same via and exempt.
+func (c *Checker) CheckCutRect(cutBelow int, r geom.Rect, net int) []Violation {
+	cl := c.Tech.Cut(cutBelow)
+	if cl == nil {
+		return nil
+	}
+	_ = net // cut spacing is net-blind, matching the engine
+	var out []Violation
+	for _, s := range c.shapes {
+		if !s.alive || s.cut != cutBelow || s.rect == r {
+			continue
+		}
+		if r.Overlaps(s.rect) {
+			ov, _ := r.Intersect(s.rect)
+			out = append(out, Violation{Rule: "Short", Layer: cl.Name, Where: ov})
+			continue
+		}
+		if distSq(r, s.rect) < cl.Spacing*cl.Spacing {
+			out = append(out, Violation{Rule: "CutSpacing", Layer: cl.Name, Where: r.UnionBBox(s.rect)})
+		}
+	}
+	return out
+}
+
+// eolWindows derives the end-of-line clearance windows of a wire-like shape:
+// when an end edge (the pair of edges spanning the narrow dimension) is
+// shorter than EOLWidth, a window extends EOLSpace beyond it, widened by
+// EOLWithin on each side.
+func eolWindows(l *tech.RoutingLayer, r geom.Rect) []geom.Rect {
+	if !l.EOL.Enabled() {
+		return nil
+	}
+	w, h := r.XH-r.XL, r.YH-r.YL
+	if w >= h {
+		// Horizontal wire: end edges are vertical.
+		if h >= l.EOL.EOLWidth {
+			return nil
+		}
+		return []geom.Rect{
+			{XL: r.XL - l.EOL.EOLSpace, YL: r.YL - l.EOL.EOLWithin, XH: r.XL, YH: r.YH + l.EOL.EOLWithin},
+			{XL: r.XH, YL: r.YL - l.EOL.EOLWithin, XH: r.XH + l.EOL.EOLSpace, YH: r.YH + l.EOL.EOLWithin},
+		}
+	}
+	if w >= l.EOL.EOLWidth {
+		return nil
+	}
+	return []geom.Rect{
+		{XL: r.XL - l.EOL.EOLWithin, YL: r.YL - l.EOL.EOLSpace, XH: r.XH + l.EOL.EOLWithin, YH: r.YL},
+		{XL: r.XL - l.EOL.EOLWithin, YL: r.YH, XH: r.XH + l.EOL.EOLWithin, YH: r.YH + l.EOL.EOLSpace},
+	}
+}
+
+// CheckEOLRect applies the end-of-line rule to a wire-like shape: each
+// clearance window must be free of different-net shapes. One violation per
+// blocked window, at the window box.
+func (c *Checker) CheckEOLRect(layer int, r geom.Rect, net int) []Violation {
+	l := c.Tech.Metal(layer)
+	if l == nil {
+		return nil
+	}
+	var out []Violation
+	for _, win := range eolWindows(l, r) {
+		for _, s := range c.shapes {
+			if !s.alive || s.metal != layer || exempt(net, s.net) {
+				continue
+			}
+			if win.Overlaps(s.rect) {
+				out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CheckVia validates dropping via v at p for the given net, mirroring the
+// engine's composition: bottom and top enclosures against metal shorts,
+// spacing and end-of-line; each cut against cut spacing; and min-step over the
+// union of the bottom enclosure with the connected same-net rects and over
+// the top enclosure alone. The result is deduplicated by key.
+func (c *Checker) CheckVia(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect) []Violation {
+	k := v.CutBelow
+	bot := v.BotRect(p)
+	top := v.TopRect(p)
+
+	var out []Violation
+	out = append(out, c.CheckMetalRect(k, bot, net)...)
+	out = append(out, c.CheckMetalRect(k+1, top, net)...)
+	for _, cut := range v.CutRects(p) {
+		out = append(out, c.CheckCutRect(k, cut, net)...)
+	}
+	out = append(out, c.CheckEOLRect(k, bot, net)...)
+	out = append(out, c.CheckEOLRect(k+1, top, net)...)
+
+	if lb := c.Tech.Metal(k); lb != nil && lb.Step.Enabled() {
+		out = append(out, checkMinStepUnion(lb, connectedComponent(bot, sameNetRects))...)
+	}
+	if lt := c.Tech.Metal(k + 1); lt != nil && lt.Step.Enabled() {
+		out = append(out, checkMinStepUnion(lt, []geom.Rect{top})...)
+	}
+	return dedup(out)
+}
+
+// dedup removes violations with duplicate keys, preserving order.
+func dedup(vs []Violation) []Violation {
+	seen := make(map[string]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// connectedComponent returns seed plus every rect reachable from it through a
+// chain of touching rects — a fresh breadth-first implementation of the
+// engine's transitive closure.
+func connectedComponent(seed geom.Rect, rects []geom.Rect) []geom.Rect {
+	out := []geom.Rect{seed}
+	used := make([]bool, len(rects))
+	queue := []geom.Rect{seed}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for i, r := range rects {
+			if used[i] || !cur.Touches(r) {
+				continue
+			}
+			used[i] = true
+			out = append(out, r)
+			queue = append(queue, r)
+		}
+	}
+	return out
+}
+
+// CheckAll runs the pairwise short/spacing rules over every pair of indexed
+// metal shapes and cut spacing over every pair of cuts — the reference for
+// the engine's full-design check. Each violating pair is reported once.
+func (c *Checker) CheckAll() []Violation {
+	var out []Violation
+	for i := range c.shapes {
+		a := &c.shapes[i]
+		if !a.alive {
+			continue
+		}
+		for j := i + 1; j < len(c.shapes); j++ {
+			b := &c.shapes[j]
+			if !b.alive {
+				continue
+			}
+			switch {
+			case a.metal > 0 && a.metal == b.metal:
+				if exempt(a.net, b.net) {
+					continue
+				}
+				out = append(out, metalPair(c.Tech.Metal(a.metal), a.rect, b.rect)...)
+			case a.cut > 0 && a.cut == b.cut:
+				cl := c.Tech.Cut(a.cut)
+				if a.rect.Overlaps(b.rect) {
+					ov, _ := a.rect.Intersect(b.rect)
+					out = append(out, Violation{Rule: "Short", Layer: cl.Name, Where: ov})
+					continue
+				}
+				if distSq(a.rect, b.rect) < cl.Spacing*cl.Spacing {
+					out = append(out, Violation{Rule: "CutSpacing", Layer: cl.Name, Where: a.rect.UnionBBox(b.rect)})
+				}
+			}
+		}
+	}
+	return dedup(out)
+}

@@ -1,0 +1,168 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// rules extracts the sorted rule names of a violation list.
+func rules(vs []Violation) []string {
+	var out []string
+	for _, k := range Keys(vs) {
+		out = append(out, strings.SplitN(k, "|", 2)[0])
+	}
+	return out
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMetalShortAndSpacing(t *testing.T) {
+	tt := tech.N45()
+	c := New(tt)
+	c.AddMetal(1, geom.R(0, 0, 200, 70), 1)
+
+	// Overlap with a different net is a short.
+	if vs := c.CheckMetalRect(1, geom.R(100, 0, 300, 70), 2); !hasRule(vs, "Short") {
+		t.Errorf("overlap: got %v, want Short", rules(vs))
+	}
+	// Same net is exempt.
+	if vs := c.CheckMetalRect(1, geom.R(100, 0, 300, 70), 1); len(vs) != 0 {
+		t.Errorf("same net: got %v, want clean", rules(vs))
+	}
+	// 10 nm gap < 70 nm required spacing.
+	if vs := c.CheckMetalRect(1, geom.R(0, 80, 200, 150), 2); !hasRule(vs, "Spacing") {
+		t.Errorf("narrow gap: got %v, want Spacing", rules(vs))
+	}
+	// A generous gap is clean.
+	if vs := c.CheckMetalRect(1, geom.R(0, 300, 200, 370), 2); len(vs) != 0 {
+		t.Errorf("wide gap: got %v, want clean", rules(vs))
+	}
+	// NoNet blockages conflict with real nets...
+	if vs := c.CheckMetalRect(1, geom.R(0, 80, 200, 150), NoNet); !hasRule(vs, "Spacing") {
+		t.Errorf("blockage vs net: got %v, want Spacing", rules(vs))
+	}
+	// ...but two blockages are exempt from each other.
+	c2 := New(tt)
+	c2.AddMetal(1, geom.R(0, 0, 200, 70), NoNet)
+	if vs := c2.CheckMetalRect(1, geom.R(100, 0, 300, 70), NoNet); len(vs) != 0 {
+		t.Errorf("blockage vs blockage: got %v, want clean", rules(vs))
+	}
+}
+
+func TestWideSpacingFromTable(t *testing.T) {
+	tt := tech.N45()
+	c := New(tt)
+	// Two wide shapes (minDim 3*width = 210 >= wide threshold) with a long
+	// parallel run: the wide-spacing row (140) applies, so a 100 nm gap that
+	// would satisfy the default 70 nm rule still violates.
+	c.AddMetal(1, geom.R(0, 0, 1000, 210), 1)
+	if vs := c.CheckMetalRect(1, geom.R(0, 310, 1000, 520), 2); !hasRule(vs, "Spacing") {
+		t.Errorf("wide pair at 100 nm: got %v, want Spacing", rules(vs))
+	}
+	if vs := c.CheckMetalRect(1, geom.R(0, 360, 1000, 570), 2); len(vs) != 0 {
+		t.Errorf("wide pair at 150 nm: got %v, want clean", rules(vs))
+	}
+}
+
+func TestCutSpacing(t *testing.T) {
+	tt := tech.N45()
+	c := New(tt)
+	cut := geom.R(0, 0, 70, 70)
+	c.AddCut(1, cut, 1)
+
+	// The identical coincident cut is the same via.
+	if vs := c.CheckCutRect(1, cut, 2); len(vs) != 0 {
+		t.Errorf("coincident cut: got %v, want clean", rules(vs))
+	}
+	// 40 nm gap < 80 nm rule, even on the same net.
+	if vs := c.CheckCutRect(1, geom.R(110, 0, 180, 70), 1); !hasRule(vs, "CutSpacing") {
+		t.Errorf("close cut: got %v, want CutSpacing", rules(vs))
+	}
+	if vs := c.CheckCutRect(1, geom.R(200, 0, 270, 70), 1); len(vs) != 0 {
+		t.Errorf("spaced cut: got %v, want clean", rules(vs))
+	}
+}
+
+func TestEOLWindow(t *testing.T) {
+	tt := tech.N45()
+	c := New(tt)
+	// A blocker 50 nm in front of the right end edge of a 70 nm-high wire
+	// (EOL: width 90, space 90, within 25).
+	c.AddMetal(1, geom.R(350, 0, 500, 70), 2)
+	wire := geom.R(0, 0, 300, 70)
+	if vs := c.CheckEOLRect(1, wire, 1); !hasRule(vs, "EOL") {
+		t.Errorf("blocked end: got %v, want EOL", rules(vs))
+	}
+	// A wide (>= 90 nm) wire end carries no EOL windows.
+	if vs := c.CheckEOLRect(1, geom.R(0, 0, 300, 100), 1); len(vs) != 0 {
+		t.Errorf("wide end: got %v, want clean", rules(vs))
+	}
+}
+
+func TestViaDropCleanAndDirty(t *testing.T) {
+	tt := tech.N45()
+	v := tt.ViasAbove(1)[0]
+	pin := geom.R(0, 0, 280, 70)
+
+	c := New(tt)
+	c.AddMetal(1, pin, 1)
+	p := geom.Pt(140, 35)
+	if vs := c.CheckVia(v, p, 1, []geom.Rect{pin}); len(vs) != 0 {
+		t.Errorf("isolated via: got %v, want clean", rules(vs))
+	}
+
+	// A foreign shape inside the bottom-enclosure spacing halo dirties it.
+	c.AddMetal(1, geom.R(0, 120, 280, 190), 2)
+	if vs := c.CheckVia(v, p, 1, []geom.Rect{pin}); len(vs) == 0 {
+		t.Error("crowded via: want violations, got clean")
+	}
+}
+
+func TestViaMinStepNotch(t *testing.T) {
+	tt := tech.N45()
+	v := tt.ViasAbove(1)[0]
+	// A same-net pin stub that pokes out of the bottom enclosure
+	// ((70,0)-(210,70) for a via at (140,35)) as a 30 nm-tall tab: the union
+	// outline gains sub-60 nm edges, so the min-step rule (MaxEdges 0) must
+	// fire even though there is no foreign shape anywhere.
+	pin := geom.R(0, 20, 80, 50)
+	c := New(tt)
+	c.AddMetal(1, pin, 1)
+	p := geom.Pt(140, 35)
+	vs := c.CheckVia(v, p, 1, []geom.Rect{pin})
+	if !hasRule(vs, "MinStep") {
+		t.Errorf("notched union: got %v, want MinStep", rules(vs))
+	}
+}
+
+func TestCheckAllPairwise(t *testing.T) {
+	tt := tech.N45()
+	c := New(tt)
+	c.AddMetal(1, geom.R(0, 0, 200, 70), 1)
+	c.AddMetal(1, geom.R(0, 100, 200, 170), 2) // 30 nm gap: spacing
+	c.AddMetal(1, geom.R(500, 0, 700, 70), 3)  // far away: clean
+	c.AddCut(1, geom.R(0, 0, 70, 70), 1)
+	c.AddCut(1, geom.R(100, 0, 170, 70), 2) // 30 nm gap: cut spacing
+	vs := c.CheckAll()
+	if !hasRule(vs, "Spacing") || !hasRule(vs, "CutSpacing") {
+		t.Errorf("CheckAll: got %v, want Spacing and CutSpacing", rules(vs))
+	}
+	if hasRule(vs, "Short") {
+		t.Errorf("CheckAll: unexpected Short in %v", rules(vs))
+	}
+	// Removal clears the metal spacing pair.
+	c.Remove(1)
+	if vs := c.CheckAll(); hasRule(vs, "Spacing") {
+		t.Errorf("after Remove: got %v, want no Spacing", rules(vs))
+	}
+}

@@ -118,6 +118,15 @@ func (s Spec) Scale(f float64) Spec {
 	return out
 }
 
+// WithSeed returns a copy of the spec with the RNG seed replaced. Tests that
+// need byte-for-byte reproducible designs (the difftest harness in
+// particular) plumb their own seed through this, so a failure report's
+// (testcase, seed) pair regenerates the exact design.
+func (s Spec) WithSeed(seed int64) Spec {
+	s.Seed = seed
+	return s
+}
+
 // Generate builds the placed design for a spec. Generation is fully
 // deterministic in the spec's seed.
 func Generate(spec Spec) (*db.Design, error) {
