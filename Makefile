@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test vet bench experiments experiments-full examples clean \
-	difftest golden-update fuzz-smoke cover
+	difftest golden-update fuzz-smoke cover faultinject
 
 all: build vet test
 
@@ -22,6 +22,16 @@ test:
 # the naive reference checker, failing on any verdict divergence.
 difftest:
 	$(GO) test -race -v -run 'TestDifferential|TestTranslation|TestMirror|TestWorkers|TestRebind' ./internal/difftest
+
+# Fault-injection campaign under the race detector: the injector's own unit
+# tests plus the pipeline-level quarantine/cancellation/respawn properties
+# (K panics -> exactly K failed classes with byte-identical survivors,
+# deadline -> partial result, worker death -> respawn) and the metamorphic
+# fault tests (cancel-then-rerun equals clean, worker counts agree under
+# injected faults).
+faultinject:
+	$(GO) test -race ./internal/faultinject
+	$(GO) test -race -v -run 'TestFault' ./internal/pao ./internal/difftest
 
 # Re-pin the golden per-testcase result snapshots after an intentional
 # behaviour change (testdata/golden/*.json).

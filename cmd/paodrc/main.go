@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/def"
 	"repro/internal/lef"
 	"repro/internal/obs"
@@ -27,6 +28,7 @@ import (
 type options struct {
 	lefPath, defPath string
 	maxPrint         int
+	run              *cliutil.RunFlags
 	obs              *obs.Flags
 }
 
@@ -35,6 +37,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.lefPath, "lef", "", "LEF file")
 	fs.StringVar(&o.defPath, "def", "", "DEF file")
 	fs.IntVar(&o.maxPrint, "max", 50, "maximum violations to print")
+	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -59,9 +62,13 @@ func main() {
 }
 
 // exitCode maps the run outcome to the process exit status: any violation or
-// error is nonzero, so CI can gate on a clean check.
+// error is nonzero (cancellation distinguishes itself as 3), so CI can gate
+// on a clean check.
 func exitCode(nviol int, err error) int {
-	if err != nil || nviol > 0 {
+	if err != nil {
+		return cliutil.ExitCode(err)
+	}
+	if nviol > 0 {
 		return 1
 	}
 	return 0
@@ -70,6 +77,8 @@ func exitCode(nviol int, err error) int {
 // run returns the violation count so the caller decides the exit status after
 // the observability report has been flushed.
 func run(opts *options) (int, error) {
+	ctx, stop := opts.run.Context()
+	defer stop()
 	o, finish, err := opts.obs.Start("paodrc")
 	if err != nil {
 		return 0, err
@@ -101,10 +110,22 @@ func run(opts *options) (int, error) {
 		for _, p := range problems {
 			fmt.Println(" ", p)
 		}
+		if opts.run.FailFastSet() {
+			finish()
+			return len(problems), fmt.Errorf("aborting on %d structural problems (-fail-fast)", len(problems))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		finish()
+		return 0, err
 	}
 	spBuild := o.Root().Start("buildengine")
 	eng := pao.NewAnalyzer(d, pao.DefaultConfig()).GlobalEngine()
 	spBuild.End()
+	if err := ctx.Err(); err != nil {
+		finish()
+		return 0, err
+	}
 	spCheck := o.Root().Start("checkall")
 	vs := eng.CheckAll()
 	spCheck.End()

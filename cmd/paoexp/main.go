@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/suite"
@@ -32,6 +33,7 @@ type options struct {
 	expName string
 	scale   float64
 	cases   string
+	run     *cliutil.RunFlags
 	obs     *obs.Flags
 }
 
@@ -40,6 +42,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.expName, "exp", "all", "experiment: table1, 1, 2, 3, 14nm, ablate, all")
 	fs.Float64Var(&o.scale, "scale", 0.05, "testcase scale factor (1.0 = full Table I sizes)")
 	fs.StringVar(&o.cases, "cases", "", "comma-separated testcase subset (default: all)")
+	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -55,7 +58,7 @@ func main() {
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paoexp:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
@@ -75,6 +78,8 @@ func selectedSpecs(cases string) ([]suite.Spec, error) {
 }
 
 func run(opts *options) error {
+	ctx, stop := opts.run.Context()
+	defer stop()
 	expName, scale := opts.expName, opts.scale
 	specs, err := selectedSpecs(opts.cases)
 	if err != nil {
@@ -84,11 +89,18 @@ func run(opts *options) error {
 	if err != nil {
 		return err
 	}
+	// abort flushes the observability report before surfacing a cancellation
+	// or experiment failure; the tables already printed are the partial
+	// result.
+	abort := func(err error) error {
+		finish()
+		return err
+	}
 	all := expName == "all"
 	if all || expName == "table1" {
 		rows, err := exp.RunTable1(scale)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		exp.RenderTable1(os.Stdout, rows)
 		fmt.Println()
@@ -96,9 +108,9 @@ func run(opts *options) error {
 	if all || expName == "1" {
 		var rows []exp.Exp1Row
 		for _, s := range specs {
-			r, err := exp.RunExp1Obs(o, s, scale)
+			r, err := exp.RunExp1Obs(ctx, o, s, scale)
 			if err != nil {
-				return err
+				return abort(err)
 			}
 			rows = append(rows, r)
 		}
@@ -108,9 +120,9 @@ func run(opts *options) error {
 	if all || expName == "2" {
 		var rows []exp.Exp2Row
 		for _, s := range specs {
-			r, err := exp.RunExp2Obs(o, s, scale)
+			r, err := exp.RunExp2Obs(ctx, o, s, scale)
 			if err != nil {
-				return err
+				return abort(err)
 			}
 			rows = append(rows, r)
 		}
@@ -118,25 +130,25 @@ func run(opts *options) error {
 		fmt.Println()
 	}
 	if all || expName == "3" {
-		rows, err := exp.RunExp3Obs(o, minF(scale, 0.02))
+		rows, err := exp.RunExp3Obs(ctx, o, minF(scale, 0.02))
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		exp.RenderExp3(os.Stdout, rows)
 		fmt.Println()
 	}
 	if all || expName == "14nm" {
-		r, err := exp.RunAES14Obs(o, scale)
+		r, err := exp.RunAES14Obs(ctx, o, scale)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		exp.RenderAES14(os.Stdout, r)
 		fmt.Println()
 	}
 	if all || expName == "ablate" {
-		rows, err := exp.RunAblationsObs(o, suite.Testcases[0], scale)
+		rows, err := exp.RunAblationsObs(ctx, o, suite.Testcases[0], scale)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		exp.RenderAblations(os.Stdout, "pao_test1", rows)
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cliutil"
 	"repro/internal/def"
 	"repro/internal/guide"
 	"repro/internal/lef"
@@ -30,6 +31,7 @@ type options struct {
 	name  string
 	scale float64
 	out   string
+	run   *cliutil.RunFlags
 	obs   *obs.Flags
 }
 
@@ -38,6 +40,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.name, "case", "pao_test1", "testcase name (pao_test1..pao_test10, aes_14nm)")
 	fs.Float64Var(&o.scale, "scale", 1.0, "scale factor")
 	fs.StringVar(&o.out, "out", ".", "output directory")
+	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -53,11 +56,13 @@ func main() {
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paogen:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
 func run(opts *options) error {
+	ctx, stop := opts.run.Context()
+	defer stop()
 	spec, err := suite.ByName(opts.name)
 	if err != nil {
 		return err
@@ -96,6 +101,11 @@ func run(opts *options) error {
 		return err
 	}
 	spWrite.End()
+	if err := ctx.Err(); err != nil {
+		finish()
+		fmt.Printf("wrote %s and %s; cancelled before global routing\n", lefPath, defPath)
+		return err
+	}
 	// Global-route and emit the contest-style guide file alongside.
 	spGuide := o.Root().Start("globalroute")
 	guidePath := filepath.Join(opts.out, d.Name+".guide")
@@ -127,5 +137,11 @@ func run(opts *options) error {
 	over, maxOver := gr.CongestionReport()
 	fmt.Printf("wrote %s (%d masters), %s (%d instances, %d nets), %s and %s (overflow edges: %d, max %d)\n",
 		lefPath, len(d.Masters), defPath, len(d.Instances), len(d.Nets), guidePath, heatPath, over, maxOver)
-	return finish()
+	if err := finish(); err != nil {
+		return err
+	}
+	if opts.run.FailFastSet() && over > 0 {
+		return fmt.Errorf("global routing left %d overflow edges (-fail-fast)", over)
+	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/def"
 	"repro/internal/guide"
 	"repro/internal/lef"
@@ -34,6 +35,7 @@ type options struct {
 	lefPath, defPath  string
 	access, guidePath string
 	outPath, svgPath  string
+	run               *cliutil.RunFlags
 	obs               *obs.Flags
 }
 
@@ -45,6 +47,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.guidePath, "guide", "", "route-guide file (contest format; empty: unguided)")
 	fs.StringVar(&o.outPath, "out", "", "write the routed DEF here")
 	fs.StringVar(&o.svgPath, "svg", "", "write a violation-window SVG here")
+	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -63,11 +66,13 @@ func main() {
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paoroute:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
 func run(opts *options) error {
+	ctx, stop := opts.run.Context()
+	defer stop()
 	o, finish, err := opts.obs.Start("paoroute")
 	if err != nil {
 		return err
@@ -93,7 +98,9 @@ func run(opts *options) error {
 	}
 	spParse.End()
 
-	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	pcfg := pao.DefaultConfig()
+	pcfg.FailFast = opts.run.FailFastSet()
+	a := pao.NewAnalyzer(d, pcfg)
 	a.Obs = o
 	cfg := router.Config{}
 	if opts.guidePath != "" {
@@ -114,11 +121,23 @@ func run(opts *options) error {
 	switch opts.access {
 	case "paaf":
 		cfg.Mode = router.AccessPAAF
-		cfg.Access = a.Run()
+		access, err := a.RunContext(ctx)
+		if access != nil && !access.Health.OK() {
+			fmt.Println("access analysis", access.Health)
+		}
+		if err != nil {
+			finish()
+			return fmt.Errorf("access analysis: %w", err)
+		}
+		cfg.Access = access
 	case "adhoc":
 		cfg.Mode = router.AccessAdHoc
 	default:
 		return fmt.Errorf("unknown access mode %q", opts.access)
+	}
+	if err := ctx.Err(); err != nil {
+		finish()
+		return err
 	}
 	r, err := router.New(d, cfg)
 	if err != nil {
@@ -127,6 +146,10 @@ func run(opts *options) error {
 	spRoute := o.Root().Start("route")
 	res := r.Route()
 	spRoute.End()
+	if err := ctx.Err(); err != nil {
+		finish()
+		return err
+	}
 	spCheck := o.Root().Start("check")
 	router.Check(a, res)
 	spCheck.End()

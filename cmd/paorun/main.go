@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/def"
 	"repro/internal/lef"
 	"repro/internal/obs"
@@ -31,6 +32,7 @@ type options struct {
 	lefPath, defPath     string
 	dump, verbose, noBCA bool
 	k, workers           int
+	run                  *cliutil.RunFlags
 	obs                  *obs.Flags
 }
 
@@ -43,6 +45,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.BoolVar(&o.noBCA, "nobca", false, "disable boundary conflict awareness")
 	fs.IntVar(&o.k, "k", 3, "target access points per pin")
 	fs.IntVar(&o.workers, "workers", 1, "analysis worker goroutines")
+	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -61,11 +64,13 @@ func main() {
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paorun:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
 func run(opts *options) error {
+	ctx, stop := opts.run.Context()
+	defer stop()
 	o, finish, err := opts.obs.Start("paorun")
 	if err != nil {
 		return err
@@ -96,9 +101,10 @@ func run(opts *options) error {
 	cfg.K = opts.k
 	cfg.BCA = !opts.noBCA
 	cfg.Workers = opts.workers
+	cfg.FailFast = opts.run.FailFastSet()
 	a := pao.NewAnalyzer(d, cfg)
 	a.Obs = o
-	res := a.Run()
+	res, runErr := a.RunContext(ctx)
 	a.PublishObs()
 
 	t := report.New(fmt.Sprintf("Pin access summary for %s", d.Name),
@@ -106,6 +112,12 @@ func run(opts *options) error {
 	t.AddRow(len(d.Instances), res.Stats.NumUnique, res.Stats.TotalAPs,
 		res.Stats.OffTrackAPs, res.Stats.PatternsBuilt, res.Stats.TotalPins, res.Stats.FailedPins)
 	t.Render(os.Stdout)
+	if !res.Health.OK() {
+		fmt.Println(res.Health)
+		for _, e := range res.Health.Errors() {
+			fmt.Println(" ", e)
+		}
+	}
 
 	if opts.verbose {
 		st := res.Stats.Steps
@@ -135,5 +147,11 @@ func run(opts *options) error {
 			}
 		}
 	}
-	return finish()
+	// Flush the observability report before surfacing a cancellation or
+	// fail-fast abort: the partial summary above is the graceful-degradation
+	// contract.
+	if err := finish(); err != nil {
+		return err
+	}
+	return runErr
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/db"
 	"repro/internal/geom"
 	"repro/internal/lef"
@@ -30,6 +31,7 @@ import (
 // an injected FlagSet and argument list.
 type options struct {
 	lefPath, cell, out, orientName string
+	run                            *cliutil.RunFlags
 	obs                            *obs.Flags
 }
 
@@ -39,6 +41,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.cell, "cell", "", "master name")
 	fs.StringVar(&o.out, "out", "", "output SVG path")
 	fs.StringVar(&o.orientName, "orient", "N", "placement orientation (N, S, FN, FS, ...)")
+	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -57,11 +60,13 @@ func main() {
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "paoview:", err)
-		os.Exit(1)
+		os.Exit(cliutil.ExitCode(err))
 	}
 }
 
 func run(opts *options) error {
+	ctx, stop := opts.run.Context()
+	defer stop()
 	lf, err := os.Open(opts.lefPath)
 	if err != nil {
 		return err
@@ -116,12 +121,21 @@ func run(opts *options) error {
 	if err != nil {
 		return err
 	}
-	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	cfg := pao.DefaultConfig()
+	cfg.FailFast = opts.run.FailFastSet()
+	a := pao.NewAnalyzer(d, cfg)
 	a.Obs = o
-	res := a.Run()
+	res, runErr := a.RunContext(ctx)
 	a.PublishObs()
+	if runErr != nil {
+		finish()
+		return runErr
+	}
 	fmt.Printf("%s (%s): %d signal pins, %d access points, %d failed\n",
 		opts.cell, orient, len(master.SignalPins()), res.Stats.TotalAPs, res.Stats.FailedPins)
+	if !res.Health.OK() {
+		fmt.Println(res.Health)
+	}
 	for _, p := range master.SignalPins() {
 		ap := res.AccessPointFor(inst, p)
 		if ap == nil {

@@ -1,0 +1,74 @@
+// Package cliutil holds the lifecycle plumbing shared by the cmd tools:
+// the -timeout and -fail-fast flags and SIGINT/SIGTERM-aware contexts, so
+// every tool degrades the same way — flush whatever partial report exists,
+// exit non-zero — when a run is cancelled.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// RunFlags carries the robustness options common to every tool.
+type RunFlags struct {
+	// Timeout aborts the run after this duration; 0 disables the deadline.
+	Timeout time.Duration
+	// FailFast aborts at the first degraded result instead of quarantining
+	// it and continuing.
+	FailFast bool
+}
+
+// RegisterRunFlags registers -timeout and -fail-fast on the flag set.
+func RegisterRunFlags(fs *flag.FlagSet) *RunFlags {
+	f := &RunFlags{}
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this duration (0 disables)")
+	fs.BoolVar(&f.FailFast, "fail-fast", false, "abort on the first degraded result instead of continuing")
+	return f
+}
+
+// FailFastSet reports whether -fail-fast was given. Like Context it is
+// nil-receiver safe, so tool run() functions behave sensibly when a test
+// constructs their options without going through RegisterRunFlags.
+func (f *RunFlags) FailFastSet() bool {
+	return f != nil && f.FailFast
+}
+
+// Context returns a context cancelled by SIGINT, SIGTERM, or the -timeout
+// deadline when one is set. Call the returned stop function before exiting
+// to restore default signal behaviour (a second SIGINT then kills the
+// process immediately).
+func (f *RunFlags) Context() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if f == nil || f.Timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, f.Timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// ExitCode maps a run error to the process exit status: 0 on success, 3 when
+// the run was cancelled (deadline or signal) after flushing partial output,
+// 1 for every other failure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Cancelled reports whether err is a context cancellation or deadline.
+func Cancelled(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}

@@ -1,0 +1,67 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestRegisterRunFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RegisterRunFlags(fs)
+	if err := fs.Parse([]string{"-timeout", "250ms", "-fail-fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Timeout != 250*time.Millisecond || !f.FailFast {
+		t.Errorf("parsed %+v", f)
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	f := &RunFlags{Timeout: 10 * time.Millisecond}
+	ctx, stop := f.Context()
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("-timeout context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestContextNoTimeout(t *testing.T) {
+	var f *RunFlags // nil receiver: signal-only context
+	ctx, stop := f.Context()
+	defer stop()
+	if ctx.Err() != nil {
+		t.Errorf("fresh context already done: %v", ctx.Err())
+	}
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("no -timeout must mean no deadline")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{context.DeadlineExceeded, 3},
+		{context.Canceled, 3},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), 3},
+		{errors.New("boom"), 1},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

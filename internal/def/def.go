@@ -91,6 +91,21 @@ func netOfIO(d *db.Design, io *db.IOPin) string {
 // Parser
 // ---------------------------------------------------------------------------
 
+// Input hardening bounds (see the matching limits in package lef): DEF is a
+// machine-written format, so anything past these is a corrupt or adversarial
+// file and is rejected before it can balloon memory or overflow coordinate
+// arithmetic.
+const (
+	// maxTokenLen bounds one identifier/number token.
+	maxTokenLen = 4096
+	// maxCoordDBU bounds any integer coordinate (DBU) — far past any
+	// physical die, with enough int64 headroom that sums and areas of a few
+	// such coordinates cannot overflow.
+	maxCoordDBU = int64(1e15)
+	// maxSectionCount bounds the declared COMPONENTS/PINS/NETS entry counts.
+	maxSectionCount = int64(50_000_000)
+)
+
 type parser struct {
 	toks []string
 	pos  int
@@ -105,7 +120,12 @@ func newParser(r io.Reader) (*parser, error) {
 		if i := strings.Index(line, "#"); i >= 0 {
 			line = line[:i]
 		}
-		toks = append(toks, strings.Fields(line)...)
+		for _, f := range strings.Fields(line) {
+			if len(f) > maxTokenLen {
+				return nil, fmt.Errorf("def: token of %d bytes exceeds the %d-byte limit", len(f), maxTokenLen)
+			}
+			toks = append(toks, f)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -147,7 +167,26 @@ func (p *parser) int64() (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("def: bad integer %q (token %d)", t, p.pos)
 	}
+	if v > maxCoordDBU || v < -maxCoordDBU {
+		return 0, fmt.Errorf("def: integer %q exceeds the %d DBU magnitude limit (token %d)", t, maxCoordDBU, p.pos)
+	}
 	return v, nil
+}
+
+// sectionCount parses and validates the "<n> ;" header of a COMPONENTS /
+// PINS / NETS section. The declared count is an upper bound checked against
+// the entries actually parsed, so a lying header cannot smuggle in an
+// unbounded section.
+func (p *parser) sectionCount(section string) (int64, error) {
+	n, err := p.int64()
+	if err != nil {
+		return 0, fmt.Errorf("def: %s count: %w", section, err)
+	}
+	if n < 0 || n > maxSectionCount {
+		return 0, fmt.Errorf("def: %s declares %d entries (allowed 0..%d)", section, n, maxSectionCount)
+	}
+	p.skipStatement()
+	return n, nil
 }
 
 // Parse reads a DEF design against a technology and master library (as
@@ -316,7 +355,11 @@ func parseTracks(p *parser, d *db.Design) error {
 }
 
 func parseComponents(p *parser, d *db.Design) error {
-	p.skipStatement() // count ;
+	declared, err := p.sectionCount("COMPONENTS")
+	if err != nil {
+		return err
+	}
+	var seen int64
 	for !p.eof() {
 		tok := p.next()
 		if tok == "END" {
@@ -324,6 +367,9 @@ func parseComponents(p *parser, d *db.Design) error {
 		}
 		if tok != "-" {
 			return fmt.Errorf("def: expected component entry, got %q", tok)
+		}
+		if seen++; seen > declared {
+			return fmt.Errorf("def: COMPONENTS declares %d entries but has more", declared)
 		}
 		name := p.next()
 		masterName := p.next()
@@ -369,7 +415,11 @@ func parseComponents(p *parser, d *db.Design) error {
 }
 
 func parsePins(p *parser, d *db.Design) error {
-	p.skipStatement()
+	declared, err := p.sectionCount("PINS")
+	if err != nil {
+		return err
+	}
+	var seen int64
 	type pending struct {
 		io  *db.IOPin
 		net string
@@ -388,6 +438,9 @@ func parsePins(p *parser, d *db.Design) error {
 		}
 		if tok != "-" {
 			return fmt.Errorf("def: expected pin entry, got %q", tok)
+		}
+		if seen++; seen > declared {
+			return fmt.Errorf("def: PINS declares %d entries but has more", declared)
 		}
 		io := &db.IOPin{Name: p.next()}
 		netName := ""
@@ -471,7 +524,11 @@ func parsePins(p *parser, d *db.Design) error {
 }
 
 func parseNets(p *parser, d *db.Design) error {
-	p.skipStatement()
+	declared, err := p.sectionCount("NETS")
+	if err != nil {
+		return err
+	}
+	var seen int64
 	ioByName := make(map[string]*db.IOPin, len(d.IOPins))
 	for _, io := range d.IOPins {
 		ioByName[io.Name] = io
@@ -483,6 +540,9 @@ func parseNets(p *parser, d *db.Design) error {
 		}
 		if tok != "-" {
 			return fmt.Errorf("def: expected net entry, got %q", tok)
+		}
+		if seen++; seen > declared {
+			return fmt.Errorf("def: NETS declares %d entries but has more", declared)
 		}
 		n := &db.Net{Name: p.next()}
 		for !p.eof() {

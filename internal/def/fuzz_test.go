@@ -20,6 +20,13 @@ func FuzzParse(f *testing.F) {
 	f.Add("DESIGN x ;\nEND DESIGN\n")
 	f.Add("COMPONENTS 0 ;\nEND COMPONENTS\n")
 	f.Add("NETS 1 ;\n- n ;\nEND NETS\nEND DESIGN\n")
+	// Hardening corpus: lying section headers and overflowing coordinates
+	// the parser must reject without panicking.
+	f.Add("COMPONENTS -3 ;\nEND COMPONENTS\n")
+	f.Add("COMPONENTS 99999999999 ;\nEND COMPONENTS\n")
+	f.Add("NETS 0 ;\n- n ;\nEND NETS\n")
+	f.Add("DIEAREA ( 0 0 ) ( 9223372036854775806 10 ) ;\n")
+	f.Add("PINS -1 ;\nEND PINS\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		d := buildDesign(t)
 		_, _ = Parse(strings.NewReader(src), d.Tech, nil)

@@ -1,0 +1,38 @@
+package def
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseRejectsHostileInput pins the input-hardening bounds: oversized
+// tokens, overflowing coordinates and lying section headers must come back
+// as errors, never as a half-parsed design.
+func TestParseRejectsHostileInput(t *testing.T) {
+	d := buildDesign(t)
+	master := d.Instances[0].Master.Name
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"giant token", "DESIGN " + strings.Repeat("x", maxTokenLen+1) + " ;\n", "byte limit"},
+		{"overflow coordinate", "DIEAREA ( 0 0 ) ( 9223372036854775806 10 ) ;\n", "magnitude limit"},
+		{"negative components count", "COMPONENTS -3 ;\nEND COMPONENTS\n", "COMPONENTS declares"},
+		{"huge components count", fmt.Sprintf("COMPONENTS %d ;\nEND COMPONENTS\n", maxSectionCount+1), "COMPONENTS declares"},
+		{"negative pins count", "PINS -1 ;\nEND PINS\n", "PINS declares"},
+		{"negative nets count", "NETS -1 ;\nEND NETS\n", "NETS declares"},
+		{"undercounted components", fmt.Sprintf("COMPONENTS 1 ;\n- a %s ;\n- b %s ;\nEND COMPONENTS\n", master, master), "declares 1 entries but has more"},
+		{"undercounted nets", "NETS 0 ;\n- n ;\nEND NETS\n", "declares 0 entries but has more"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src), d.Tech, d.Masters)
+			if err == nil {
+				t.Fatalf("Parse accepted hostile input %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}

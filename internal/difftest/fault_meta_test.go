@@ -1,0 +1,146 @@
+package difftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/drc"
+	"repro/internal/faultinject"
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+// TestFaultCancelledRerunEqualsClean: cancelling a run mid-Step-1/2 and then
+// re-running fresh on the same design must equal a never-cancelled run —
+// cancellation may drop work but never corrupt the shared inputs (design,
+// net map) a later run depends on.
+func TestFaultCancelledRerunEqualsClean(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.01).WithSeed(7)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+
+	// Cancel from inside the pipeline after the fifth class starts: a
+	// deterministic mid-Step-1/2 cut, not a timer race.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := pao.NewAnalyzer(d, pao.DefaultConfig())
+	n := 0
+	a.FaultHook = func(site, detail string) {
+		if site == pao.SiteAnalyzeUnique {
+			if n++; n == 5 {
+				cancel()
+			}
+		}
+	}
+	partial, err := a.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !partial.Health.Cancelled() {
+		t.Fatal("health must report cancellation")
+	}
+	if partial.Stats.NumUnique >= clean.Stats.NumUnique {
+		t.Fatalf("cancelled run analyzed all %d classes — not a mid-run cut", partial.Stats.NumUnique)
+	}
+
+	rerun := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	if !rerun.Health.OK() {
+		t.Fatalf("fresh rerun unhealthy: %v", rerun.Health)
+	}
+	if clean.Stats.Counts() != rerun.Stats.Counts() {
+		t.Fatalf("stats differ after cancel+rerun:\nclean %+v\nrerun %+v",
+			clean.Stats.Counts(), rerun.Stats.Counts())
+	}
+	for id, sel := range clean.Selected {
+		if rerun.Selected[id] != sel {
+			t.Fatalf("instance %d: selected pattern %d vs %d", id, sel, rerun.Selected[id])
+		}
+	}
+	id := func(k apKey) apKey { return k }
+	sameAPSets(t, "cancel+rerun", termAPs(d, clean, id), termAPs(d, rerun, id))
+}
+
+// TestFaultWorkersEquivalence: Workers=1 and Workers=N must still agree when
+// faults are injected — panics quarantining two classes and spurious DRC
+// violations poisoning a third. Detail-scoped injection makes the fault set
+// independent of scheduling, so the degraded results must be byte-identical.
+func TestFaultWorkersEquivalence(t *testing.T) {
+	spec := suite.Testcases[0].Scale(0.01).WithSeed(7)
+	d, err := suite.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := pao.NewAnalyzer(d, pao.DefaultConfig()).Run()
+	if len(probe.Unique) < 4 {
+		t.Fatalf("testcase too small: %d classes", len(probe.Unique))
+	}
+	panicSigs := []string{probe.Unique[0].UI.Signature(), probe.Unique[1].UI.Signature()}
+	spuriousSig := probe.Unique[2].UI.Signature()
+
+	run := func(workers int) *pao.Result {
+		in := faultinject.New()
+		for _, sig := range panicSigs {
+			in.Add(&faultinject.Fault{
+				Site: pao.SiteAnalyzeUnique, Detail: sig, Kind: faultinject.Panic,
+			})
+		}
+		in.Add(&faultinject.Fault{
+			Site: drc.SiteCheckVia, Detail: spuriousSig, Kind: faultinject.Spurious,
+		})
+		cfg := pao.DefaultConfig()
+		cfg.Workers = workers
+		a := pao.NewAnalyzer(d, cfg)
+		a.FaultHook = in.SiteHook()
+		a.DRCFaultHook = in.DRCHook()
+		res, err := a.RunContext(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(8)
+
+	if fmt.Sprintf("%v", seq.Health.FailedClasses()) != fmt.Sprintf("%v", par.Health.FailedClasses()) {
+		t.Fatalf("failed classes differ: %v vs %v",
+			seq.Health.FailedClasses(), par.Health.FailedClasses())
+	}
+	if seq.Stats.Counts() != par.Stats.Counts() {
+		t.Fatalf("stats differ across workers under faults:\nseq %+v\npar %+v",
+			seq.Stats.Counts(), par.Stats.Counts())
+	}
+	for id, sel := range seq.Selected {
+		if par.Selected[id] != sel {
+			t.Fatalf("instance %d: selected pattern %d vs %d", id, sel, par.Selected[id])
+		}
+	}
+	id := func(k apKey) apKey { return k }
+	sameAPSets(t, "workers-under-faults", termAPs(d, seq, id), termAPs(d, par, id))
+
+	// The spurious-DRC class really was poisoned (its APs all rejected),
+	// and the panicked classes carry no results at all.
+	for _, res := range []*pao.Result{seq, par} {
+		sawSpurious := false
+		for _, ua := range res.Unique {
+			if ua.UI.Signature() == spuriousSig {
+				sawSpurious = true
+				if ua.TotalAPs() != 0 {
+					t.Errorf("spurious-DRC class kept %d APs", ua.TotalAPs())
+				}
+			}
+			for _, sig := range panicSigs {
+				if ua.UI.Signature() == sig {
+					t.Errorf("panicked class %s still has results", sig)
+				}
+			}
+		}
+		if !sawSpurious {
+			t.Error("spurious-DRC class missing from results")
+		}
+	}
+}

@@ -351,6 +351,9 @@ func (e *Engine) CheckViaCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects
 
 	e.Counters.ViaChecks.Add(1)
 	var out []Violation
+	if e.FaultHook != nil {
+		out = append(out, e.FaultHook(SiteCheckVia)...)
+	}
 	out = append(out, e.CheckMetalRectCtx(k, bot, net, ctx)...)
 	out = append(out, e.CheckMetalRectCtx(k+1, top, net, ctx)...)
 	for _, cut := range v.CutRects(p) {

@@ -447,7 +447,9 @@ func TestCheckAllParallelMatchesSequential(t *testing.T) {
 
 func TestCheckViaDoubleCut(t *testing.T) {
 	tt := tech.N45()
-	tech.AddDoubleCutVias(tt)
+	if err := tech.AddDoubleCutVias(tt); err != nil {
+		t.Fatal(err)
+	}
 	v := tt.ViaByName("VIA1_D") // two cuts stacked along M2 (vertical)
 	if v == nil || len(v.Cuts) != 2 {
 		t.Fatalf("VIA1_D = %+v", v)

@@ -34,6 +34,10 @@ func (k Kind) String() string { return kindNames[k] }
 // A NoNet shape conflicts with every net but never with another NoNet shape.
 const NoNet = -1
 
+// SiteCheckVia is the fault-hook site name for via checks (see
+// Engine.FaultHook).
+const SiteCheckVia = "drc.CheckVia"
+
 // Obj is one rectangle known to the engine. Metal shapes set MetalLayer to
 // the 1-based metal number; via cuts set CutBelow to the cut layer's metal
 // number and leave MetalLayer zero.
@@ -181,6 +185,14 @@ type Engine struct {
 	// Counters receives the engine's instrumentation. Always non-nil after
 	// NewEngine; reassign it to share one accumulator across engines.
 	Counters *Counters
+
+	// FaultHook, when set, is invoked at the start of every via check with
+	// the site name (SiteCheckVia); any violations it returns are appended
+	// to the check's result. It exists for deterministic fault injection
+	// (internal/faultinject) and stays nil in production. The hook must be
+	// safe for concurrent callers when the engine is queried from several
+	// goroutines.
+	FaultHook func(site string) []Violation
 
 	objs    []Obj
 	alive   []bool

@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -87,12 +88,13 @@ type Exp1Row struct {
 
 // RunExp1 runs Experiment 1 on one testcase spec at the given scale.
 func RunExp1(spec suite.Spec, scale float64) (Exp1Row, error) {
-	return RunExp1Obs(nil, spec, scale)
+	return RunExp1Obs(context.Background(), nil, spec, scale)
 }
 
 // RunExp1Obs is RunExp1 with the phases attached to the given observer's
-// trace (nil runs with a private one).
-func RunExp1Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp1Row, error) {
+// trace (nil runs with a private one) and the run bound to ctx: a cancelled
+// or expired context aborts between phases and mid-analysis.
+func RunExp1Obs(ctx context.Context, o *obs.Observer, spec suite.Spec, scale float64) (Exp1Row, error) {
 	deep := o != nil
 	o = obs.Ensure(o, "exp1")
 	d, err := suite.Generate(spec.Scale(scale))
@@ -110,8 +112,11 @@ func RunExp1Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp1Row, error
 		a.Obs = o
 	}
 	sp = o.Root().Start("exp1." + d.Name + ".paaf")
-	paafRes := runStep1Only(a, d)
+	paafRes, err := runStep1Only(ctx, a, d)
 	row.PaafSecond = sp.End().Seconds()
+	if err != nil {
+		return row, err
+	}
 
 	row.NumUnique = paafRes.Stats.NumUnique
 	row.TrAPs = base.Stats.TotalAPs
@@ -127,10 +132,14 @@ func RunExp1Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp1Row, error
 }
 
 // runStep1Only performs the Step-1 portion of the analysis (Experiment 1
-// evaluates access point generation without compatibility).
-func runStep1Only(a *pao.Analyzer, d *db.Design) *pao.Result {
+// evaluates access point generation without compatibility), checking ctx
+// between unique instances.
+func runStep1Only(ctx context.Context, a *pao.Analyzer, d *db.Design) (*pao.Result, error) {
 	res := &pao.Result{ByInstance: make(map[int]*pao.UniqueAccess), Selected: make(map[int]int)}
 	for _, ui := range d.UniqueInstances() {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		ua := a.AnalyzeUnique(ui)
 		res.Unique = append(res.Unique, ua)
 		for _, inst := range ui.Insts {
@@ -139,7 +148,7 @@ func runStep1Only(a *pao.Analyzer, d *db.Design) *pao.Result {
 		res.Stats.NumUnique++
 		res.Stats.TotalAPs += ua.TotalAPs()
 	}
-	return res
+	return res, nil
 }
 
 // RenderExp1 prints the Table II analogue.
@@ -168,12 +177,12 @@ type Exp2Row struct {
 
 // RunExp2 runs Experiment 2 on one testcase spec at the given scale.
 func RunExp2(spec suite.Spec, scale float64) (Exp2Row, error) {
-	return RunExp2Obs(nil, spec, scale)
+	return RunExp2Obs(context.Background(), nil, spec, scale)
 }
 
 // RunExp2Obs is RunExp2 with the phases attached to the given observer's
-// trace (nil runs with a private one).
-func RunExp2Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp2Row, error) {
+// trace (nil runs with a private one) and every analyzer run bound to ctx.
+func RunExp2Obs(ctx context.Context, o *obs.Observer, spec suite.Spec, scale float64) (Exp2Row, error) {
 	deep := o != nil
 	o = obs.Ensure(o, "exp2")
 	d, err := suite.Generate(spec.Scale(scale))
@@ -193,6 +202,9 @@ func RunExp2Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp2Row, error
 	if deep {
 		a.PublishObs()
 	}
+	if err := ctx.Err(); err != nil {
+		return row, err
+	}
 
 	// PAAF without boundary conflict awareness (one pattern per unique
 	// instance).
@@ -203,12 +215,15 @@ func RunExp2Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp2Row, error
 		noBCAAn.Obs = o
 	}
 	sp = o.Root().Start("exp2." + d.Name + ".nobca")
-	noBCA := noBCAAn.Run()
+	noBCA, err := noBCAAn.RunContext(ctx)
 	row.NoBCASecond = sp.End().Seconds()
-	row.NoBCAFailed = noBCA.Stats.FailedPins
 	if deep {
 		noBCAAn.PublishObs()
 	}
+	if err != nil {
+		return row, err
+	}
+	row.NoBCAFailed = noBCA.Stats.FailedPins
 
 	// PAAF with BCA (up to three patterns, cluster selection).
 	fullAn := pao.NewAnalyzer(d, pao.DefaultConfig())
@@ -216,12 +231,15 @@ func RunExp2Obs(o *obs.Observer, spec suite.Spec, scale float64) (Exp2Row, error
 		fullAn.Obs = o
 	}
 	sp = o.Root().Start("exp2." + d.Name + ".bca")
-	full := fullAn.Run()
+	full, err := fullAn.RunContext(ctx)
 	row.BCASeconds = sp.End().Seconds()
-	row.BCAFailed = full.Stats.FailedPins
 	if deep {
 		fullAn.PublishObs()
 	}
+	if err != nil {
+		return row, err
+	}
+	row.BCAFailed = full.Stats.FailedPins
 	return row, nil
 }
 
@@ -251,17 +269,21 @@ type Exp3Result struct {
 
 // RunExp3 routes the scaled pao_test5 in both access modes.
 func RunExp3(scale float64) ([]Exp3Result, error) {
-	return RunExp3Obs(nil, scale)
+	return RunExp3Obs(context.Background(), nil, scale)
 }
 
 // RunExp3Obs is RunExp3 with the phases attached to the given observer's
-// trace (nil runs with a private one).
-func RunExp3Obs(o *obs.Observer, scale float64) ([]Exp3Result, error) {
+// trace (nil runs with a private one); ctx aborts between modes and inside
+// the PAAF access analysis.
+func RunExp3Obs(ctx context.Context, o *obs.Observer, scale float64) ([]Exp3Result, error) {
 	deep := o != nil
 	o = obs.Ensure(o, "exp3")
 	spec := suite.Testcases[4].Scale(scale) // pao_test5, as in the paper
 	var out []Exp3Result
 	for _, mode := range []router.AccessMode{router.AccessAdHoc, router.AccessPAAF} {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		d, err := suite.Generate(spec)
 		if err != nil {
 			return nil, err
@@ -273,7 +295,12 @@ func RunExp3Obs(o *obs.Observer, scale float64) ([]Exp3Result, error) {
 		sp := o.Root().Start("exp3." + mode.String())
 		cfg := router.Config{Mode: mode}
 		if mode == router.AccessPAAF {
-			cfg.Access = a.Run()
+			access, err := a.RunContext(ctx)
+			if err != nil {
+				sp.End()
+				return out, err
+			}
+			cfg.Access = access
 		}
 		r, err := router.New(d, cfg)
 		if err != nil {
@@ -319,12 +346,12 @@ type AES14Result struct {
 
 // RunAES14 runs the 14 nm study at the given scale.
 func RunAES14(scale float64) (AES14Result, error) {
-	return RunAES14Obs(nil, scale)
+	return RunAES14Obs(context.Background(), nil, scale)
 }
 
 // RunAES14Obs is RunAES14 with the run attached to the given observer's
-// trace (nil runs with a private one).
-func RunAES14Obs(o *obs.Observer, scale float64) (AES14Result, error) {
+// trace (nil runs with a private one) and bound to ctx.
+func RunAES14Obs(ctx context.Context, o *obs.Observer, scale float64) (AES14Result, error) {
 	deep := o != nil
 	o = obs.Ensure(o, "aes14")
 	d, err := suite.Generate(suite.AES14.Scale(scale))
@@ -336,10 +363,13 @@ func RunAES14Obs(o *obs.Observer, scale float64) (AES14Result, error) {
 		a.Obs = o
 	}
 	sp := o.Root().Start("aes14.run")
-	res := a.Run()
+	res, err := a.RunContext(ctx)
 	sec := sp.End().Seconds()
 	if deep {
 		a.PublishObs()
+	}
+	if err != nil {
+		return AES14Result{Insts: len(d.Instances), Seconds: sec}, err
 	}
 	return AES14Result{
 		Insts:     len(d.Instances),
@@ -375,12 +405,13 @@ type AblationRow struct {
 // k (access points per pin), alpha (pin ordering weight), history-aware edge
 // costs, BCA, and coordinate-type restriction (on-track only).
 func RunAblations(spec suite.Spec, scale float64) ([]AblationRow, error) {
-	return RunAblationsObs(nil, spec, scale)
+	return RunAblationsObs(context.Background(), nil, spec, scale)
 }
 
 // RunAblationsObs is RunAblations with one span per swept configuration on
-// the given observer's trace (nil runs with a private one).
-func RunAblationsObs(o *obs.Observer, spec suite.Spec, scale float64) ([]AblationRow, error) {
+// the given observer's trace (nil runs with a private one); ctx aborts
+// between and inside configurations, returning the rows finished so far.
+func RunAblationsObs(ctx context.Context, o *obs.Observer, spec suite.Spec, scale float64) ([]AblationRow, error) {
 	deep := o != nil
 	o = obs.Ensure(o, "ablate")
 	d, err := suite.Generate(spec.Scale(scale))
@@ -409,15 +440,21 @@ func RunAblationsObs(o *obs.Observer, spec suite.Spec, scale float64) ([]Ablatio
 	}
 	var out []AblationRow
 	for _, c := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		a := pao.NewAnalyzer(d, c.cfg)
 		if deep {
 			a.Obs = o
 		}
 		sp := o.Root().Start("ablate." + c.name)
-		res := a.Run()
+		res, err := a.RunContext(ctx)
 		sec := sp.End().Seconds()
 		if deep {
 			a.PublishObs()
+		}
+		if err != nil {
+			return out, err
 		}
 		out = append(out, AblationRow{
 			Name:       c.name,

@@ -1,0 +1,203 @@
+// Package faultinject is a deterministic, seed-driven fault injector for the
+// PAAF pipeline. It is build-tag-free: faults reach production code only
+// through the optional hooks on pao.Analyzer (FaultHook, DRCFaultHook) and
+// drc.Engine (FaultHook), all of which stay nil outside tests.
+//
+// A Fault arms one site: when the hook fires with a matching site (and,
+// optionally, detail) for the configured call count, the injector panics,
+// sleeps, or returns spurious DRC violations. Matching on the detail string —
+// a unique-instance signature or cluster id — makes injection independent of
+// goroutine scheduling, so the same script hits the same classes whether the
+// pipeline runs with one worker or many.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/drc"
+)
+
+// Kind selects the fault behaviour at the hook site.
+type Kind uint8
+
+const (
+	// Panic panics with a *Panic value carrying the fault's note.
+	Panic Kind = iota
+	// Delay sleeps for the fault's Sleep duration.
+	Delay
+	// Spurious returns a fabricated DRC violation (DRC hooks only; it is a
+	// no-op on plain site hooks, which cannot return violations).
+	Spurious
+)
+
+var kindNames = [...]string{"panic", "delay", "spurious"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// PanicValue is the value injected panics carry, so tests can distinguish
+// them from genuine faults.
+type PanicValue struct {
+	Site   string
+	Detail string
+	Note   string
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s [%s] %s", p.Site, p.Detail, p.Note)
+}
+
+// Fault arms one injection.
+type Fault struct {
+	// Site must equal the hook's site name (pao.SiteAnalyzeUnique,
+	// drc.SiteCheckVia, ...).
+	Site string
+	// Detail, when non-empty, restricts the fault to hook invocations whose
+	// detail string matches exactly (class signature, cluster id). Faults
+	// with an empty Detail match every invocation of the site — their call
+	// counting then depends on scheduling when workers run concurrently, so
+	// prefer detail-scoped faults for reproducible multi-worker tests.
+	Detail string
+	// Call fires the fault on the n-th matching invocation (1-based);
+	// 0 fires on every matching invocation.
+	Call int64
+	Kind Kind
+	// Sleep is the Delay duration.
+	Sleep time.Duration
+	// Note tags the fault in panic values and the fired log.
+	Note string
+
+	count int64 // matching invocations seen so far
+}
+
+// Event records one fired fault.
+type Event struct {
+	Site   string
+	Detail string
+	Call   int64 // the matching-invocation ordinal that fired
+	Kind   Kind
+	Note   string
+}
+
+// Injector holds armed faults and a log of fired events. The zero value is
+// ready to use; all methods are safe for concurrent hooks.
+type Injector struct {
+	mu     sync.Mutex
+	faults []*Fault
+	fired  []Event
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{} }
+
+// Add arms a fault. The *Fault remains owned by the injector.
+func (in *Injector) Add(f *Fault) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, f)
+	return in
+}
+
+// Script arms n one-shot faults of the given kind at pseudorandom distinct
+// call ordinals in [1, maxCall], drawn deterministically from seed — the
+// "inject K faults somewhere" driver for randomized robustness tests.
+func (in *Injector) Script(seed int64, site string, kind Kind, n int, maxCall int64) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[int64]bool)
+	for len(used) < n && int64(len(used)) < maxCall {
+		c := 1 + rng.Int63n(maxCall)
+		if used[c] {
+			continue
+		}
+		used[c] = true
+		in.Add(&Fault{Site: site, Call: c, Kind: kind,
+			Note: fmt.Sprintf("scripted seed=%d call=%d", seed, c)})
+	}
+	return in
+}
+
+// Fired returns the fired events in firing order.
+func (in *Injector) Fired() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.fired...)
+}
+
+// FiredCount returns how many faults have fired.
+func (in *Injector) FiredCount() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.fired)
+}
+
+// match advances call counting for every armed fault matching (site, detail)
+// and returns the faults that fire on this invocation.
+func (in *Injector) match(site, detail string) []*Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var hit []*Fault
+	for _, f := range in.faults {
+		if f.Site != site || (f.Detail != "" && f.Detail != detail) {
+			continue
+		}
+		f.count++
+		if f.Call != 0 && f.count != f.Call {
+			continue
+		}
+		in.fired = append(in.fired, Event{
+			Site: site, Detail: detail, Call: f.count, Kind: f.Kind, Note: f.Note,
+		})
+		hit = append(hit, f)
+	}
+	return hit
+}
+
+// act executes the non-DRC effects of fired faults: sleeps first, then at
+// most one panic. Spurious faults are collected for DRC hooks.
+func act(site, detail string, hit []*Fault) []drc.Violation {
+	var vs []drc.Violation
+	var boom *Fault
+	for _, f := range hit {
+		switch f.Kind {
+		case Delay:
+			time.Sleep(f.Sleep)
+		case Spurious:
+			vs = append(vs, drc.Violation{
+				Rule: "Injected", Layer: "fault",
+				Note: fmt.Sprintf("faultinject %s [%s] %s", site, detail, f.Note),
+			})
+		case Panic:
+			if boom == nil {
+				boom = f
+			}
+		}
+	}
+	if boom != nil {
+		panic(&PanicValue{Site: site, Detail: detail, Note: boom.Note})
+	}
+	return vs
+}
+
+// SiteHook adapts the injector to pao.Analyzer.FaultHook. Spurious faults
+// armed on plain sites are recorded as fired but have no other effect.
+func (in *Injector) SiteHook() func(site, detail string) {
+	return func(site, detail string) {
+		act(site, detail, in.match(site, detail))
+	}
+}
+
+// DRCHook adapts the injector to pao.Analyzer.DRCFaultHook (and, with the
+// detail pre-bound, to drc.Engine.FaultHook): fired Spurious faults surface
+// as fabricated violations that fail the enclosing via check.
+func (in *Injector) DRCHook() func(site, detail string) []drc.Violation {
+	return func(site, detail string) []drc.Violation {
+		return act(site, detail, in.match(site, detail))
+	}
+}

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInjectorCallCounting(t *testing.T) {
+	in := New().Add(&Fault{Site: "s", Call: 3, Kind: Panic, Note: "third"})
+	hook := in.SiteHook()
+	hook("s", "a")
+	hook("s", "b")
+	hook("other", "a") // different site: must not advance the counter
+	func() {
+		defer func() {
+			pv, ok := recover().(*PanicValue)
+			if !ok {
+				t.Fatal("third matching call must panic with *PanicValue")
+			}
+			if pv.Site != "s" || pv.Detail != "c" || pv.Note != "third" {
+				t.Errorf("panic value wrong: %+v", pv)
+			}
+		}()
+		hook("s", "c")
+	}()
+	hook("s", "d") // one-shot: call 4 must not fire
+	if got := in.FiredCount(); got != 1 {
+		t.Errorf("fired %d times, want 1", got)
+	}
+}
+
+func TestInjectorDetailScoping(t *testing.T) {
+	in := New().Add(&Fault{Site: "s", Detail: "target", Kind: Panic})
+	hook := in.SiteHook()
+	hook("s", "other")
+	hook("s", "another")
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		hook("s", "target")
+		return false
+	}()
+	if !panicked {
+		t.Error("detail-matched call must panic")
+	}
+	if in.FiredCount() != 1 {
+		t.Errorf("fired %d, want 1", in.FiredCount())
+	}
+}
+
+func TestInjectorSpuriousAndDelay(t *testing.T) {
+	in := New().
+		Add(&Fault{Site: "drc", Kind: Spurious}).
+		Add(&Fault{Site: "drc", Kind: Delay, Sleep: 10 * time.Millisecond})
+	hook := in.DRCHook()
+	t0 := time.Now()
+	vs := hook("drc", "x")
+	if len(vs) != 1 || vs[0].Rule != "Injected" {
+		t.Fatalf("want one injected violation, got %v", vs)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Errorf("delay fault slept only %v", d)
+	}
+	if in.FiredCount() != 2 {
+		t.Errorf("fired %d, want 2", in.FiredCount())
+	}
+}
+
+func TestScriptDeterministic(t *testing.T) {
+	a := New().Script(42, "s", Panic, 5, 100)
+	b := New().Script(42, "s", Panic, 5, 100)
+	if len(a.faults) != 5 || len(b.faults) != 5 {
+		t.Fatalf("want 5 armed faults, got %d and %d", len(a.faults), len(b.faults))
+	}
+	calls := func(in *Injector) map[int64]bool {
+		m := make(map[int64]bool)
+		for _, f := range in.faults {
+			m[f.Call] = true
+		}
+		return m
+	}
+	ca, cb := calls(a), calls(b)
+	if len(ca) != 5 {
+		t.Errorf("scripted call ordinals not distinct: %v", ca)
+	}
+	for c := range ca {
+		if !cb[c] {
+			t.Errorf("same seed produced different scripts: %v vs %v", ca, cb)
+		}
+		if c < 1 || c > 100 {
+			t.Errorf("call ordinal %d outside [1, 100]", c)
+		}
+	}
+}
+
+func TestInjectorConcurrentHooks(t *testing.T) {
+	in := New().Add(&Fault{Site: "s", Call: 500, Kind: Spurious})
+	hook := in.DRCHook()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 125; i++ {
+				hook("s", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if in.FiredCount() != 1 {
+		t.Errorf("exactly one of the 1000 calls must fire, got %d", in.FiredCount())
+	}
+}

@@ -12,6 +12,13 @@ func FuzzParse(f *testing.F) {
 	f.Add("net0\n(\n0 0 100 100 M2\n)\n")
 	f.Add("(\n)\n")
 	f.Add("x\n(\n1 2 3 4 NOPE\n)\n")
+	// Hardening corpus: malformed box lines and overflowing coordinates the
+	// parser must reject without panicking.
+	f.Add("n0\n(\n0 0 100 100\n)\n")
+	f.Add("n0\n(\n0 0 100 100 M2 extra\n)\n")
+	f.Add("a b c\n(\n)\n")
+	f.Add("n0\n(\n0 0 9000000000000000 100 M2\n)\n")
+	f.Add("\n\nnet0\n(\n0 0 100 100 M2\n)\n")
 	tt := tech.N32()
 	f.Fuzz(func(t *testing.T, src string) {
 		_, _ = Parse(strings.NewReader(src), tt)

@@ -16,10 +16,22 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/db"
 	"repro/internal/geom"
 	"repro/internal/tech"
+)
+
+// Input hardening bounds for Parse, mirroring the limits in packages lef and
+// def: guide files are machine-written, so oversized names or coordinates
+// mark a corrupt input to reject rather than data to accommodate.
+const (
+	// maxNetNameLen bounds one net-name line.
+	maxNetNameLen = 4096
+	// maxCoordDBU bounds any box coordinate (DBU).
+	maxCoordDBU = int64(1e15)
 )
 
 // Box is one guide rectangle on a metal layer.
@@ -346,23 +358,45 @@ func Parse(r io.Reader, t *tech.Technology) ([]Guide, error) {
 			out = append(out, *cur)
 			cur = nil
 		default:
-			var x1, y1, x2, y2 int64
-			var layer string
-			if n, _ := fmt.Sscanf(txt, "%d %d %d %d %s", &x1, &y1, &x2, &y2, &layer); n == 5 {
-				if cur == nil {
-					return nil, fmt.Errorf("guide: line %d: box outside a net block", line)
-				}
-				l := t.MetalByName(layer)
-				if l == nil {
-					return nil, fmt.Errorf("guide: line %d: unknown layer %q", line, layer)
-				}
-				cur.Boxes = append(cur.Boxes, Box{Layer: l.Num, Rect: geom.R(x1, y1, x2, y2)})
-				continue
+			fields := strings.Fields(txt)
+			if len(fields) == 0 {
+				continue // blank line
 			}
 			if cur != nil {
-				return nil, fmt.Errorf("guide: line %d: unexpected %q inside net block", line, txt)
+				// Inside a net block only "x1 y1 x2 y2 layer" box lines are
+				// legal; Sscanf-style tolerance of trailing junk would let a
+				// corrupt file be silently misread, so every field is
+				// validated.
+				if len(fields) != 5 {
+					return nil, fmt.Errorf("guide: line %d: unexpected %q inside net block", line, txt)
+				}
+				var c [4]int64
+				for i, f := range fields[:4] {
+					v, err := strconv.ParseInt(f, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("guide: line %d: bad coordinate %q", line, f)
+					}
+					if v > maxCoordDBU || v < -maxCoordDBU {
+						return nil, fmt.Errorf("guide: line %d: coordinate %d exceeds the %d DBU magnitude limit", line, v, maxCoordDBU)
+					}
+					c[i] = v
+				}
+				l := t.MetalByName(fields[4])
+				if l == nil {
+					return nil, fmt.Errorf("guide: line %d: unknown layer %q", line, fields[4])
+				}
+				cur.Boxes = append(cur.Boxes, Box{Layer: l.Num, Rect: geom.R(c[0], c[1], c[2], c[3])})
+				continue
 			}
-			cur = &Guide{Net: txt}
+			// A net-name line is a single identifier; a multi-field line here
+			// is a malformed or misplaced box, not a net name.
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("guide: line %d: malformed box or net name %q", line, txt)
+			}
+			if len(fields[0]) > maxNetNameLen {
+				return nil, fmt.Errorf("guide: line %d: net name of %d bytes exceeds the %d-byte limit", line, len(fields[0]), maxNetNameLen)
+			}
+			cur = &Guide{Net: fields[0]}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,46 @@
+package guide
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+// TestParseRejectsHostileInput pins the input-hardening bounds: malformed
+// box lines, overflowing coordinates and oversized net names must come back
+// as errors, never as silently misread guides.
+func TestParseRejectsHostileInput(t *testing.T) {
+	tt := tech.N32()
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"box missing layer", "n0\n(\n0 0 100 100\n)\n", "inside net block"},
+		{"box with junk fields", "n0\n(\n0 0 100 100 M2 extra\n)\n", "unexpected"},
+		{"multi-field net name", "a b c\n(\n)\n", "malformed box or net name"},
+		{"overflow coordinate", "n0\n(\n0 0 9000000000000000 100 M2\n)\n", "magnitude limit"},
+		{"giant net name", strings.Repeat("n", maxNetNameLen+1) + "\n(\n)\n", "byte limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src), tt)
+			if err == nil {
+				t.Fatalf("Parse accepted hostile input %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParseRoundTripUnderLimits checks a legitimate guide file still parses.
+func TestParseRoundTripUnderLimits(t *testing.T) {
+	gs, err := Parse(strings.NewReader("net0\n(\n0 0 100 100 M2\n140 0 280 280 M3\n)\n"), tech.N32())
+	if err != nil {
+		t.Fatalf("Parse rejected legitimate input: %v", err)
+	}
+	if len(gs) != 1 || len(gs[0].Boxes) != 2 {
+		t.Fatalf("parsed %+v, want one net with two boxes", gs)
+	}
+}

@@ -21,6 +21,13 @@ func FuzzParse(f *testing.F) {
 	f.Add("MACRO X\n SIZE 1 BY 2 ;\nEND X\nEND LIBRARY\n")
 	f.Add("VIA V DEFAULT\nEND V\nEND LIBRARY\n")
 	f.Add("# comment only\n")
+	// Hardening corpus: hostile numbers and units the parser must reject
+	// without panicking (see TestParseRejectsHostileInput).
+	f.Add("LAYER M1\n TYPE ROUTING ;\n PITCH NaN ;\nEND M1\n")
+	f.Add("LAYER M1\n TYPE ROUTING ;\n WIDTH -Inf ;\nEND M1\n")
+	f.Add("SITE core\n SIZE 1e300 BY -1e300 ;\nEND core\n")
+	f.Add("UNITS\n DATABASE MICRONS -100 ;\nEND UNITS\n")
+	f.Add("UNITS\n DATABASE MICRONS 0.5 ;\nEND UNITS\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		lib, err := Parse(strings.NewReader(src))
 		if err != nil || lib == nil {

@@ -1,0 +1,51 @@
+package lef
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRejectsHostileInput pins the input-hardening bounds: oversized
+// tokens, non-finite or absurd numbers, and out-of-range unit declarations
+// must come back as errors, never as a half-parsed library.
+func TestParseRejectsHostileInput(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"giant token", "MACRO " + strings.Repeat("a", maxTokenLen+1) + "\n", "byte limit"},
+		{"nan pitch", "LAYER M1\n TYPE ROUTING ;\n PITCH NaN ;\nEND M1\n", "non-finite"},
+		{"inf width", "LAYER M1\n TYPE ROUTING ;\n WIDTH +Inf ;\nEND M1\n", "non-finite"},
+		{"huge coordinate", "SITE core\n SIZE 1e300 BY 1 ;\nEND core\n", "exceeds"},
+		{"negative dbu", "UNITS\n DATABASE MICRONS -100 ;\nEND UNITS\n", "DATABASE MICRONS"},
+		{"zero dbu", "UNITS\n DATABASE MICRONS 0 ;\nEND UNITS\n", "DATABASE MICRONS"},
+		{"fractional dbu", "UNITS\n DATABASE MICRONS 100.5 ;\nEND UNITS\n", "DATABASE MICRONS"},
+		{"oversized dbu", "UNITS\n DATABASE MICRONS 1e12 ;\nEND UNITS\n", "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("Parse accepted hostile input %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse error = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestParseAcceptsBoundaryValues checks the limits do not reject legitimate
+// values sitting just inside them.
+func TestParseAcceptsBoundaryValues(t *testing.T) {
+	src := "UNITS\n DATABASE MICRONS 2000 ;\nEND UNITS\nSITE core\n SIZE 0.19 BY 1.4 ;\nEND core\nEND LIBRARY\n"
+	lib, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse rejected legitimate input: %v", err)
+	}
+	if lib.Tech.DBUPerMicron != 2000 {
+		t.Fatalf("DBUPerMicron = %d, want 2000", lib.Tech.DBUPerMicron)
+	}
+	if lib.Tech.SiteWidth != 380 {
+		t.Fatalf("SiteWidth = %d, want 380", lib.Tech.SiteWidth)
+	}
+}

@@ -166,6 +166,23 @@ func formatArea(areaDBU2, dbu int64) string {
 // Parser
 // ---------------------------------------------------------------------------
 
+// Input hardening bounds. LEF/DEF are machine-written formats; any token
+// past these limits is a corrupt or adversarial file, not a real library,
+// and rejecting it early keeps a bad input from ballooning memory or
+// overflowing DBU arithmetic downstream.
+const (
+	// maxTokenLen bounds one identifier/number token.
+	maxTokenLen = 4096
+	// maxTokens bounds the whole token stream (~64M tokens is far past the
+	// largest full-scale generated testcase).
+	maxTokens = 1 << 26
+	// maxCoordMicrons bounds any micron-valued number; one metre of silicon
+	// still converts to DBU without approaching int64 overflow.
+	maxCoordMicrons = 1e9
+	// maxDBUPerMicron bounds UNITS DATABASE MICRONS.
+	maxDBUPerMicron = 1e9
+)
+
 // parser is a whitespace tokenizer over LEF/DEF-style input.
 type parser struct {
 	toks []string
@@ -181,7 +198,15 @@ func newParser(r io.Reader) (*parser, error) {
 		if i := strings.Index(line, "#"); i >= 0 {
 			line = line[:i]
 		}
-		toks = append(toks, strings.Fields(line)...)
+		for _, f := range strings.Fields(line) {
+			if len(f) > maxTokenLen {
+				return nil, fmt.Errorf("lef: token of %d bytes exceeds the %d-byte limit", len(f), maxTokenLen)
+			}
+			toks = append(toks, f)
+		}
+		if len(toks) > maxTokens {
+			return nil, fmt.Errorf("lef: input exceeds %d tokens", maxTokens)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -230,6 +255,12 @@ func (p *parser) number() (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("lef: bad number %q (token %d)", t, p.pos)
 	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("lef: non-finite number %q (token %d)", t, p.pos)
+	}
+	if math.Abs(f) > maxCoordMicrons {
+		return 0, fmt.Errorf("lef: number %q exceeds %g microns (token %d)", t, maxCoordMicrons, p.pos)
+	}
 	return f, nil
 }
 
@@ -270,6 +301,9 @@ func Parse(r io.Reader) (*Library, error) {
 					f, err := p.number()
 					if err != nil {
 						return nil, err
+					}
+					if f < 1 || f > maxDBUPerMicron || f != math.Trunc(f) {
+						return nil, fmt.Errorf("lef: DATABASE MICRONS %v outside [1, %g] or not an integer", f, float64(maxDBUPerMicron))
 					}
 					t.DBUPerMicron = int64(f)
 					p.skipStatement()

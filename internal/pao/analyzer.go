@@ -1,6 +1,8 @@
 package pao
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,22 @@ import (
 	"repro/internal/drc"
 	"repro/internal/geom"
 	"repro/internal/obs"
+)
+
+// Fault-hook site names. The hooks exist for the deterministic fault
+// injector (internal/faultinject) and stay nil in production.
+const (
+	// SiteAnalyzeUnique fires before each class's Step-1/2 analysis, inside
+	// the per-class recovery: a panic here quarantines the class.
+	SiteAnalyzeUnique = "pao.analyzeUnique"
+	// SiteWorkerItem fires before each item in the pooled Step-1/2 path,
+	// outside the per-class recovery: a panic here kills the worker
+	// goroutine and exercises the respawn path. Not reached when Workers <= 1.
+	SiteWorkerItem = "pao.worker.item"
+	// SiteSelectCluster fires before each cluster's Step-3 DP.
+	SiteSelectCluster = "pao.selectForCluster"
+	// SiteFailedPins fires once at the start of failed-pin accounting.
+	SiteFailedPins = "pao.countFailedPins"
 )
 
 // Analyzer runs the three-step pin access analysis over a placed design.
@@ -23,6 +41,17 @@ type Analyzer struct {
 	// DRC accumulates the DRC engine counters of every engine the analyzer
 	// creates (per-cell contexts and the global engine). Always non-nil.
 	DRC *drc.Counters
+
+	// FaultHook, when set before a run, is invoked at the Site* pipeline
+	// points with the site name and a detail string (class signature or
+	// cluster id). Test-only: internal/faultinject uses it to inject panics
+	// and delays deterministically.
+	FaultHook func(site, detail string)
+	// DRCFaultHook, when set before a run, is installed on every DRC engine
+	// the analyzer creates; the detail is the owning class signature for
+	// cell engines and "global" for the global engine, keeping injection
+	// deterministic across worker schedules.
+	DRCFaultHook func(site, detail string) []drc.Violation
 
 	// netOf maps (instance ID, pin name) to a net index (>= 1). Pins not on
 	// any net receive fresh pseudo-net indexes so that they still conflict
@@ -84,6 +113,10 @@ func (a *Analyzer) NetOf(inst *db.Instance, pin *db.MPin) int {
 func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]int) {
 	eng := drc.NewEngine(a.Design.Tech)
 	eng.Counters = a.DRC
+	if hook := a.DRCFaultHook; hook != nil {
+		sig := ui.Signature()
+		eng.FaultHook = func(site string) []drc.Violation { return hook(site, sig) }
+	}
 	pivot := ui.Pivot()
 	nets := make(map[string]int)
 	nextNet := 1
@@ -110,6 +143,9 @@ func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]in
 func (a *Analyzer) GlobalEngine() *drc.Engine {
 	eng := drc.NewEngine(a.Design.Tech)
 	eng.Counters = a.DRC
+	if hook := a.DRCFaultHook; hook != nil {
+		eng.FaultHook = func(site string) []drc.Violation { return hook(site, "global") }
+	}
 	for _, inst := range a.Design.Instances {
 		for _, pin := range inst.Master.Pins {
 			net := drc.NoNet
@@ -147,14 +183,16 @@ func (a *Analyzer) AnalyzeUnique(ui *db.UniqueInstance) *UniqueAccess {
 	if a.Obs != nil {
 		parent = a.Obs.Root()
 	}
-	return a.analyzeUnique(ui, parent)
+	return a.analyzeUnique(context.Background(), ui, parent, nil)
 }
 
 // analyzeUnique is AnalyzeUnique with an explicit span parent: when non-nil,
 // an aggregated child span per unique instance is created under it, with
 // per-pin DRC-validation leaves below. Step 1/2 CPU time always accumulates
-// into the analyzer's per-Run totals.
-func (a *Analyzer) analyzeUnique(ui *db.UniqueInstance, parent *obs.Span) *UniqueAccess {
+// into the analyzer's per-Run totals. A cancelled ctx abandons the class and
+// returns nil, so a partial result never contains half-analyzed access data;
+// curPin, when non-nil, tracks the pin in flight for panic reports.
+func (a *Analyzer) analyzeUnique(ctx context.Context, ui *db.UniqueInstance, parent *obs.Span, curPin *string) *UniqueAccess {
 	t0 := time.Now()
 	var sp *obs.Span
 	if parent != nil {
@@ -164,6 +202,12 @@ func (a *Analyzer) analyzeUnique(ui *db.UniqueInstance, parent *obs.Span) *Uniqu
 	pivot := ui.Pivot()
 	ua := &UniqueAccess{UI: ui, PivotPos: pivot.Pos}
 	for _, pin := range pivot.Master.SignalPins() {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if curPin != nil {
+			*curPin = pin.Name
+		}
 		var tp time.Time
 		if sp != nil {
 			tp = time.Now()
@@ -173,6 +217,9 @@ func (a *Analyzer) analyzeUnique(ui *db.UniqueInstance, parent *obs.Span) *Uniqu
 			sp.AddTime("pin:"+pin.Name, time.Since(tp))
 		}
 		ua.Pins = append(ua.Pins, pa)
+	}
+	if curPin != nil {
+		*curPin = ""
 	}
 	t1 := time.Now()
 	a.orderPins(ua)
@@ -184,39 +231,185 @@ func (a *Analyzer) analyzeUnique(ui *db.UniqueInstance, parent *obs.Span) *Uniqu
 	return ua
 }
 
-// analyzeWorker drains unique-instance indexes from next, recording
-// per-goroutine busy time and queue wait when telemetry is enabled.
-func (a *Analyzer) analyzeWorker(next <-chan int, uis []*db.UniqueInstance, uas []*UniqueAccess,
-	sp12 *obs.Span, busyTotal *atomic.Int64) {
+// safeAnalyzeUnique runs Steps 1-2 for one class with panic quarantine: a
+// panicking class is recorded as failed in the health report and the run
+// continues with every other class intact.
+func (a *Analyzer) safeAnalyzeUnique(ctx context.Context, ui *db.UniqueInstance, parent *obs.Span,
+	uas []*UniqueAccess, i int, h *Health) {
+
+	sig := ui.Signature()
+	var curPin string
+	defer func() {
+		if r := recover(); r != nil {
+			uas[i] = nil
+			h.recordClass(sig, StatusFailed, &PipelineError{
+				Step: StepAnalyze, Signature: sig, Pin: curPin,
+				Recovered: r, Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	if hook := a.FaultHook; hook != nil {
+		hook(SiteAnalyzeUnique, sig)
+	}
+	uas[i] = a.analyzeUnique(ctx, ui, parent, &curPin)
+}
+
+// workerRun drains unique-instance indexes from next, recording per-goroutine
+// busy time and queue wait when telemetry is enabled. It returns true when
+// the channel is exhausted or the context cancelled, and false when a panic
+// escaped the per-class recovery and killed the worker (the in-flight class
+// is recorded as failed; the caller respawns a replacement).
+func (a *Analyzer) workerRun(ctx context.Context, next <-chan int, uis []*db.UniqueInstance,
+	uas []*UniqueAccess, sp12 *obs.Span, busyTotal *atomic.Int64, h *Health) (done bool) {
 
 	reg := a.Obs.Reg()
-	if reg == nil {
-		for i := range next {
-			uas[i] = a.analyzeUnique(uis[i], nil)
+	var busy, wait time.Duration
+	cur := -1
+	defer func() {
+		if reg != nil {
+			busyTotal.Add(busy.Nanoseconds())
+			reg.Histogram("pao.step12.worker.busy").Observe(busy)
+			reg.Histogram("pao.step12.worker.wait").Observe(wait)
+		}
+		if r := recover(); r != nil {
+			perr := &PipelineError{Step: StepWorker, Recovered: r, Stack: string(debug.Stack())}
+			if cur >= 0 {
+				perr.Signature = uis[cur].Signature()
+				uas[cur] = nil
+				h.recordClass(perr.Signature, StatusFailed, perr)
+			} else {
+				h.record(perr)
+			}
+		}
+	}()
+	for {
+		var i int
+		var ok bool
+		tw := time.Time{}
+		if reg != nil {
+			tw = time.Now()
+		}
+		select {
+		case i, ok = <-next:
+		case <-ctx.Done():
+			return true
+		}
+		if reg != nil {
+			wait += time.Since(tw)
+		}
+		if !ok {
+			return true
+		}
+		cur = i
+		if hook := a.FaultHook; hook != nil {
+			hook(SiteWorkerItem, uis[i].Signature())
+		}
+		if reg != nil {
+			tb := time.Now()
+			a.safeAnalyzeUnique(ctx, uis[i], sp12, uas, i, h)
+			busy += time.Since(tb)
+		} else {
+			a.safeAnalyzeUnique(ctx, uis[i], sp12, uas, i, h)
+		}
+		cur = -1
+	}
+}
+
+// runStep12 executes the per-unique-instance analysis under ctx: sequential
+// when the effective worker count is 1, otherwise a channel-fed pool whose
+// workers are respawned if a panic escapes the per-class recovery.
+func (a *Analyzer) runStep12(ctx context.Context, uis []*db.UniqueInstance, uas []*UniqueAccess,
+	sp12 *obs.Span, busyTotal *atomic.Int64, h *Health) {
+
+	reg := a.Obs.Reg()
+	w := a.Cfg.workers()
+	if w == 1 {
+		var busy time.Duration
+		for i := range uis {
+			if ctx.Err() != nil || a.abort(h) {
+				break
+			}
+			if reg != nil {
+				tb := time.Now()
+				a.safeAnalyzeUnique(ctx, uis[i], sp12, uas, i, h)
+				busy += time.Since(tb)
+			} else {
+				a.safeAnalyzeUnique(ctx, uis[i], sp12, uas, i, h)
+			}
+		}
+		if reg != nil {
+			busyTotal.Add(busy.Nanoseconds())
+			reg.Histogram("pao.step12.worker.busy").Observe(busy)
 		}
 		return
 	}
-	var busy, wait time.Duration
-	for {
-		tw := time.Now()
-		i, ok := <-next
-		wait += time.Since(tw)
-		if !ok {
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Respawn loop: a worker killed by an escaped panic is replaced
+			// immediately, so the pool never silently shrinks.
+			for !a.workerRun(ctx, next, uis, uas, sp12, busyTotal, h) {
+				h.noteRespawn()
+			}
+		}()
+	}
+feed:
+	for i := range uis {
+		if a.abort(h) {
 			break
 		}
-		tb := time.Now()
-		uas[i] = a.analyzeUnique(uis[i], sp12)
-		busy += time.Since(tb)
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
-	busyTotal.Add(busy.Nanoseconds())
-	reg.Histogram("pao.step12.worker.busy").Observe(busy)
-	reg.Histogram("pao.step12.worker.wait").Observe(wait)
+	close(next)
+	wg.Wait()
 }
 
-// Run executes the full three-step flow. When Cfg.Workers > 1 the
-// per-unique-instance analysis (Steps 1 and 2) fans out across goroutines;
-// classes are independent, so the result is identical to the sequential run.
+// abort reports whether the fail-fast policy wants the run stopped now.
+func (a *Analyzer) abort(h *Health) bool {
+	return a.Cfg.FailFast && h.errCount() > 0
+}
+
+// runErr translates the context state and the fail-fast policy into the
+// error RunContext returns, latching cancellation into the health report.
+func (a *Analyzer) runErr(ctx context.Context, h *Health) error {
+	if err := ctx.Err(); err != nil {
+		h.markCancelled()
+		return err
+	}
+	if a.Cfg.FailFast {
+		if errs := h.Errors(); len(errs) > 0 {
+			return errs[0]
+		}
+	}
+	return nil
+}
+
+// Run executes the full three-step flow. It is RunContext without a deadline;
+// fault quarantine still applies (inspect Result.Health), only cancellation
+// and fail-fast errors are unreachable.
 func (a *Analyzer) Run() *Result {
+	res, _ := a.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes the full three-step flow under ctx. When Cfg.Workers > 1
+// the per-unique-instance analysis (Steps 1 and 2) fans out across goroutines;
+// classes are independent, so the result is identical to the sequential run.
+//
+// Failure semantics: a panic inside one class's analysis or one cluster's
+// selection is recovered and quarantined into Result.Health — the run
+// continues and every healthy class is unaffected. Cancellation (deadline,
+// SIGINT plumbed via ctx) stops work at the next per-class/per-cluster check;
+// the partial Result is still returned, with Health.Cancelled() set, alongside
+// ctx.Err(). The Result is never nil.
+func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	tRun := time.Now()
 	a.step1NS.Store(0)
 	a.step2NS.Store(0)
@@ -225,45 +418,24 @@ func (a *Analyzer) Run() *Result {
 	res := &Result{
 		ByInstance: make(map[int]*UniqueAccess),
 		Selected:   make(map[int]int),
+		Health:     newHealth(),
 	}
+	h := res.Health
 	uis := a.Design.UniqueInstances()
 	uas := make([]*UniqueAccess, len(uis))
 	sp12 := spRun.Start("pao.step12")
 	t12 := time.Now()
 	var busyTotal atomic.Int64
-	if w := a.Cfg.Workers; w > 1 {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for g := 0; g < w; g++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				a.analyzeWorker(next, uis, uas, sp12, &busyTotal)
-			}()
-		}
-		for i := range uis {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	} else if reg != nil {
-		var busy time.Duration
-		for i := range uis {
-			tb := time.Now()
-			uas[i] = a.analyzeUnique(uis[i], sp12)
-			busy += time.Since(tb)
-		}
-		busyTotal.Add(busy.Nanoseconds())
-		reg.Histogram("pao.step12.worker.busy").Observe(busy)
-	} else {
-		for i := range uis {
-			uas[i] = a.analyzeUnique(uis[i], nil)
-		}
-	}
+	a.runStep12(ctx, uis, uas, sp12, &busyTotal, h)
 	step12Wall := time.Since(t12)
 	sp12.End()
 	for i, ui := range uis {
 		ua := uas[i]
+		if ua == nil {
+			// Failed or never analyzed (cancellation): the class has no
+			// access data; its pins count as failed downstream.
+			continue
+		}
 		res.Unique = append(res.Unique, ua)
 		for _, inst := range ui.Insts {
 			res.ByInstance[inst.ID] = ua
@@ -281,42 +453,52 @@ func (a *Analyzer) Run() *Result {
 		}
 	}
 	res.indexSignatures(a.Design)
+
+	var selDur, failDur time.Duration
+	finish := func() {
+		spRun.End()
+		res.Stats.Steps = StepTimes{
+			Step1:      time.Duration(a.step1NS.Load()),
+			Step2:      time.Duration(a.step2NS.Load()),
+			Step12Wall: step12Wall,
+			Step3:      selDur,
+			FailedPins: failDur,
+			Total:      time.Since(tRun),
+		}
+		if reg != nil {
+			w := a.Cfg.workers()
+			reg.Gauge("pao.workers").Set(float64(w))
+			if wall := step12Wall.Nanoseconds(); wall > 0 {
+				reg.Gauge("pao.workers.utilization").Set(
+					float64(busyTotal.Load()) / (float64(wall) * float64(w)))
+			}
+			reg.Counter("pao.step12.items").Add(int64(len(uis)))
+			h.publish(reg)
+		}
+	}
+	if err := a.runErr(ctx, h); err != nil {
+		finish()
+		return res, err
+	}
 	spEng := spRun.Start("pao.globalengine")
 	eng := a.GlobalEngine()
 	spEng.End()
 	spSel := spRun.Start("pao.step3.select")
 	tSel := time.Now()
-	a.SelectPatterns(res, eng)
-	selDur := time.Since(tSel)
+	a.selectPatterns(ctx, res, eng, h)
+	selDur = time.Since(tSel)
 	spSel.End()
+	if err := a.runErr(ctx, h); err != nil {
+		finish()
+		return res, err
+	}
 	spFail := spRun.Start("pao.failedpins")
 	tFail := time.Now()
-	a.CountFailedPins(res, eng)
-	failDur := time.Since(tFail)
+	a.countFailedPins(ctx, res, eng, h)
+	failDur = time.Since(tFail)
 	spFail.End()
-	spRun.End()
-
-	res.Stats.Steps = StepTimes{
-		Step1:      time.Duration(a.step1NS.Load()),
-		Step2:      time.Duration(a.step2NS.Load()),
-		Step12Wall: step12Wall,
-		Step3:      selDur,
-		FailedPins: failDur,
-		Total:      time.Since(tRun),
-	}
-	if reg != nil {
-		w := a.Cfg.Workers
-		if w < 1 {
-			w = 1
-		}
-		reg.Gauge("pao.workers").Set(float64(w))
-		if wall := step12Wall.Nanoseconds(); wall > 0 {
-			reg.Gauge("pao.workers.utilization").Set(
-				float64(busyTotal.Load()) / (float64(wall) * float64(w)))
-		}
-		reg.Counter("pao.step12.items").Add(int64(len(uis)))
-	}
-	return res
+	finish()
+	return res, a.runErr(ctx, h)
 }
 
 // CountDirtyAPs re-validates every access point's primary via against the

@@ -27,13 +27,13 @@ func TestMultiHeightCells(t *testing.T) {
 			Num: int(extent / l.Pitch), Step: l.Pitch,
 		})
 	}
-	lib := stdcell.Generate(tt, stdcell.Options{})
+	lib := stdcell.MustGenerate(tt, stdcell.Options{})
 	for _, m := range lib.Masters {
 		if err := d.AddMaster(m); err != nil {
 			t.Fatal(err)
 		}
 	}
-	dh := stdcell.MultiHeight(tt, "DFF2H", 8)
+	dh := stdcell.MustMultiHeight(tt, "DFF2H", 8)
 	if err := d.AddMaster(dh); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestLShapedPins(t *testing.T) {
 			Num: int(extent / l.Pitch), Step: l.Pitch,
 		})
 	}
-	lib := stdcell.Generate(tt, stdcell.Options{LShapes: true})
+	lib := stdcell.MustGenerate(tt, stdcell.Options{LShapes: true})
 	for _, m := range lib.Masters {
 		if err := d.AddMaster(m); err != nil {
 			t.Fatal(err)

@@ -202,6 +202,19 @@ type Config struct {
 	// single-threaded, matching the paper's reported setup. Results are
 	// identical regardless of worker count.
 	Workers int
+	// FailFast aborts the run at the first recovered pipeline fault instead
+	// of quarantining the class and continuing; RunContext then returns the
+	// fault as its error. The default is graceful degradation.
+	FailFast bool
+}
+
+// workers returns the effective worker count (Workers with < 1 meaning 1) —
+// the single normalization point for every fan-out site.
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // DefaultConfig returns the paper's settings: k = 3, alpha = 0.3, up to three
@@ -297,6 +310,10 @@ type Result struct {
 	// Selected maps instance ID to the chosen pattern index (Step 3).
 	Selected map[int]int
 	Stats    Stats
+	// Health reports quarantined classes, recovered panics and cancellation.
+	// Always non-nil on results produced by Run/RunContext; a clean run has
+	// Health.OK() == true.
+	Health *Health
 
 	// bySig caches signature -> class for incremental rebinding.
 	bySig map[string]*UniqueAccess

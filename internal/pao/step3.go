@@ -1,7 +1,9 @@
 package pao
 
 import (
+	"context"
 	"math"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -26,17 +28,31 @@ import (
 //
 // Instances outside clusters (and macros) keep their first pattern.
 func (a *Analyzer) SelectPatterns(res *Result, eng *drc.Engine) {
+	h := res.Health
+	if h == nil {
+		h = newHealth()
+	}
+	a.selectPatterns(context.Background(), res, eng, h)
+}
+
+// selectPatterns is SelectPatterns under a context: cancellation stops at the
+// next cluster boundary (instances then keep the default pattern 0) and a
+// panicking cluster DP degrades its member classes instead of crashing.
+func (a *Analyzer) selectPatterns(ctx context.Context, res *Result, eng *drc.Engine, h *Health) {
 	for _, inst := range a.Design.Instances {
 		if ua := res.ByInstance[inst.ID]; ua != nil && len(ua.Patterns) > 0 {
 			res.Selected[inst.ID] = 0
 		}
 	}
 	clusters := a.Design.Clusters()
-	workers := a.Cfg.Workers
-	if workers <= 1 || len(clusters) < 2*workers {
-		ctx := eng.NewQueryCtx()
+	workers := a.Cfg.workers()
+	if workers == 1 || len(clusters) < 2*workers {
+		qc := eng.NewQueryCtx()
 		for _, cl := range clusters {
-			for inst, ni := range a.selectForCluster(res, eng, cl, ctx) {
+			if ctx.Err() != nil || a.abort(h) {
+				return
+			}
+			for inst, ni := range a.safeSelectForCluster(res, eng, cl, qc, h) {
 				res.Selected[inst] = ni
 			}
 		}
@@ -55,10 +71,13 @@ func (a *Analyzer) SelectPatterns(res *Result, eng *drc.Engine) {
 			if reg != nil {
 				t0 = time.Now()
 			}
-			ctx := eng.NewQueryCtx()
+			qc := eng.NewQueryCtx()
 			local := make(map[int]int)
 			for i := w; i < len(clusters); i += workers {
-				for inst, ni := range a.selectForCluster(res, eng, clusters[i], ctx) {
+				if ctx.Err() != nil || a.abort(h) {
+					break
+				}
+				for inst, ni := range a.safeSelectForCluster(res, eng, clusters[i], qc, h) {
 					local[inst] = ni
 				}
 			}
@@ -74,6 +93,41 @@ func (a *Analyzer) SelectPatterns(res *Result, eng *drc.Engine) {
 			res.Selected[inst] = ni
 		}
 	}
+}
+
+// clusterDetail identifies a cluster for fault hooks and error reports by
+// its leftmost instance.
+func clusterDetail(cl db.Cluster) string {
+	if len(cl.Insts) == 0 {
+		return "cluster:empty"
+	}
+	return "cluster:" + cl.Insts[0].Name
+}
+
+// safeSelectForCluster runs the Step-3 DP for one cluster with panic
+// quarantine: on a panic every member class is downgraded to degraded (the
+// default pattern 0 from Step 2 remains in effect) and the run continues.
+func (a *Analyzer) safeSelectForCluster(res *Result, eng *drc.Engine, cl db.Cluster,
+	qc *drc.QueryCtx, h *Health) (picks map[int]int) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			picks = nil
+			h.record(&PipelineError{
+				Step: StepSelect, Signature: clusterDetail(cl),
+				Recovered: r, Stack: string(debug.Stack()),
+			})
+			for _, inst := range cl.Insts {
+				if ua := res.ByInstance[inst.ID]; ua != nil {
+					h.degradeClass(ua.UI.Signature())
+				}
+			}
+		}
+	}()
+	if hook := a.FaultHook; hook != nil {
+		hook(SiteSelectCluster, clusterDetail(cl))
+	}
+	return a.selectForCluster(res, eng, cl, qc)
 }
 
 // boundaryAPInfo is a boundary access point translated onto a member
@@ -222,6 +276,27 @@ func (a *Analyzer) selectForCluster(res *Result, eng *drc.Engine, cl db.Cluster,
 // each is re-validated in that full context (the Table III metric). The
 // engine is mutated (vias are added) — pass a fresh or end-of-life engine.
 func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
+	h := res.Health
+	if h == nil {
+		h = newHealth()
+	}
+	a.countFailedPins(context.Background(), res, eng, h)
+}
+
+// countFailedPins is CountFailedPins under a context (cancellation is checked
+// periodically inside both the placement and validation loops; the stats then
+// reflect the pins validated so far) with whole-phase panic quarantine.
+func (a *Analyzer) countFailedPins(ctx context.Context, res *Result, eng *drc.Engine, h *Health) {
+	defer func() {
+		if r := recover(); r != nil {
+			h.record(&PipelineError{
+				Step: StepFailedPins, Recovered: r, Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	if hook := a.FaultHook; hook != nil {
+		hook(SiteFailedPins, "")
+	}
 	type placed struct {
 		inst *db.Instance
 		pin  *db.MPin
@@ -231,8 +306,12 @@ func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
 	var all []placed
 	total := 0
 	failed := 0
+place:
 	for _, net := range a.Design.Nets {
 		for _, t := range net.Terms {
+			if total%256 == 0 && ctx.Err() != nil {
+				break place
+			}
 			total++
 			ap := res.AccessPointFor(t.Inst, t.Pin)
 			if ap == nil {
@@ -256,15 +335,15 @@ func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
 	}
 	// The validation pass is read-only over the frozen engine; fan it out
 	// when the analyzer is configured for multi-threading.
-	workers := a.Cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	workers := a.Cfg.workers()
 	if workers == 1 {
-		ctx := eng.NewQueryCtx()
-		for _, p := range all {
+		qc := eng.NewQueryCtx()
+		for i, p := range all {
+			if i%64 == 0 && ctx.Err() != nil {
+				break
+			}
 			pinRects := pinRectsOnLayer(p.inst, p.pin, p.ap.Layer)
-			if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, ctx)) > 0 {
+			if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, qc)) > 0 {
 				failed++
 			}
 		}
@@ -280,11 +359,14 @@ func (a *Analyzer) CountFailedPins(res *Result, eng *drc.Engine) {
 				if reg != nil {
 					t0 = time.Now()
 				}
-				ctx := eng.NewQueryCtx()
+				qc := eng.NewQueryCtx()
 				for i := w; i < len(all); i += workers {
+					if ctx.Err() != nil {
+						break
+					}
 					p := all[i]
 					pinRects := pinRectsOnLayer(p.inst, p.pin, p.ap.Layer)
-					if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, ctx)) > 0 {
+					if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, qc)) > 0 {
 						counts[w]++
 					}
 				}

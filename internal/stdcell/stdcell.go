@@ -148,8 +148,10 @@ type Library struct {
 	Fills   []*db.Master
 }
 
-// Generate builds the library for a technology.
-func Generate(t *tech.Technology, opts Options) *Library {
+// Generate builds the library for a technology. It errors when a generated
+// cell fails its own DRC sanity check (a technology/generator mismatch the
+// caller chose, e.g. a misalignment that pushes fingers off the cell).
+func Generate(t *tech.Technology, opts Options) (*Library, error) {
 	lib := &Library{Tech: t}
 	for _, spec := range baseSpecs {
 		for v := 0; v <= opts.Variants; v++ {
@@ -169,9 +171,22 @@ func Generate(t *tech.Technology, opts Options) *Library {
 		}
 	}
 	if opts.LShapes {
-		m := lShapeCell(t, opts.MisalignY)
+		m, err := lShapeCell(t, opts.MisalignY)
+		if err != nil {
+			return nil, err
+		}
 		lib.Masters = append(lib.Masters, m)
 		lib.Core = append(lib.Core, m)
+	}
+	return lib, nil
+}
+
+// MustGenerate is Generate panicking on error, for tests and generators
+// whose option sets are known-good.
+func MustGenerate(t *tech.Technology, opts Options) *Library {
+	lib, err := Generate(t, opts)
+	if err != nil {
+		panic(err)
 	}
 	return lib
 }
@@ -179,7 +194,7 @@ func Generate(t *tech.Technology, opts Options) *Library {
 // lShapeCell builds a cell whose output pin is an L (a horizontal bar on one
 // row plus a vertical connector up to the next row) — the polygon-pin case
 // Section II-C's shape-center discussion covers via maximal rectangles.
-func lShapeCell(t *tech.Technology, misalign bool) *db.Master {
+func lShapeCell(t *tech.Technology, misalign bool) (*db.Master, error) {
 	hp := t.Metal(1).Width
 	pitch := t.Metal(1).Pitch
 	w := t.Metal(1).Width
@@ -208,9 +223,9 @@ func lShapeCell(t *tech.Technology, misalign bool) *db.Master {
 			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, t.SiteHeight-w, width, t.SiteHeight)}}},
 	)
 	if !CellClean(t, m) {
-		panic("stdcell: lShapeCell produced illegal geometry")
+		return nil, fmt.Errorf("stdcell: lShapeCell produced illegal geometry for node %s", t.Name)
 	}
-	return m
+	return m, nil
 }
 
 // buildCell instantiates a spec at variant v. Variants shift pin rows by
@@ -336,8 +351,9 @@ func CellClean(t *tech.Technology, m *db.Master) bool {
 // rails at the bottom, middle and top (VSS-VDD-VSS, the standard
 // double-height rail sharing) and pins in both halves. Pin access analysis
 // needs no special casing: unique-instance extraction, Steps 1-3 and the
-// failed-pin accounting are all height-agnostic.
-func MultiHeight(t *tech.Technology, name string, sites int) *db.Master {
+// failed-pin accounting are all height-agnostic. It errors when the cell
+// fails its own DRC sanity check; MustMultiHeight panics instead.
+func MultiHeight(t *tech.Technology, name string, sites int) (*db.Master, error) {
 	hp := t.Metal(1).Width
 	pitch := t.Metal(1).Pitch
 	w := t.Metal(1).Width
@@ -369,7 +385,17 @@ func MultiHeight(t *tech.Technology, name string, sites int) *db.Master {
 			Shapes: []db.Shape{{Layer: 1, Rect: geom.R(0, t.SiteHeight-w/2, width, t.SiteHeight+w/2)}}},
 	)
 	if !CellClean(t, m) {
-		panic("stdcell: MultiHeight produced illegal geometry")
+		return nil, fmt.Errorf("stdcell: MultiHeight cell %q produced illegal geometry for node %s", name, t.Name)
+	}
+	return m, nil
+}
+
+// MustMultiHeight is MultiHeight panicking on error, for tests with
+// known-good parameters.
+func MustMultiHeight(t *tech.Technology, name string, sites int) *db.Master {
+	m, err := MultiHeight(t, name, sites)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }

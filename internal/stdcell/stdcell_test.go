@@ -10,7 +10,7 @@ import (
 func TestGenerateBase(t *testing.T) {
 	for _, nm := range []int{45, 32, 14} {
 		tt, _ := tech.ByNode(nm)
-		lib := Generate(tt, Options{})
+		lib := MustGenerate(tt, Options{})
 		if len(lib.Masters) < 10 {
 			t.Fatalf("node %d: only %d masters", nm, len(lib.Masters))
 		}
@@ -54,8 +54,8 @@ func TestGenerateBase(t *testing.T) {
 
 func TestGenerateVariants(t *testing.T) {
 	tt := tech.N45()
-	lib := Generate(tt, Options{Variants: 8})
-	base := Generate(tt, Options{})
+	lib := MustGenerate(tt, Options{Variants: 8})
+	base := MustGenerate(tt, Options{})
 	if len(lib.Core) <= len(base.Core) {
 		t.Fatalf("variants did not grow the library: %d vs %d", len(lib.Core), len(base.Core))
 	}
@@ -76,8 +76,8 @@ func TestGenerateVariants(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	tt := tech.N32()
-	a := Generate(tt, Options{Variants: 4})
-	b := Generate(tt, Options{Variants: 4})
+	a := MustGenerate(tt, Options{Variants: 4})
+	b := MustGenerate(tt, Options{Variants: 4})
 	if len(a.Masters) != len(b.Masters) {
 		t.Fatal("nondeterministic master count")
 	}
@@ -101,7 +101,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestMisalignY(t *testing.T) {
 	tt := tech.N14()
-	lib := Generate(tt, Options{MisalignY: true})
+	lib := MustGenerate(tt, Options{MisalignY: true})
 	pitch := tt.Metal(1).Pitch
 	found := false
 	for _, m := range lib.Core {
@@ -143,7 +143,7 @@ func TestMacro(t *testing.T) {
 func TestLShapeCell(t *testing.T) {
 	for _, nm := range []int{45, 32, 14} {
 		tt, _ := tech.ByNode(nm)
-		lib := Generate(tt, Options{LShapes: true})
+		lib := MustGenerate(tt, Options{LShapes: true})
 		var m *db.Master
 		for _, c := range lib.Core {
 			if c.Name == "LPINX1" {
@@ -162,7 +162,7 @@ func TestLShapeCell(t *testing.T) {
 		}
 	}
 	// Without the option the cell stays out of the library.
-	lib := Generate(tech.N45(), Options{})
+	lib := MustGenerate(tech.N45(), Options{})
 	for _, c := range lib.Core {
 		if c.Name == "LPINX1" {
 			t.Fatal("LPINX1 must be opt-in")

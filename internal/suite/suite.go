@@ -134,13 +134,19 @@ func Generate(spec Spec) (*db.Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	lib := stdcell.Generate(t, stdcell.Options{Variants: spec.Variants, MisalignY: spec.MisalignY})
+	lib, err := stdcell.Generate(t, stdcell.Options{Variants: spec.Variants, MisalignY: spec.MisalignY})
+	if err != nil {
+		return nil, err
+	}
 	if len(lib.Core) == 0 {
 		return nil, fmt.Errorf("suite: empty library for node %d", spec.Node)
 	}
 	var mh *db.Master
 	if spec.MultiHeightEvery > 0 {
-		mh = stdcell.MultiHeight(t, "DFF2HX1", 8)
+		mh, err = stdcell.MultiHeight(t, "DFF2HX1", 8)
+		if err != nil {
+			return nil, err
+		}
 		lib.Masters = append(lib.Masters, mh)
 	}
 	d := db.NewDesign(spec.Name, t)

@@ -30,8 +30,13 @@ type nodeParams struct {
 }
 
 // N45 builds the synthetic 45 nm node (stand-in for the ISPD-2018 test1-3
-// technology): 9 metals, M1 horizontal, 140 nm lower-metal pitch.
-func N45() *Technology {
+// technology): 9 metals, M1 horizontal, 140 nm lower-metal pitch. It panics
+// only if the built-in node parameters are themselves broken (a library bug,
+// not an input condition); NewN45 is the error-returning form.
+func N45() *Technology { return mustNode(NewN45()) }
+
+// NewN45 is N45 returning validation errors instead of panicking.
+func NewN45() (*Technology, error) {
 	return build("pao45", nodeParams{
 		nodeNM: 45, siteW: 140, siteH: 1400, numMetals: 9,
 		pitchLo: 140, pitchMid: 280, pitchHi: 560,
@@ -44,8 +49,12 @@ func N45() *Technology {
 }
 
 // N32 builds the synthetic 32 nm node (stand-in for the ISPD-2018 test4-10
-// technology): 9 metals, 100 nm lower-metal pitch.
-func N32() *Technology {
+// technology): 9 metals, 100 nm lower-metal pitch. See N45 for the panic
+// contract; NewN32 is the error-returning form.
+func N32() *Technology { return mustNode(NewN32()) }
+
+// NewN32 is N32 returning validation errors instead of panicking.
+func NewN32() (*Technology, error) {
 	return build("pao32", nodeParams{
 		nodeNM: 32, siteW: 100, siteH: 1000, numMetals: 9,
 		pitchLo: 100, pitchMid: 200, pitchHi: 400,
@@ -61,8 +70,12 @@ func N32() *Technology {
 // library (internal/stdcell) deliberately misaligns pin fingers against the
 // routing tracks, so on-track via enclosures step off the pin shapes and
 // off-track (shape-center / enclosure-boundary) access must kick in — the
-// behaviour Fig. 9 illustrates.
-func N14() *Technology {
+// behaviour Fig. 9 illustrates. See N45 for the panic contract; NewN14 is
+// the error-returning form.
+func N14() *Technology { return mustNode(NewN14()) }
+
+// NewN14 is N14 returning validation errors instead of panicking.
+func NewN14() (*Technology, error) {
 	return build("pao14", nodeParams{
 		nodeNM: 14, siteW: 64, siteH: 640, numMetals: 9,
 		pitchLo: 64, pitchMid: 128, pitchHi: 256,
@@ -78,16 +91,24 @@ func N14() *Technology {
 func ByNode(nm int) (*Technology, error) {
 	switch nm {
 	case 45:
-		return N45(), nil
+		return NewN45()
 	case 32:
-		return N32(), nil
+		return NewN32()
 	case 14:
-		return N14(), nil
+		return NewN14()
 	}
 	return nil, fmt.Errorf("tech: no synthetic node for %d nm", nm)
 }
 
-func build(name string, p nodeParams) *Technology {
+// mustNode backs the Must-style N45/N32/N14 wrappers.
+func mustNode(t *Technology, err error) *Technology {
+	if err != nil {
+		panic("tech: builder produced invalid technology: " + err.Error())
+	}
+	return t
+}
+
+func build(name string, p nodeParams) (*Technology, error) {
 	t := &Technology{
 		Name:         name,
 		NodeNM:       p.nodeNM,
@@ -149,9 +170,9 @@ func build(name string, p nodeParams) *Technology {
 		t.Vias = append(t.Vias, makeVias(t, k, p)...)
 	}
 	if err := t.Validate(); err != nil {
-		panic("tech: builder produced invalid technology: " + err.Error())
+		return nil, fmt.Errorf("tech: builder produced invalid technology %q: %w", name, err)
 	}
-	return t
+	return t, nil
 }
 
 // makeVias builds the via variants for cut layer k (between metal k and k+1):
@@ -190,7 +211,7 @@ func makeVias(t *Technology, k int, p nodeParams) []*ViaDef {
 // layer's preferred direction, under one enclosure pair. Callers opt in (the
 // benchmark suite keeps the paper-style single-cut set); the variants sit
 // last, so primaries are unaffected where single-cut vias remain valid.
-func AddDoubleCutVias(t *Technology) {
+func AddDoubleCutVias(t *Technology) error {
 	for k := 1; k < t.NumMetals(); k++ {
 		cut := t.Cuts[k-1]
 		half := cut.Width / 2
@@ -224,6 +245,7 @@ func AddDoubleCutVias(t *Technology) {
 		})
 	}
 	if err := t.Validate(); err != nil {
-		panic("tech: AddDoubleCutVias produced invalid technology: " + err.Error())
+		return fmt.Errorf("tech: AddDoubleCutVias produced invalid technology: %w", err)
 	}
+	return nil
 }

@@ -208,7 +208,9 @@ func TestAddDoubleCutVias(t *testing.T) {
 	for _, nm := range []int{45, 32, 14} {
 		tt, _ := ByNode(nm)
 		before := len(tt.Vias)
-		AddDoubleCutVias(tt)
+		if err := AddDoubleCutVias(tt); err != nil {
+			t.Fatalf("node %d: AddDoubleCutVias: %v", nm, err)
+		}
 		if len(tt.Vias) != before+tt.NumMetals()-1 {
 			t.Fatalf("node %d: vias %d, want %d", nm, len(tt.Vias), before+tt.NumMetals()-1)
 		}
