@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test vet bench experiments experiments-full examples clean \
-	difftest golden-update fuzz-smoke cover faultinject
+	difftest golden-update fuzz-smoke cover faultinject serve-smoke
 
 all: build vet test
 
@@ -32,6 +32,17 @@ difftest:
 faultinject:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -race -v -run 'TestFault' ./internal/pao ./internal/difftest
+
+# Oracle-server smoke campaign under the race detector: start paoserve on a
+# suite testcase with one class quarantined by an injected fault, run
+# concurrent queries (degraded class answers 200 + degraded:true, never 500),
+# deliver a real SIGTERM (drain + final snapshot, exit 0), then warm-restart
+# from the snapshot without recomputing and require byte-identical answers.
+# The serve package tests cover shedding (429/503 + Retry-After), the
+# breaker/readyz lifecycle, and corrupt-snapshot fallback.
+serve-smoke:
+	$(GO) test -race -v -run 'TestServeSmoke' ./cmd/paoserve
+	$(GO) test -race ./internal/serve
 
 # Re-pin the golden per-testcase result snapshots after an intentional
 # behaviour change (testdata/golden/*.json).

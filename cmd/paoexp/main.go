@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,6 +36,7 @@ type options struct {
 	cases   string
 	run     *cliutil.RunFlags
 	obs     *obs.Flags
+	out     io.Writer // table destination; nil means os.Stdout
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
@@ -81,6 +83,10 @@ func run(opts *options) error {
 	ctx, stop := opts.run.Context()
 	defer stop()
 	expName, scale := opts.expName, opts.scale
+	out := opts.out
+	if out == nil {
+		out = os.Stdout
+	}
 	specs, err := selectedSpecs(opts.cases)
 	if err != nil {
 		return err
@@ -90,8 +96,10 @@ func run(opts *options) error {
 		return err
 	}
 	// abort flushes the observability report before surfacing a cancellation
-	// or experiment failure; the tables already printed are the partial
-	// result.
+	// or experiment failure. Each experiment block below renders whatever rows
+	// it finished — including the partial row the Run*Obs entry points return
+	// alongside a ctx error — before calling this, so a SIGTERM or -timeout
+	// mid-run still emits the partial tables instead of discarding them.
 	abort := func(err error) error {
 		finish()
 		return err
@@ -102,55 +110,73 @@ func run(opts *options) error {
 		if err != nil {
 			return abort(err)
 		}
-		exp.RenderTable1(os.Stdout, rows)
-		fmt.Println()
+		exp.RenderTable1(out, rows)
+		fmt.Fprintln(out)
 	}
 	if all || expName == "1" {
 		var rows []exp.Exp1Row
+		var expErr error
 		for _, s := range specs {
 			r, err := exp.RunExp1Obs(ctx, o, s, scale)
-			if err != nil {
-				return abort(err)
+			if r.Name != "" {
+				rows = append(rows, r)
 			}
-			rows = append(rows, r)
+			if err != nil {
+				expErr = err
+				break
+			}
 		}
-		exp.RenderExp1(os.Stdout, rows)
-		fmt.Println()
+		exp.RenderExp1(out, rows)
+		fmt.Fprintln(out)
+		if expErr != nil {
+			return abort(expErr)
+		}
 	}
 	if all || expName == "2" {
 		var rows []exp.Exp2Row
+		var expErr error
 		for _, s := range specs {
 			r, err := exp.RunExp2Obs(ctx, o, s, scale)
-			if err != nil {
-				return abort(err)
+			if r.Name != "" {
+				rows = append(rows, r)
 			}
-			rows = append(rows, r)
+			if err != nil {
+				expErr = err
+				break
+			}
 		}
-		exp.RenderExp2(os.Stdout, rows)
-		fmt.Println()
+		exp.RenderExp2(out, rows)
+		fmt.Fprintln(out)
+		if expErr != nil {
+			return abort(expErr)
+		}
 	}
 	if all || expName == "3" {
 		rows, err := exp.RunExp3Obs(ctx, o, minF(scale, 0.02))
+		exp.RenderExp3(out, rows)
+		fmt.Fprintln(out)
 		if err != nil {
 			return abort(err)
 		}
-		exp.RenderExp3(os.Stdout, rows)
-		fmt.Println()
 	}
 	if all || expName == "14nm" {
 		r, err := exp.RunAES14Obs(ctx, o, scale)
 		if err != nil {
+			if r.Insts > 0 {
+				exp.RenderAES14(out, r)
+				fmt.Fprintln(out)
+			}
 			return abort(err)
 		}
-		exp.RenderAES14(os.Stdout, r)
-		fmt.Println()
+		exp.RenderAES14(out, r)
+		fmt.Fprintln(out)
 	}
 	if all || expName == "ablate" {
 		rows, err := exp.RunAblationsObs(ctx, o, suite.Testcases[0], scale)
+		exp.RenderAblations(out, "pao_test1", rows)
 		if err != nil {
 			return abort(err)
 		}
-		exp.RenderAblations(os.Stdout, "pao_test1", rows)
 	}
 	if !all {
 		switch expName {

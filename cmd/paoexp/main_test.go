@@ -7,7 +7,9 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
@@ -79,5 +81,37 @@ func TestRunExp1Tiny(t *testing.T) {
 	}
 	if rep.Trace == nil || len(rep.Trace.Children) == 0 {
 		t.Fatal("experiment ran without emitting any spans")
+	}
+}
+
+// TestRunCancelledFlushesPartialTables is the regression test for the
+// partial-output contract: when the run context expires mid-experiment, the
+// rows finished so far — including the partial row returned alongside the
+// error — must still render, and the metrics report must still flush.
+func TestRunCancelledFlushesPartialTables(t *testing.T) {
+	var out, metrics bytes.Buffer
+	opts := &options{
+		expName: "1", scale: 0.004, cases: "pao_test1",
+		run: &cliutil.RunFlags{Timeout: time.Nanosecond},
+		obs: &obs.Flags{Metrics: "json", Out: &metrics},
+		out: &out,
+	}
+	err := run(opts)
+	if !cliutil.Cancelled(err) {
+		t.Fatalf("err = %v, want a cancellation", err)
+	}
+	if cliutil.ExitCode(err) != 3 {
+		t.Fatalf("exit code = %d, want 3", cliutil.ExitCode(err))
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table II") {
+		t.Errorf("partial Experiment 1 table not flushed:\n%s", got)
+	}
+	if !strings.Contains(got, "pao_test1") {
+		t.Errorf("partial row missing from the flushed table:\n%s", got)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(metrics.Bytes(), &rep); err != nil {
+		t.Fatalf("metrics report not flushed on cancellation: %v", err)
 	}
 }

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cliutil"
@@ -34,6 +35,7 @@ type options struct {
 	k, workers           int
 	run                  *cliutil.RunFlags
 	obs                  *obs.Flags
+	out                  io.Writer // report destination; nil means os.Stdout
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
@@ -71,6 +73,10 @@ func main() {
 func run(opts *options) error {
 	ctx, stop := opts.run.Context()
 	defer stop()
+	out := opts.out
+	if out == nil {
+		out = os.Stdout
+	}
 	o, finish, err := opts.obs.Start("paorun")
 	if err != nil {
 		return err
@@ -111,23 +117,23 @@ func run(opts *options) error {
 		"#Inst", "#Unique", "#APs", "#OffTrack", "#Patterns", "#Pins", "#Failed")
 	t.AddRow(len(d.Instances), res.Stats.NumUnique, res.Stats.TotalAPs,
 		res.Stats.OffTrackAPs, res.Stats.PatternsBuilt, res.Stats.TotalPins, res.Stats.FailedPins)
-	t.Render(os.Stdout)
+	t.Render(out)
 	if !res.Health.OK() {
-		fmt.Println(res.Health)
+		fmt.Fprintln(out, res.Health)
 		for _, e := range res.Health.Errors() {
-			fmt.Println(" ", e)
+			fmt.Fprintln(out, " ", e)
 		}
 	}
 
 	if opts.verbose {
 		st := res.Stats.Steps
-		fmt.Println("per-step durations:")
-		fmt.Printf("  step1 (AP generation):  %12v\n", st.Step1)
-		fmt.Printf("  step2 (patterns):       %12v\n", st.Step2)
-		fmt.Printf("  step1+2 wall:           %12v\n", st.Step12Wall)
-		fmt.Printf("  step3 (selection):      %12v\n", st.Step3)
-		fmt.Printf("  failed-pin check:       %12v\n", st.FailedPins)
-		fmt.Printf("  total:                  %12v\n", st.Total)
+		fmt.Fprintln(out, "per-step durations:")
+		fmt.Fprintf(out, "  step1 (AP generation):  %12v\n", st.Step1)
+		fmt.Fprintf(out, "  step2 (patterns):       %12v\n", st.Step2)
+		fmt.Fprintf(out, "  step1+2 wall:           %12v\n", st.Step12Wall)
+		fmt.Fprintf(out, "  step3 (selection):      %12v\n", st.Step3)
+		fmt.Fprintf(out, "  failed-pin check:       %12v\n", st.FailedPins)
+		fmt.Fprintf(out, "  total:                  %12v\n", st.Total)
 	}
 
 	if opts.dump {
@@ -135,14 +141,14 @@ func run(opts *options) error {
 			for _, term := range net.Terms {
 				ap := res.AccessPointFor(term.Inst, term.Pin)
 				if ap == nil {
-					fmt.Printf("%-20s %-6s FAILED\n", term.Inst.Name, term.Pin.Name)
+					fmt.Fprintf(out, "%-20s %-6s FAILED\n", term.Inst.Name, term.Pin.Name)
 					continue
 				}
 				via := "-"
 				if v := ap.Primary(); v != nil {
 					via = v.Name
 				}
-				fmt.Printf("%-20s %-6s M%d (%d,%d) x:%v y:%v via %s\n",
+				fmt.Fprintf(out, "%-20s %-6s M%d (%d,%d) x:%v y:%v via %s\n",
 					term.Inst.Name, term.Pin.Name, ap.Layer, ap.Pos.X, ap.Pos.Y, ap.TypeX, ap.TypeY, via)
 			}
 		}

@@ -7,9 +7,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/clitest"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
@@ -94,5 +97,39 @@ func TestRunBadPath(t *testing.T) {
 	opts := &options{lefPath: "/nonexistent.lef", defPath: "/nonexistent.def", obs: &obs.Flags{}}
 	if err := run(opts); err == nil {
 		t.Fatal("missing input files must be an error")
+	}
+}
+
+// TestRunCancelledFlushesPartialSummary is the regression test for the
+// graceful-degradation contract: a deadline (the same ctx path a SIGTERM
+// takes through cliutil.RunFlags.Context) that fires mid-run must still emit
+// the summary table with the Health line, return the cancellation error, and
+// flush the metrics report.
+func TestRunCancelledFlushesPartialSummary(t *testing.T) {
+	lefPath, defPath := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+	var out, metrics bytes.Buffer
+	opts := &options{
+		lefPath: lefPath, defPath: defPath, k: 3, workers: 1,
+		run: &cliutil.RunFlags{Timeout: time.Nanosecond},
+		obs: &obs.Flags{Metrics: "json", Out: &metrics},
+		out: &out,
+	}
+	err := run(opts)
+	if !cliutil.Cancelled(err) {
+		t.Fatalf("err = %v, want a cancellation", err)
+	}
+	if cliutil.ExitCode(err) != 3 {
+		t.Fatalf("exit code = %d, want 3", cliutil.ExitCode(err))
+	}
+	got := out.String()
+	if !strings.Contains(got, "Pin access summary") {
+		t.Errorf("partial summary table not flushed:\n%s", got)
+	}
+	if !strings.Contains(got, "cancelled") {
+		t.Errorf("Health summary missing the cancelled marker:\n%s", got)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(metrics.Bytes(), &rep); err != nil {
+		t.Fatalf("metrics report not flushed on cancellation: %v", err)
 	}
 }

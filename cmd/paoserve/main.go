@@ -1,0 +1,226 @@
+// Command paoserve runs the pin access oracle as a resident HTTP/JSON
+// server: load (or generate) a design, run — or warm-restart from a snapshot
+// — the PAAF analysis once, then answer per-instance access-pattern queries
+// until terminated.
+//
+// Endpoints:
+//
+//	GET  /v1/access?inst=NAME  access pattern for one instance (200; degraded
+//	                           classes answer with "degraded": true, never 500;
+//	                           404 unknown instance; 429/503 when shedding)
+//	GET  /v1/stats             analysis stats and health summary
+//	POST /v1/reanalyze         start one background re-analysis (202; 503 when
+//	                           the circuit breaker is open or one is running)
+//	GET  /healthz              liveness + health/breaker/latency summary (always 200)
+//	GET  /readyz               readiness (503 while loading, draining, or breaker open)
+//	GET  /metricz              full metrics registry as JSON
+//
+// Exit codes: 0 clean shutdown (including SIGTERM/SIGINT drain), 1 startup or
+// serve failure, 2 flag errors, 3 cancelled during initial analysis.
+//
+// Usage:
+//
+//	paoserve -case pao_test1 -scale 0.05 [-addr :8347] [-snapshot oracle.snap]
+//	paoserve -lef design.lef -def design.def [-snapshot oracle.snap]
+//	         [-rate 100 -burst 20] [-max-inflight 8 -queue 64]
+//	         [-request-timeout 2s] [-snapshot-interval 5m] [-drain-timeout 10s]
+//	         [-breaker-threshold 3 -breaker-cooldown 30s] [-k 3] [-workers 4]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/db"
+	"repro/internal/def"
+	"repro/internal/lef"
+	"repro/internal/obs"
+	"repro/internal/pao"
+	"repro/internal/serve"
+	"repro/internal/suite"
+)
+
+// options holds the parsed command line; parseFlags keeps it testable with
+// an injected FlagSet and argument list.
+type options struct {
+	caseName string
+	scale    float64
+	seed     int64
+
+	lefPath, defPath string
+
+	addr             string
+	snapshotPath     string
+	snapshotInterval time.Duration
+	maxInFlight      int
+	queue            int
+	rate             float64
+	burst            int
+	requestTimeout   time.Duration
+	drainTimeout     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	k, workers int
+	run        *cliutil.RunFlags
+	obs        *obs.Flags
+
+	log io.Writer // operational log; nil means os.Stderr
+
+	// onReady, when set (tests), is called with the started server after it
+	// begins listening.
+	onReady func(s *serve.Server)
+	// paoFaultHook, when set (tests), is installed as the server's pipeline
+	// fault hook before Init.
+	paoFaultHook func(site, detail string)
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
+	o := &options{}
+	fs.StringVar(&o.caseName, "case", "", "suite testcase to generate and serve (e.g. pao_test1)")
+	fs.Float64Var(&o.scale, "scale", 0.05, "testcase scale factor for -case")
+	fs.Int64Var(&o.seed, "seed", 0, "testcase seed override for -case (0 keeps the spec's seed)")
+	fs.StringVar(&o.lefPath, "lef", "", "LEF file (alternative to -case)")
+	fs.StringVar(&o.defPath, "def", "", "DEF file (alternative to -case)")
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8347", "listen address (use :0 for an ephemeral port)")
+	fs.StringVar(&o.snapshotPath, "snapshot", "", "snapshot file for crash-safe persistence (empty disables)")
+	fs.DurationVar(&o.snapshotInterval, "snapshot-interval", 0, "periodic snapshot interval (0: only on shutdown)")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "max concurrently executing queries (0: NumCPU)")
+	fs.IntVar(&o.queue, "queue", 64, "max queries waiting for a slot before shedding 503 (-1: unbounded)")
+	fs.Float64Var(&o.rate, "rate", 0, "query rate limit per second (0 disables; excess sheds 429)")
+	fs.IntVar(&o.burst, "burst", 1, "rate limiter burst size")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", 5*time.Second, "per-request deadline incl. queue wait (0 disables)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 3, "consecutive failures that trip the re-analysis breaker")
+	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 30*time.Second, "breaker open duration before a probe")
+	fs.IntVar(&o.k, "k", 3, "target access points per pin")
+	fs.IntVar(&o.workers, "workers", 0, "analysis worker goroutines (0: NumCPU via pao default)")
+	o.run = cliutil.RegisterRunFlags(fs)
+	o.obs = obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	haveCase := o.caseName != ""
+	haveFiles := o.lefPath != "" && o.defPath != ""
+	if haveCase == haveFiles {
+		return nil, fmt.Errorf("exactly one of -case or -lef/-def is required")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseFlags(flag.NewFlagSet("paoserve", flag.ExitOnError), os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paoserve:", err)
+		os.Exit(2)
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "paoserve:", err)
+		os.Exit(cliutil.ExitCode(err))
+	}
+}
+
+func loadDesign(opts *options) (*db.Design, error) {
+	if opts.caseName != "" {
+		spec, err := suite.ByName(opts.caseName)
+		if err != nil {
+			return nil, err
+		}
+		spec = spec.Scale(opts.scale)
+		if opts.seed != 0 {
+			spec = spec.WithSeed(opts.seed)
+		}
+		return suite.Generate(spec)
+	}
+	lf, err := os.Open(opts.lefPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	lib, err := lef.Parse(lf)
+	if err != nil {
+		return nil, err
+	}
+	df, err := os.Open(opts.defPath)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	return def.Parse(df, lib.Tech, lib.Masters)
+}
+
+func run(opts *options) error {
+	ctx, stop := opts.run.Context()
+	defer stop()
+	logw := opts.log
+	if logw == nil {
+		logw = os.Stderr
+	}
+	o, finish, err := opts.obs.Start("paoserve")
+	if err != nil {
+		return err
+	}
+
+	d, err := loadDesign(opts)
+	if err != nil {
+		return err
+	}
+
+	paoCfg := pao.DefaultConfig()
+	paoCfg.K = opts.k
+	paoCfg.Workers = opts.workers
+	paoCfg.FailFast = opts.run.FailFastSet()
+
+	srv := serve.New(d, paoCfg, serve.Config{
+		Addr:             opts.addr,
+		MaxInFlight:      opts.maxInFlight,
+		QueueDepth:       opts.queue,
+		RequestTimeout:   opts.requestTimeout,
+		RatePerSec:       opts.rate,
+		Burst:            opts.burst,
+		SnapshotPath:     opts.snapshotPath,
+		SnapshotInterval: opts.snapshotInterval,
+		BreakerThreshold: opts.breakerThreshold,
+		BreakerCooldown:  opts.breakerCooldown,
+		DrainTimeout:     opts.drainTimeout,
+	})
+	srv.Log = logw
+	if o != nil {
+		srv.Obs = o
+	}
+	srv.PaoFaultHook = opts.paoFaultHook
+
+	// Warm restart or first compute. A signal here aborts startup (exit 3):
+	// there is nothing to drain yet.
+	if err := srv.Init(ctx); err != nil {
+		finish()
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		finish()
+		return err
+	}
+	fmt.Fprintf(logw, "paoserve: serving %s (%s) on http://%s\n", d.Name, srv.Source(), srv.Addr())
+	if opts.onReady != nil {
+		opts.onReady(srv)
+	}
+
+	// Serve until SIGINT/SIGTERM (or -timeout). The drain + final snapshot
+	// run on a fresh context: the triggering signal already cancelled ctx.
+	<-ctx.Done()
+	fmt.Fprintln(logw, "paoserve: shutdown requested, draining")
+	sdErr := srv.Shutdown(context.Background())
+	if err := finish(); err != nil && sdErr == nil {
+		sdErr = err
+	}
+	if sdErr != nil {
+		return sdErr
+	}
+	fmt.Fprintln(logw, "paoserve: clean shutdown")
+	return nil
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/pao"
+	"repro/internal/serve"
+	"repro/internal/suite"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("paoserve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags(newFlagSet(), nil); err == nil {
+		t.Fatal("neither -case nor -lef/-def must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-case", "pao_test1", "-lef", "a.lef", "-def", "a.def"}); err == nil {
+		t.Fatal("both -case and -lef/-def must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef"}); err == nil {
+		t.Fatal("-lef without -def must be an error")
+	}
+	o, err := parseFlags(newFlagSet(), []string{"-case", "pao_test1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:8347" || o.queue != 64 || o.breakerThreshold != 3 ||
+		o.requestTimeout != 5*time.Second || o.rate != 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	o, err = parseFlags(newFlagSet(), []string{
+		"-case", "pao_test2", "-scale", "0.02", "-seed", "9", "-addr", "127.0.0.1:0",
+		"-snapshot", "s.snap", "-snapshot-interval", "1m", "-rate", "50", "-burst", "5",
+		"-queue", "8", "-max-inflight", "2", "-breaker-threshold", "1", "-breaker-cooldown", "5s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.caseName != "pao_test2" || o.seed != 9 || o.snapshotPath != "s.snap" ||
+		o.snapshotInterval != time.Minute || o.rate != 50 || o.burst != 5 ||
+		o.queue != 8 || o.maxInFlight != 2 || o.breakerThreshold != 1 {
+		t.Errorf("parsed values wrong: %+v", o)
+	}
+}
+
+func TestLoadDesignBadInputs(t *testing.T) {
+	if _, err := loadDesign(&options{caseName: "nope"}); err == nil {
+		t.Fatal("unknown case must be an error")
+	}
+	if _, err := loadDesign(&options{lefPath: "/nonexistent.lef", defPath: "/nonexistent.def"}); err == nil {
+		t.Fatal("missing LEF must be an error")
+	}
+}
+
+// smokeOptions is the shared server setup of the smoke test: a small suite
+// testcase, ephemeral port, snapshotting on, admission bounds tight enough to
+// be real but loose enough not to shed the test's own queries.
+func smokeOptions(snap string, ready chan *serve.Server) *options {
+	return &options{
+		caseName: "pao_test1", scale: 0.01, seed: 7,
+		addr: "127.0.0.1:0", snapshotPath: snap,
+		queue: 64, requestTimeout: 10 * time.Second, drainTimeout: 10 * time.Second,
+		breakerThreshold: 3, breakerCooldown: 30 * time.Second,
+		k: 3, obs: &obs.Flags{},
+		log:     io.Discard,
+		onReady: func(s *serve.Server) { ready <- s },
+	}
+}
+
+func queryAll(t *testing.T, base string, insts []string) map[string]serve.QueryResponse {
+	t.Helper()
+	out := make(map[string]serve.QueryResponse, len(insts))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, len(insts))
+	for _, name := range insts {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			resp, err := http.Get(base + "/v1/access?inst=" + name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("%s: status %d: %s", name, resp.StatusCode, body)
+				return
+			}
+			var qr serve.QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				errs <- fmt.Errorf("%s: %v", name, err)
+				return
+			}
+			qr.Source = "" // provenance legitimately differs across restarts
+			mu.Lock()
+			out[name] = qr
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServeSmokeSIGTERMWarmRestart is the end-to-end acceptance scenario
+// behind `make serve-smoke`: start the server on a suite testcase with one
+// class quarantined by an injected fault, run concurrent queries (including
+// the degraded class — 200s, never 500s), deliver a real SIGTERM, verify the
+// clean drain + final snapshot, warm-restart a second server from that
+// snapshot without recomputing, and require identical answers.
+func TestServeSmokeSIGTERMWarmRestart(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[0].Scale(0.01).WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSig := d.UniqueInstances()[0].Signature()
+	var insts, badInsts []string
+	for _, inst := range d.Instances {
+		if len(insts) < 12 {
+			insts = append(insts, inst.Name)
+		}
+		if d.InstanceSignature(inst) == badSig && len(badInsts) < 3 {
+			badInsts = append(badInsts, inst.Name)
+		}
+	}
+	insts = append(insts, badInsts...)
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+
+	// First server: quarantine badSig via an injected pipeline panic.
+	ready := make(chan *serve.Server, 1)
+	opts := smokeOptions(snap, ready)
+	inj := faultinject.New().Add(&faultinject.Fault{
+		Site: pao.SiteAnalyzeUnique, Detail: badSig, Kind: faultinject.Panic, Note: "smoke",
+	})
+	opts.paoFaultHook = inj.SiteHook()
+	done := make(chan error, 1)
+	go func() { done <- run(opts) }()
+	srv1 := <-ready
+	base1 := "http://" + srv1.Addr()
+
+	first := queryAll(t, base1, insts)
+	for _, name := range badInsts {
+		if qr := first[name]; !qr.Degraded {
+			t.Fatalf("%s (quarantined class) not marked degraded: %+v", name, qr)
+		}
+	}
+
+	// Real SIGTERM: drain, final snapshot, exit 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM shutdown returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no final snapshot after SIGTERM: %v", err)
+	}
+
+	// Second server: must warm-restart from the snapshot (no fault hook
+	// needed — the quarantine is persisted state) and answer identically.
+	ready2 := make(chan *serve.Server, 1)
+	opts2 := smokeOptions(snap, ready2)
+	done2 := make(chan error, 1)
+	go func() { done2 <- run(opts2) }()
+	srv2 := <-ready2
+	if srv2.Source() != "snapshot" {
+		t.Fatalf("second server source = %q, want snapshot", srv2.Source())
+	}
+	second := queryAll(t, "http://"+srv2.Addr(), insts)
+	for _, name := range insts {
+		if !reflect.DeepEqual(first[name], second[name]) {
+			a, _ := json.Marshal(first[name])
+			b, _ := json.Marshal(second[name])
+			t.Fatalf("%s: answer changed across warm restart:\n%s\n%s", name, a, b)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("second shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second server did not drain")
+	}
+}
+
+// TestRunCancelledDuringInit: a deadline during the initial analysis aborts
+// startup with the cancellation error (exit 3) instead of serving garbage.
+func TestRunCancelledDuringInit(t *testing.T) {
+	opts := &options{
+		caseName: "pao_test1", scale: 0.01, seed: 7,
+		addr: "127.0.0.1:0", queue: 64,
+		obs: &obs.Flags{}, log: io.Discard,
+	}
+	opts.run = &cliutil.RunFlags{Timeout: time.Nanosecond}
+	err := run(opts)
+	if !cliutil.Cancelled(err) {
+		t.Fatalf("err = %v, want a context cancellation", err)
+	}
+	if cliutil.ExitCode(err) != 3 {
+		t.Fatalf("exit code = %d, want 3", cliutil.ExitCode(err))
+	}
+}

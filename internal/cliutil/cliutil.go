@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -71,4 +72,96 @@ func ExitCode(err error) int {
 // Cancelled reports whether err is a context cancellation or deadline.
 func Cancelled(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// RetryPolicy tunes Retry: up to Attempts calls separated by jittered
+// exponential backoff starting at BaseDelay and capped at MaxDelay.
+type RetryPolicy struct {
+	// Attempts is the total number of calls (not retries); values < 1 mean 1.
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; 0 retries
+	// immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff; 0 leaves it uncapped.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts; values <= 1 default to 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away (0..1): a delay d
+	// becomes uniform in [d*(1-Jitter), d]. Negative or zero disables jitter.
+	Jitter float64
+	// RetryIf, when set, classifies errors: a false return makes the error
+	// permanent and Retry gives up immediately. Nil retries every error.
+	RetryIf func(error) bool
+
+	// Rand supplies the jitter randomness; nil uses the global source. Tests
+	// inject a seeded generator for reproducible schedules.
+	Rand *rand.Rand
+}
+
+// delay returns the backoff before attempt n (n = 1 is the first retry).
+func (p RetryPolicy) delay(n int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		var u float64
+		if p.Rand != nil {
+			u = p.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		d *= 1 - j*u
+	}
+	return time.Duration(d)
+}
+
+// Retry calls fn until it succeeds, the policy's attempts are exhausted, the
+// error is classified permanent by RetryIf, or ctx is cancelled. It returns
+// nil on success, ctx.Err() when the context ends a backoff sleep early, and
+// otherwise fn's last error. The snapshot-write and warm-restart-load paths
+// of the oracle server are the canonical users.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for n := 1; ; n++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if n >= attempts || (p.RetryIf != nil && !p.RetryIf(err)) {
+			return err
+		}
+		if d := p.delay(n); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
 }

@@ -48,6 +48,83 @@ func TestContextNoTimeout(t *testing.T) {
 	}
 }
 
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Retry(context.Background(), RetryPolicy{Attempts: 4}, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 4 {
+		t.Fatalf("err = %v after %d calls, want boom after 4", err, calls)
+	}
+}
+
+func TestRetryPermanentError(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{
+		Attempts: 10,
+		RetryIf:  func(err error) bool { return !errors.Is(err, perm) },
+	}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want permanent after 1", err, calls)
+	}
+}
+
+func TestRetryContextCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	calls := 0
+	err := Retry(ctx, RetryPolicy{Attempts: 100, BaseDelay: time.Hour}, func() error {
+		calls++
+		return errors.New("always")
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times; the hour-long backoff must be interrupted", calls)
+	}
+}
+
+func TestRetryPolicyDelayGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 50, 50} // ms; doubled then capped
+	for i, w := range want {
+		if got := p.delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.delay(1)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
 func TestExitCode(t *testing.T) {
 	cases := []struct {
 		err  error

@@ -118,6 +118,37 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the log2 buckets,
+// returning each bucket's upper bound and capping the estimate at the true
+// maximum — an upper-bound estimate with at most 2x resolution error, which
+// is what serving-latency p50/p99 gauges need.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	max := time.Duration(h.maxNS.Load())
+	var cum int64
+	for i := range h.bucket {
+		cum += h.bucket[i].Load()
+		if cum >= rank {
+			bound := time.Duration(int64(1)<<i) * time.Microsecond
+			if bound > max {
+				return max
+			}
+			return bound
+		}
+	}
+	return max
+}
+
 // BucketCount is one non-empty histogram bucket in an export.
 type BucketCount struct {
 	LeUS  int64 `json:"le_us"` // upper bound of the bucket, microseconds
@@ -131,6 +162,29 @@ type HistStat struct {
 	AvgMS   float64       `json:"avg_ms"`
 	MaxMS   float64       `json:"max_ms"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile is Histogram.Quantile over an exported snapshot, in milliseconds.
+func (s HistStat) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			ms := float64(b.LeUS) / 1e3
+			if ms > s.MaxMS {
+				return s.MaxMS
+			}
+			return ms
+		}
+	}
+	return s.MaxMS
 }
 
 // Snapshot exports the histogram's current state.

@@ -99,6 +99,44 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var empty Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	var nilH *Histogram
+	if q := nilH.Quantile(0.99); q != 0 {
+		t.Fatalf("nil quantile = %v, want 0", q)
+	}
+
+	var h Histogram
+	// 90 fast observations in [2,4)us, 10 slow ones in [1024,2048)us.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	if q := h.Quantile(0.5); q != 4*time.Microsecond {
+		t.Errorf("p50 = %v, want 4us (bucket upper bound)", q)
+	}
+	if q := h.Quantile(0.99); q != 1500*time.Microsecond {
+		t.Errorf("p99 = %v, want 1.5ms (capped at max)", q)
+	}
+	if q := h.Quantile(1); q != 1500*time.Microsecond {
+		t.Errorf("p100 = %v, want the max", q)
+	}
+
+	// The exported snapshot must agree (in milliseconds).
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 0.004 {
+		t.Errorf("snapshot p50 = %v, want 0.004", q)
+	}
+	if q := s.Quantile(0.99); q != 1.5 {
+		t.Errorf("snapshot p99 = %v, want 1.5", q)
+	}
+}
+
 // TestRegistryConcurrent: get-or-create and Add race-free from many
 // goroutines; run under -race in CI.
 func TestRegistryConcurrent(t *testing.T) {

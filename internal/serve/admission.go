@@ -1,0 +1,111 @@
+package serve
+
+// Admission control: every request passes a token-bucket rate limiter, then
+// competes for one of MaxInFlight execution slots with at most QueueDepth
+// requests waiting. Overload is shed explicitly — 429 for rate, 503 for a
+// full queue — with Retry-After hints, so saturation degrades throughput
+// instead of stretching every caller's latency.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic leaky-refill rate limiter. rate <= 0 disables it.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, now: now}
+}
+
+// take consumes one token. On refusal it returns the wait until a token will
+// be available, for the Retry-After header. A nil bucket always admits.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// admission bounds concurrent execution and the waiting line in front of it.
+type admission struct {
+	sem     chan struct{}
+	mu      sync.Mutex
+	waiting int
+	depth   int // max waiting requests; < 0 means unbounded
+}
+
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &admission{sem: make(chan struct{}, maxInFlight), depth: queueDepth}
+}
+
+// acquire claims an execution slot, queueing up to the depth bound. It
+// returns a release func on success; a nil release means the request was shed
+// (queue full, or ctx expired while waiting — both a 503 to the caller).
+func (a *admission) acquire(ctx context.Context) (release func(), queued int, ok bool) {
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, 0, true
+	default:
+	}
+	a.mu.Lock()
+	if a.depth >= 0 && a.waiting >= a.depth {
+		a.mu.Unlock()
+		return nil, a.depth, false
+	}
+	a.waiting++
+	queued = a.waiting
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }, queued, true
+	case <-ctx.Done():
+		return nil, queued, false
+	}
+}
+
+// queueDepth returns the number of requests currently waiting.
+func (a *admission) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}

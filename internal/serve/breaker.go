@@ -1,0 +1,109 @@
+package serve
+
+// Circuit breaker over re-analysis: repeated recovered panics (from query
+// handlers or pipeline runs) trip it open, refusing further re-analysis for a
+// cooldown instead of grinding the server through the same crash loop. After
+// the cooldown one probe is allowed (half-open); its outcome closes or
+// re-opens the breaker.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+var breakerNames = [...]string{"closed", "open", "half-open"}
+
+func (s BreakerState) String() string {
+	if int(s) < len(breakerNames) {
+		return breakerNames[s]
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+type breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	threshold int // consecutive failures that trip the breaker
+	cooldown  time.Duration
+	openedAt  time.Time
+	now       func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a protected operation may start now. An open breaker
+// transitions to half-open (admitting one probe) once the cooldown elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// success records a clean protected run and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = BreakerClosed
+}
+
+// failure records a faulty run; enough consecutive failures (or any failure
+// while half-open) trip the breaker open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// current returns the state for /healthz and the breaker gauge.
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// retryAfter returns the remaining cooldown, for Retry-After on 503s.
+func (b *breaker) retryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cooldown - b.now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}

@@ -1,0 +1,247 @@
+package serve
+
+// HTTP endpoints. Query handlers degrade, never 500 on bad analysis state:
+// an instance whose class is quarantined in Result.Health still answers, with
+// best-effort fallback access points and "degraded": true, because a router
+// with an approximate answer beats a router with an error page.
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/pao"
+)
+
+// PinAnswer is one pin's access point in a query response.
+type PinAnswer struct {
+	Pin   string `json:"pin"`
+	X     int64  `json:"x"`
+	Y     int64  `json:"y"`
+	Layer int    `json:"layer"`
+	TypeX string `json:"type_x,omitempty"`
+	TypeY string `json:"type_y,omitempty"`
+	Via   string `json:"via,omitempty"`
+	// Fallback marks a geometric pin-shape-center answer synthesized because
+	// the class has no analysis data (quarantined or unanalyzed).
+	Fallback bool `json:"fallback,omitempty"`
+	// Failed marks a pin with no access point at all (not even a fallback
+	// shape). X/Y/Layer are zero.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// QueryResponse answers /v1/access?inst=NAME.
+type QueryResponse struct {
+	Inst     string      `json:"inst"`
+	Class    string      `json:"class"`
+	Status   string      `json:"status"` // ok | degraded | failed
+	Degraded bool        `json:"degraded"`
+	Pattern  int         `json:"pattern"` // selected pattern index, -1 when none
+	Source   string      `json:"source"`  // snapshot | recompute
+	Pins     []PinAnswer `json:"pins"`
+}
+
+// HealthzResponse answers /healthz (always 200: liveness + health summary).
+type HealthzResponse struct {
+	Status          string  `json:"status"` // ok | degraded
+	Design          string  `json:"design"`
+	Source          string  `json:"source"`
+	Health          string  `json:"health,omitempty"`
+	FailedClasses   int     `json:"failed_classes"`
+	DegradedClasses int     `json:"degraded_classes"`
+	Breaker         string  `json:"breaker"`
+	QueueDepth      int     `json:"queue_depth"`
+	SnapshotAgeSec  float64 `json:"snapshot_age_sec"` // -1 when no snapshot
+	P50MS           float64 `json:"p50_ms"`
+	P99MS           float64 `json:"p99_ms"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthzResponse{
+		Status:         "ok",
+		Design:         s.design.Name,
+		Breaker:        s.brk.current().String(),
+		QueueDepth:     s.adm.queueDepth(),
+		SnapshotAgeSec: -1,
+	}
+	if last := s.lastSnapshotNS.Load(); last > 0 {
+		resp.SnapshotAgeSec = s.now().Sub(time.Unix(0, last)).Seconds()
+	}
+	if st := s.curState.Load(); st != nil {
+		resp.Source = st.source
+		if h := st.res.Health; h != nil {
+			resp.Health = h.String()
+			resp.FailedClasses = len(h.FailedClasses())
+			resp.DegradedClasses = len(h.DegradedClasses())
+			if !h.OK() {
+				resp.Status = "degraded"
+			}
+		}
+	} else {
+		resp.Status = "degraded"
+	}
+	if lat := s.reg().Histogram("serve.latency"); lat.Count() > 0 {
+		resp.P50MS = float64(lat.Quantile(0.5)) / 1e6
+		resp.P99MS = float64(lat.Quantile(0.99)) / 1e6
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.Ready(); !ok {
+		if s.brk.current() == BreakerOpen {
+			w.Header().Set("Retry-After", retryAfterSecs(s.brk.retryAfter()))
+		}
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	s.publishGauges()
+	writeJSON(w, http.StatusOK, s.reg().Snapshot())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.curState.Load()
+	if st == nil {
+		http.Error(w, "analysis not loaded", http.StatusServiceUnavailable)
+		return
+	}
+	h := st.res.Health
+	writeJSON(w, http.StatusOK, struct {
+		Design   string    `json:"design"`
+		Source   string    `json:"source"`
+		Stats    pao.Stats `json:"stats"`
+		Health   string    `json:"health,omitempty"`
+		Failed   []string  `json:"failed_classes,omitempty"`
+		Degraded []string  `json:"degraded_classes,omitempty"`
+	}{
+		Design: s.design.Name, Source: st.source, Stats: st.res.Stats,
+		Health: h.String(), Failed: h.FailedClasses(), Degraded: h.DegradedClasses(),
+	})
+}
+
+func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	accepted, reason := s.TriggerReanalyze()
+	if !accepted {
+		if s.brk.current() == BreakerOpen {
+			w.Header().Set("Retry-After", retryAfterSecs(s.brk.retryAfter()))
+		}
+		http.Error(w, "re-analysis rejected: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "re-analysis started"})
+}
+
+// handleAccess answers one instance's access pattern. Wrapped by admitted().
+func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
+	st := s.curState.Load()
+	if st == nil {
+		http.Error(w, "analysis not loaded", http.StatusServiceUnavailable)
+		return
+	}
+	name := r.URL.Query().Get("inst")
+	if name == "" {
+		http.Error(w, "missing ?inst= parameter", http.StatusBadRequest)
+		return
+	}
+	inst := s.design.InstByName(name)
+	if inst == nil {
+		http.Error(w, "unknown instance "+name, http.StatusNotFound)
+		return
+	}
+	if h := s.FaultHook; h != nil {
+		h(SiteQuery, name)
+	}
+	resp := s.answer(st, inst)
+	if resp.Degraded {
+		s.reg().Counter("serve.degraded.answers").Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// answer builds the query response from the immutable serving state.
+func (s *Server) answer(st *state, inst *db.Instance) QueryResponse {
+	res := st.res
+	resp := QueryResponse{Inst: inst.Name, Source: st.source, Pattern: -1, Pins: []PinAnswer{}}
+	ua := res.ByInstance[inst.ID]
+	if ua != nil {
+		resp.Class = ua.UI.Signature()
+	} else {
+		resp.Class = s.design.InstanceSignature(inst)
+	}
+	status := pao.StatusOK
+	if res.Health != nil {
+		status = res.Health.Status(resp.Class)
+	}
+	if ua == nil {
+		status = pao.StatusFailed
+	}
+	resp.Status = status.String()
+	resp.Degraded = status != pao.StatusOK
+
+	if ua == nil {
+		// No analysis for this class (quarantined in Step 1/2, or the run was
+		// cancelled before reaching it): synthesize pin-shape-center fallbacks
+		// so the caller still gets a usable, clearly-marked answer.
+		s.reg().Counter("serve.fallback.answers").Inc()
+		for _, pin := range inst.Master.SignalPins() {
+			resp.Pins = append(resp.Pins, fallbackAnswer(inst, pin))
+		}
+		return resp
+	}
+
+	if idx, ok := res.Selected[inst.ID]; ok && idx >= 0 && idx < len(ua.Patterns) {
+		resp.Pattern = idx
+	}
+	for _, pa := range ua.Pins {
+		ap := res.AccessPointFor(inst, pa.Pin)
+		if ap == nil {
+			// Pin analyzed but access-less: fall back to geometry too.
+			ans := fallbackAnswer(inst, pa.Pin)
+			if !ans.Failed {
+				resp.Degraded = true
+			}
+			resp.Pins = append(resp.Pins, ans)
+			continue
+		}
+		ans := PinAnswer{
+			Pin: pa.Pin.Name, X: ap.Pos.X, Y: ap.Pos.Y, Layer: ap.Layer,
+			TypeX: ap.TypeX.String(), TypeY: ap.TypeY.String(),
+		}
+		if v := ap.Primary(); v != nil {
+			ans.Via = v.Name
+		}
+		resp.Pins = append(resp.Pins, ans)
+	}
+	return resp
+}
+
+// fallbackAnswer is the degraded-path answer: the center of the pin's first
+// shape on its lowest metal layer, in design coordinates.
+func fallbackAnswer(inst *db.Instance, pin *db.MPin) PinAnswer {
+	shapes := inst.PinShapes(pin)
+	if len(shapes) == 0 {
+		return PinAnswer{Pin: pin.Name, Failed: true}
+	}
+	best := shapes[0]
+	for _, sh := range shapes[1:] {
+		if sh.Layer < best.Layer {
+			best = sh
+		}
+	}
+	return PinAnswer{
+		Pin:      pin.Name,
+		X:        (best.Rect.XL + best.Rect.XH) / 2,
+		Y:        (best.Rect.YL + best.Rect.YH) / 2,
+		Layer:    best.Layer,
+		Fallback: true,
+	}
+}

@@ -1,0 +1,530 @@
+// Package serve is the resident pin-access-oracle server: it loads a design,
+// runs (or restores from snapshot) the PAAF pipeline once, and then answers
+// per-instance access-pattern queries over HTTP/JSON with production
+// robustness semantics — the deployment shape of a library-verification
+// service rather than a batch tool.
+//
+// Three layers of robustness:
+//
+//   - Admission control (admission.go): a token-bucket rate limiter and a
+//     bounded wait queue in front of MaxInFlight execution slots shed
+//     overload explicitly (429/503 + Retry-After) instead of letting latency
+//     collapse for everyone.
+//   - Graceful degradation: queries against classes quarantined in
+//     Result.Health answer with best-effort fallback access points marked
+//     "degraded": true — never a 500; a circuit breaker (breaker.go) stops
+//     re-analysis after repeated panics; background re-analysis swaps the
+//     result via an atomic copy-on-write pointer, so readers never block on
+//     writers and keep serving the stale-but-valid oracle meanwhile.
+//   - Crash safety: the analysis Result persists as a versioned, checksummed
+//     snapshot (internal/pao/snapshot.go) written atomically on a timer and
+//     on drain; warm restart validates checksum + design hash and falls back
+//     to a full recompute on any corruption or mismatch.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/db"
+	"repro/internal/drc"
+	"repro/internal/obs"
+	"repro/internal/pao"
+)
+
+// Fault-hook site names (test-only, nil hooks in production — the same
+// convention as pao.Site*). internal/faultinject arms these to prove the
+// breaker, shed and snapshot-retry paths deterministically.
+const (
+	// SiteQuery fires per admitted access query with the instance name as
+	// detail; Delay faults occupy an execution slot (shed tests), Panic
+	// faults exercise the recover-to-500 + breaker path.
+	SiteQuery = "serve.query"
+	// SiteSnapshotWrite fires before each snapshot write attempt, inside the
+	// retry loop: a one-shot panic proves the write path retries.
+	SiteSnapshotWrite = "serve.snapshot.write"
+	// SiteSnapshotLoad fires before each warm-restart load attempt.
+	SiteSnapshotLoad = "serve.snapshot.load"
+	// SiteReanalyze fires at the start of each background re-analysis.
+	SiteReanalyze = "serve.reanalyze"
+)
+
+// Config tunes the server. The zero value is usable for tests: unlimited
+// rate, NumCPU in-flight slots, an unbounded queue and no snapshotting.
+type Config struct {
+	// Addr is the listen address for Start ("127.0.0.1:0" picks a free port).
+	Addr string
+	// MaxInFlight bounds concurrently executing queries; < 1 means NumCPU.
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for a slot; 0 sheds immediately
+	// when all slots are busy, < 0 waits unbounded.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline covering queue wait and
+	// execution; 0 disables it.
+	RequestTimeout time.Duration
+	// RatePerSec and Burst configure the token-bucket limiter; RatePerSec
+	// <= 0 disables rate limiting.
+	RatePerSec float64
+	Burst      int
+	// SnapshotPath enables crash-safe persistence; empty disables it.
+	SnapshotPath string
+	// SnapshotInterval adds timer-driven snapshots on top of the final
+	// on-drain write; 0 disables the timer.
+	SnapshotInterval time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// re-analysis circuit breaker (< 1 means 1); BreakerCooldown is how long
+	// it stays open before admitting a probe (<= 0 means 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DrainTimeout caps Shutdown's wait for in-flight requests (0 means 10s).
+	DrainTimeout time.Duration
+}
+
+// state is the immutable serving snapshot readers load atomically. Swapping
+// the pointer is the only write, so queries never take a lock.
+type state struct {
+	res    *pao.Result
+	source string // "snapshot" or "recompute"
+}
+
+// Server is the resident oracle. Create with New, then Init (warm restart or
+// first compute), then Start/Shutdown — or drive Handler() directly in tests.
+type Server struct {
+	cfg    Config
+	design *db.Design
+	paoCfg pao.Config
+
+	// Obs receives the server's metrics; defaults to a private observer.
+	// Set before Init.
+	Obs *obs.Observer
+	// Log receives one-line operational messages; defaults to io.Discard.
+	Log io.Writer
+
+	// FaultHook, when set before Init, fires at the Site* points above.
+	// Test-only; nil in production.
+	FaultHook func(site, detail string)
+	// PaoFaultHook/DRCFaultHook are installed on every analyzer the server
+	// creates, letting tests quarantine chosen classes. Test-only.
+	PaoFaultHook func(site, detail string)
+	DRCFaultHook func(site, detail string) []drc.Violation
+
+	now func() time.Time
+
+	curState    atomic.Pointer[state]
+	adm         *admission
+	bucket      *tokenBucket
+	brk         *breaker
+	reanalyzing atomic.Bool
+	draining    atomic.Bool
+
+	// lastSnapshotNS is the unix-nano time of the newest on-disk snapshot
+	// (0 = none); snapMu serializes writers.
+	lastSnapshotNS atomic.Int64
+	snapMu         chan struct{} // 1-slot semaphore: context-aware mutex
+
+	ln       net.Listener
+	http     *http.Server
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
+}
+
+// New builds a server over a loaded design. cfg zero values select defaults
+// documented on Config.
+func New(d *db.Design, paoCfg pao.Config, cfg Config) *Server {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = runtime.NumCPU()
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	s := &Server{
+		cfg:    cfg,
+		design: d,
+		paoCfg: paoCfg,
+		Obs:    obs.NewObserver("paoserve"),
+		Log:    io.Discard,
+		now:    time.Now,
+		snapMu: make(chan struct{}, 1),
+	}
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth)
+	s.bucket = newTokenBucket(cfg.RatePerSec, cfg.Burst, func() time.Time { return s.now() })
+	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func() time.Time { return s.now() })
+	s.bgCtx, s.bgCancel = context.WithCancel(context.Background())
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	fmt.Fprintf(s.Log, "paoserve: "+format+"\n", args...)
+}
+
+func (s *Server) reg() *obs.Registry { return s.Obs.Reg() }
+
+// Source reports where the serving state came from ("snapshot", "recompute",
+// or "" before Init).
+func (s *Server) Source() string {
+	if st := s.curState.Load(); st != nil {
+		return st.source
+	}
+	return ""
+}
+
+// Result returns the current serving result (nil before Init). The returned
+// Result is immutable shared state: read only.
+func (s *Server) Result() *pao.Result {
+	if st := s.curState.Load(); st != nil {
+		return st.res
+	}
+	return nil
+}
+
+// Breaker returns the circuit breaker's current state.
+func (s *Server) Breaker() BreakerState { return s.brk.current() }
+
+func (s *Server) swap(res *pao.Result, source string) {
+	s.curState.Store(&state{res: res, source: source})
+	s.publishGauges()
+}
+
+func (s *Server) publishGauges() {
+	reg := s.reg()
+	reg.Gauge("serve.breaker.state").Set(float64(s.brk.current()))
+	reg.Gauge("serve.queue.depth").Set(float64(s.adm.queueDepth()))
+	if last := s.lastSnapshotNS.Load(); last > 0 {
+		reg.Gauge("serve.snapshot.age_seconds").Set(s.now().Sub(time.Unix(0, last)).Seconds())
+	}
+}
+
+// compute runs the full pipeline under ctx with the test hooks installed.
+func (s *Server) compute(ctx context.Context) (*pao.Result, error) {
+	a := pao.NewAnalyzer(s.design, s.paoCfg)
+	a.Obs = s.Obs
+	a.FaultHook = s.PaoFaultHook
+	a.DRCFaultHook = s.DRCFaultHook
+	res, err := a.RunContext(ctx)
+	a.PublishObs()
+	return res, err
+}
+
+// loadRetry is the warm-restart-load policy: a couple of quick retries for
+// transient I/O, giving up immediately on corruption, mismatch or a missing
+// file (all permanent).
+func loadRetry() cliutil.RetryPolicy {
+	return cliutil.RetryPolicy{
+		Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: 0.5,
+		RetryIf: func(err error) bool {
+			return !pao.SnapshotPermanent(err) && !errors.Is(err, fs.ErrNotExist)
+		},
+	}
+}
+
+// writeRetry is the snapshot-write policy: persistence is worth a few
+// attempts with backoff (disk pressure, transient EIO), but never blocks
+// serving — writers run outside the query path.
+func writeRetry() cliutil.RetryPolicy {
+	return cliutil.RetryPolicy{
+		Attempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5,
+	}
+}
+
+// Init produces the first serving state: warm restart from the snapshot when
+// it validates, full recompute otherwise. The recovery path taken is logged
+// and counted (serve.restart.warm / serve.restart.recompute /
+// serve.snapshot.corrupt).
+func (s *Server) Init(ctx context.Context) error {
+	reg := s.reg()
+	if path := s.cfg.SnapshotPath; path != "" {
+		var res *pao.Result
+		err := cliutil.Retry(ctx, loadRetry(), func() error {
+			if h := s.FaultHook; h != nil {
+				h(SiteSnapshotLoad, path)
+			}
+			r, rerr := pao.ReadSnapshotFile(path, s.design, s.paoCfg)
+			if rerr != nil {
+				return rerr
+			}
+			res = r
+			return nil
+		})
+		switch {
+		case err == nil:
+			s.lastSnapshotNS.Store(s.now().UnixNano())
+			s.swap(res, "snapshot")
+			reg.Counter("serve.restart.warm").Inc()
+			s.logf("warm restart: restored %d classes from %s", len(res.Unique), path)
+			return nil
+		case errors.Is(err, fs.ErrNotExist):
+			s.logf("no snapshot at %s, computing", path)
+		default:
+			reg.Counter("serve.snapshot.corrupt").Inc()
+			s.logf("snapshot rejected (%v), falling back to recompute", err)
+		}
+	}
+	res, err := s.compute(ctx)
+	if err != nil {
+		return err
+	}
+	s.swap(res, "recompute")
+	reg.Counter("serve.restart.recompute").Inc()
+	s.logf("cold start: analyzed %d classes (%s)", len(res.Unique), res.Health)
+	return nil
+}
+
+// WriteSnapshot persists the current serving state with retry. Injected
+// panics at SiteSnapshotWrite convert to retryable errors, proving the
+// cliutil.Retry path.
+func (s *Server) WriteSnapshot(ctx context.Context) error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	st := s.curState.Load()
+	if st == nil {
+		return nil
+	}
+	select {
+	case s.snapMu <- struct{}{}:
+		defer func() { <-s.snapMu }()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	reg := s.reg()
+	err := cliutil.Retry(ctx, writeRetry(), func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("snapshot write panic: %v", rec)
+			}
+		}()
+		if h := s.FaultHook; h != nil {
+			h(SiteSnapshotWrite, s.cfg.SnapshotPath)
+		}
+		return pao.WriteSnapshotFile(s.cfg.SnapshotPath, s.design, s.paoCfg, st.res)
+	})
+	if err != nil {
+		reg.Counter("serve.snapshot.write_errors").Inc()
+		s.logf("snapshot write failed: %v", err)
+		return err
+	}
+	s.lastSnapshotNS.Store(s.now().UnixNano())
+	reg.Counter("serve.snapshot.writes").Inc()
+	s.publishGauges()
+	return nil
+}
+
+// TriggerReanalyze starts one background re-analysis if the breaker admits
+// it and none is running. The fresh result swaps in atomically only when it
+// is at least as healthy as what it replaces; otherwise the server keeps
+// serving the stale-but-valid oracle.
+func (s *Server) TriggerReanalyze() (accepted bool, reason string) {
+	reg := s.reg()
+	if !s.brk.allow() {
+		reg.Counter("serve.reanalyze.rejected").Inc()
+		return false, "circuit breaker open"
+	}
+	if !s.reanalyzing.CompareAndSwap(false, true) {
+		return false, "re-analysis already running"
+	}
+	go func() {
+		defer s.reanalyzing.Store(false)
+		s.reanalyze(s.bgCtx)
+	}()
+	return true, ""
+}
+
+func (s *Server) reanalyze(ctx context.Context) {
+	reg := s.reg()
+	defer func() {
+		if rec := recover(); rec != nil {
+			reg.Counter("serve.panics").Inc()
+			s.brk.failure()
+			s.publishGauges()
+			s.logf("re-analysis panic (breaker %s): %v", s.brk.current(), rec)
+		}
+	}()
+	if h := s.FaultHook; h != nil {
+		h(SiteReanalyze, "")
+	}
+	res, err := s.compute(ctx)
+	switch {
+	case err != nil:
+		reg.Counter("serve.reanalyze.failed").Inc()
+		s.brk.failure()
+		s.logf("re-analysis aborted: %v", err)
+	case len(res.Health.Errors()) > 0:
+		reg.Counter("serve.reanalyze.failed").Inc()
+		s.brk.failure()
+		if old := s.curState.Load(); old == nil {
+			s.swap(res, "recompute") // degraded beats nothing
+		} else {
+			s.logf("re-analysis degraded (%s), keeping stale result", res.Health)
+		}
+	default:
+		reg.Counter("serve.reanalyze.ok").Inc()
+		s.brk.success()
+		s.swap(res, "recompute")
+	}
+	s.publishGauges()
+}
+
+// Ready reports whether the server should receive traffic, with the reason
+// when not.
+func (s *Server) Ready() (bool, string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.curState.Load() == nil {
+		return false, "analysis not loaded"
+	}
+	if s.brk.current() == BreakerOpen {
+		return false, "circuit breaker open"
+	}
+	return true, ""
+}
+
+// Start listens on cfg.Addr and serves in the background; Addr() reports the
+// bound address. The snapshot timer starts here too.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.logf("serve error: %v", err)
+		}
+	}()
+	if s.cfg.SnapshotInterval > 0 && s.cfg.SnapshotPath != "" {
+		go s.snapshotLoop()
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) snapshotLoop() {
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = s.WriteSnapshot(s.bgCtx) // logged and counted inside
+		case <-s.bgCtx.Done():
+			return
+		}
+	}
+}
+
+// Shutdown drains in-flight requests (bounded by DrainTimeout), then writes
+// the final snapshot — SIGTERM becomes a clean handoff to the next process.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.bgCancel()
+	var first error
+	if s.http != nil {
+		dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+		defer cancel()
+		if err := s.http.Shutdown(dctx); err != nil {
+			first = err
+		}
+	}
+	// The final snapshot must not inherit the drain deadline's cancellation
+	// cause if requests drained cleanly; give it its own bounded context.
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := s.WriteSnapshot(sctx); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Handler returns the full endpoint mux (admission applied per route).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/access", s.admitted(s.handleAccess))
+	mux.HandleFunc("/v1/reanalyze", s.handleReanalyze)
+	return mux
+}
+
+// admitted wraps a query handler with the full admission pipeline: rate
+// limit (429), bounded queue + per-request deadline (503), panic recovery
+// (500 + breaker), and latency accounting.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := s.reg()
+		reg.Counter("serve.requests").Inc()
+		t0 := s.now()
+		if ok, retry := s.bucket.take(); !ok {
+			reg.Counter("serve.shed.rate").Inc()
+			w.Header().Set("Retry-After", retryAfterSecs(retry))
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		release, _, ok := s.adm.acquire(ctx)
+		reg.Gauge("serve.queue.depth").Set(float64(s.adm.queueDepth()))
+		if !ok {
+			if ctx.Err() != nil {
+				reg.Counter("serve.shed.deadline").Inc()
+			} else {
+				reg.Counter("serve.shed.queue").Inc()
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded, request shed", http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
+		defer func() {
+			reg.Histogram("serve.latency").Observe(s.now().Sub(t0))
+			if rec := recover(); rec != nil {
+				reg.Counter("serve.panics").Inc()
+				s.brk.failure()
+				s.publishGauges()
+				s.logf("query panic recovered (breaker %s): %v", s.brk.current(), rec)
+				http.Error(w, "internal error (recovered)", http.StatusInternalServerError)
+			}
+		}()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func retryAfterSecs(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,517 @@
+package serve
+
+// White-box server tests: the injectable clock (s.now) drives the rate
+// limiter and circuit breaker deterministically, and the nil-by-default fault
+// hooks stand in for crashes, slow queries and broken disks.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/faultinject"
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+func serveDesign(t *testing.T) *db.Design {
+	t.Helper()
+	d, err := suite.Generate(suite.Testcases[0].Scale(0.01).WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newTestServer(t *testing.T, d *db.Design, cfg Config) *Server {
+	t.Helper()
+	s := New(d, pao.DefaultConfig(), cfg)
+	t.Cleanup(s.bgCancel)
+	return s
+}
+
+func mustInit(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, http.Header, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Result().Header, body
+}
+
+func queryInst(t *testing.T, h http.Handler, name string) (int, QueryResponse, []byte) {
+	t.Helper()
+	code, _, body := get(t, h, "/v1/access?inst="+name)
+	var resp QueryResponse
+	if code == http.StatusOK {
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("bad query JSON: %v\n%s", err, body)
+		}
+	}
+	return code, resp, body
+}
+
+func TestServeQueryBasics(t *testing.T) {
+	d := serveDesign(t)
+	s := newTestServer(t, d, Config{})
+	mustInit(t, s)
+	h := s.Handler()
+
+	inst := d.Instances[0]
+	code, resp, _ := queryInst(t, h, inst.Name)
+	if code != http.StatusOK {
+		t.Fatalf("query = %d, want 200", code)
+	}
+	if resp.Inst != inst.Name || resp.Source != "recompute" {
+		t.Fatalf("bad response header fields: %+v", resp)
+	}
+	if resp.Degraded || resp.Status != "ok" {
+		t.Fatalf("healthy design answered degraded: %+v", resp)
+	}
+	if len(resp.Pins) == 0 {
+		t.Fatal("no pins in answer")
+	}
+	// Coordinates must match the library's own oracle answer.
+	res := s.Result()
+	for _, pa := range resp.Pins {
+		pin := inst.Master.PinByName(pa.Pin)
+		ap := res.AccessPointFor(inst, pin)
+		if ap == nil {
+			if !pa.Fallback && !pa.Failed {
+				t.Fatalf("pin %s: server invented an AP", pa.Pin)
+			}
+			continue
+		}
+		if pa.X != ap.Pos.X || pa.Y != ap.Pos.Y || pa.Layer != ap.Layer {
+			t.Fatalf("pin %s: served (%d,%d,M%d), oracle %v", pa.Pin, pa.X, pa.Y, pa.Layer, ap)
+		}
+	}
+
+	if code, _, _ := queryInst(t, h, "no_such_instance"); code != http.StatusNotFound {
+		t.Fatalf("unknown instance = %d, want 404", code)
+	}
+	if code, _, body := get(t, h, "/v1/access"); code != http.StatusBadRequest {
+		t.Fatalf("missing inst = %d (%s), want 400", code, body)
+	}
+}
+
+// TestServeDegradedAnswers is the acceptance scenario: a fault-injected,
+// quarantined class answers 200 with degraded fallback points — never a 500.
+func TestServeDegradedAnswers(t *testing.T) {
+	d := serveDesign(t)
+	sig := d.UniqueInstances()[0].Signature()
+	s := newTestServer(t, d, Config{})
+	inj := faultinject.New().Add(&faultinject.Fault{
+		Site: pao.SiteAnalyzeUnique, Detail: sig, Kind: faultinject.Panic, Note: "quarantine",
+	})
+	s.PaoFaultHook = inj.SiteHook()
+	mustInit(t, s)
+	if inj.FiredCount() == 0 {
+		t.Fatal("fault never fired")
+	}
+	h := s.Handler()
+
+	queried := 0
+	for _, inst := range d.Instances {
+		if d.InstanceSignature(inst) != sig {
+			continue
+		}
+		queried++
+		code, resp, body := queryInst(t, h, inst.Name)
+		if code != http.StatusOK {
+			t.Fatalf("quarantined class query = %d (%s), want 200", code, body)
+		}
+		if !resp.Degraded || resp.Status != "failed" {
+			t.Fatalf("quarantined class not marked degraded: %+v", resp)
+		}
+		for _, pa := range resp.Pins {
+			if !pa.Fallback && !pa.Failed {
+				t.Fatalf("degraded answer pin %s not marked fallback", pa.Pin)
+			}
+			if pa.Fallback && pa.Layer == 0 {
+				t.Fatalf("fallback pin %s has no geometry", pa.Pin)
+			}
+		}
+	}
+	if queried == 0 {
+		t.Fatal("no instances in the quarantined class")
+	}
+	if got := s.reg().Counter("serve.degraded.answers").Load(); got != int64(queried) {
+		t.Errorf("serve.degraded.answers = %d, want %d", got, queried)
+	}
+
+	// Healthy classes still answer normally.
+	for _, inst := range d.Instances {
+		if d.InstanceSignature(inst) == sig {
+			continue
+		}
+		code, resp, _ := queryInst(t, h, inst.Name)
+		if code != http.StatusOK || resp.Degraded {
+			t.Fatalf("healthy class degraded by neighbor fault: %d %+v", code, resp)
+		}
+		break
+	}
+}
+
+func TestServeRateLimit(t *testing.T) {
+	d := serveDesign(t)
+	clock := time.Unix(1000, 0)
+	s := newTestServer(t, d, Config{RatePerSec: 1, Burst: 1})
+	s.now = func() time.Time { return clock }
+	mustInit(t, s)
+	h := s.Handler()
+	inst := d.Instances[0].Name
+
+	if code, _, _ := queryInst(t, h, inst); code != http.StatusOK {
+		t.Fatalf("first query = %d, want 200", code)
+	}
+	code, hdr, _ := get(t, h, "/v1/access?inst="+inst)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second query = %d, want 429", code)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want 1", ra)
+	}
+	if got := s.reg().Counter("serve.shed.rate").Load(); got != 1 {
+		t.Errorf("serve.shed.rate = %d, want 1", got)
+	}
+	clock = clock.Add(2 * time.Second) // refill
+	if code, _, _ := queryInst(t, h, inst); code != http.StatusOK {
+		t.Fatalf("post-refill query = %d, want 200", code)
+	}
+}
+
+// TestServeQueueShed saturates the single execution slot with a blocked
+// query; with QueueDepth 0 the next request must shed 503 immediately.
+func TestServeQueueShed(t *testing.T) {
+	d := serveDesign(t)
+	s := newTestServer(t, d, Config{MaxInFlight: 1, QueueDepth: 0})
+	blocker := d.Instances[0].Name
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.FaultHook = func(site, detail string) {
+		if site == SiteQuery && detail == blocker {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+	}
+	mustInit(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/access?inst=" + blocker)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("blocker got %d", resp.StatusCode)
+			}
+		}
+		errc <- err
+	}()
+	<-entered // slot is now held
+
+	resp, err := http.Get(ts.URL + "/v1/access?inst=" + d.Instances[1].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload query = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without Retry-After")
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.reg().Counter("serve.shed.queue").Load(); got != 1 {
+		t.Errorf("serve.shed.queue = %d, want 1", got)
+	}
+}
+
+// TestServeQueryPanicRecovered: an injected handler panic answers 500 once,
+// trips the breaker at its threshold, and never kills the server.
+func TestServeQueryPanicRecovered(t *testing.T) {
+	d := serveDesign(t)
+	s := newTestServer(t, d, Config{BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	inj := faultinject.New().Add(&faultinject.Fault{
+		Site: SiteQuery, Kind: faultinject.Panic, Note: "boom",
+	})
+	s.FaultHook = inj.SiteHook()
+	mustInit(t, s)
+	h := s.Handler()
+	inst := d.Instances[0].Name
+
+	for i := 0; i < 2; i++ {
+		code, _, _ := get(t, h, "/v1/access?inst="+inst)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("panicking query %d = %d, want 500", i, code)
+		}
+	}
+	if s.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v after %d panics, want open", s.Breaker(), 2)
+	}
+	if code, _, _ := get(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with open breaker = %d, want 503", code)
+	}
+	if got := s.reg().Counter("serve.panics").Load(); got != 2 {
+		t.Errorf("serve.panics = %d, want 2", got)
+	}
+}
+
+// TestServeWarmRestart: a second server over the same design restores from
+// the first one's snapshot without recomputing and answers identically.
+func TestServeWarmRestart(t *testing.T) {
+	d := serveDesign(t)
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+
+	s1 := newTestServer(t, d, Config{SnapshotPath: snap})
+	mustInit(t, s1)
+	if err := s1.WriteSnapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, d, Config{SnapshotPath: snap})
+	mustInit(t, s2)
+	if s2.Source() != "snapshot" {
+		t.Fatalf("second server source = %q, want snapshot", s2.Source())
+	}
+	if got := s2.reg().Counter("serve.restart.recompute").Load(); got != 0 {
+		t.Fatalf("warm restart recomputed anyway (%d)", got)
+	}
+	if got := s2.reg().Counter("serve.restart.warm").Load(); got != 1 {
+		t.Fatalf("serve.restart.warm = %d, want 1", got)
+	}
+
+	h1, h2 := s1.Handler(), s2.Handler()
+	for _, inst := range d.Instances {
+		_, r1, _ := queryInst(t, h1, inst.Name)
+		_, r2, _ := queryInst(t, h2, inst.Name)
+		r1.Source, r2.Source = "", "" // the only legitimate difference
+		b1, _ := json.Marshal(r1)
+		b2, _ := json.Marshal(r2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: answers differ after warm restart:\n%s\n%s", inst.Name, b1, b2)
+		}
+	}
+}
+
+// TestServeCorruptSnapshotFallsBack: all three corruption modes (truncation,
+// bit flip, foreign file) must end in a successful recompute, not an error.
+func TestServeCorruptSnapshotFallsBack(t *testing.T) {
+	d := serveDesign(t)
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+	s1 := newTestServer(t, d, Config{SnapshotPath: snap})
+	mustInit(t, s1)
+	if err := s1.WriteSnapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string][]byte{
+		"truncated": good[:len(good)/3],
+		"bitflip":   append(append([]byte{}, good[:len(good)/2]...), append([]byte{good[len(good)/2] ^ 1}, good[len(good)/2+1:]...)...),
+		"garbage":   []byte("not a snapshot at all"),
+	}
+	for name, data := range mutations {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(snap, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := newTestServer(t, d, Config{SnapshotPath: snap})
+			mustInit(t, s)
+			if s.Source() != "recompute" {
+				t.Fatalf("source = %q, want recompute", s.Source())
+			}
+			if got := s.reg().Counter("serve.snapshot.corrupt").Load(); got == 0 {
+				t.Error("serve.snapshot.corrupt not counted")
+			}
+			if code, resp, _ := queryInst(t, s.Handler(), d.Instances[0].Name); code != 200 || resp.Degraded {
+				t.Fatalf("recomputed server unhealthy: %d %+v", code, resp)
+			}
+		})
+	}
+}
+
+// TestServeSnapshotWriteRetry: a one-shot injected panic in the write path is
+// absorbed by the retry policy and the snapshot still lands.
+func TestServeSnapshotWriteRetry(t *testing.T) {
+	d := serveDesign(t)
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+	s := newTestServer(t, d, Config{SnapshotPath: snap})
+	inj := faultinject.New().Add(&faultinject.Fault{
+		Site: SiteSnapshotWrite, Call: 1, Kind: faultinject.Panic, Note: "disk hiccup",
+	})
+	s.FaultHook = inj.SiteHook()
+	mustInit(t, s)
+	if err := s.WriteSnapshot(context.Background()); err != nil {
+		t.Fatalf("write with transient fault failed: %v", err)
+	}
+	if inj.FiredCount() != 1 {
+		t.Fatalf("fault fired %d times, want 1", inj.FiredCount())
+	}
+	if _, err := pao.ReadSnapshotFile(snap, d, pao.DefaultConfig()); err != nil {
+		t.Fatalf("snapshot unreadable after retry: %v", err)
+	}
+}
+
+// TestServeReadyFlips walks /readyz through the full lifecycle: not ready
+// before Init, ready after, not ready while the breaker is open following a
+// failing background re-analysis, ready again after a clean probe.
+func TestServeReadyFlips(t *testing.T) {
+	d := serveDesign(t)
+	clock := time.Unix(5000, 0)
+	var clockMu sync.Mutex
+	s := newTestServer(t, d, Config{BreakerThreshold: 1, BreakerCooldown: 10 * time.Second})
+	s.now = func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return clock }
+	h := s.Handler()
+
+	if code, _, _ := get(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-Init readyz = %d, want 503", code)
+	}
+	mustInit(t, s)
+	if code, _, _ := get(t, h, "/readyz"); code != http.StatusOK {
+		t.Fatalf("post-Init readyz = %d, want 200", code)
+	}
+
+	// Poison background re-analysis: every class panics, Health collects
+	// errors, the breaker (threshold 1) trips open.
+	inj := faultinject.New().Add(&faultinject.Fault{
+		Site: pao.SiteAnalyzeUnique, Kind: faultinject.Panic, Note: "poison",
+	})
+	s.PaoFaultHook = inj.SiteHook()
+	req := httptest.NewRequest(http.MethodPost, "/v1/reanalyze", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("reanalyze = %d, want 202", rec.Code)
+	}
+	waitFor(t, func() bool { return s.Breaker() == BreakerOpen })
+	if code, _, _ := get(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatal("readyz still ready with breaker open")
+	}
+	// The poisoned result must NOT have replaced the healthy one.
+	if code, resp, _ := queryInst(t, h, d.Instances[0].Name); code != 200 || resp.Degraded {
+		t.Fatalf("stale-but-valid result was replaced: %d %+v", code, resp)
+	}
+
+	// Breaker open: further re-analysis is rejected outright.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/reanalyze", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("reanalyze with open breaker = %d, want 503", rec.Code)
+	}
+
+	// After the cooldown a clean probe closes the breaker again.
+	clockMu.Lock()
+	clock = clock.Add(11 * time.Second)
+	clockMu.Unlock()
+	s.PaoFaultHook = nil
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/reanalyze", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("half-open probe = %d, want 202", rec.Code)
+	}
+	waitFor(t, func() bool { return s.Breaker() == BreakerClosed })
+	if code, _, _ := get(t, h, "/readyz"); code != http.StatusOK {
+		t.Fatal("readyz not ready after breaker closed")
+	}
+}
+
+func TestServeHealthzAndMetricz(t *testing.T) {
+	d := serveDesign(t)
+	s := newTestServer(t, d, Config{})
+	mustInit(t, s)
+	h := s.Handler()
+	for i := 0; i < 3; i++ {
+		queryInst(t, h, d.Instances[0].Name)
+	}
+
+	code, _, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var hz HealthzResponse
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if hz.Status != "ok" || hz.Breaker != "closed" || hz.Source != "recompute" {
+		t.Fatalf("bad healthz: %+v", hz)
+	}
+	if hz.P99MS < hz.P50MS || hz.P99MS == 0 {
+		t.Fatalf("bad latency quantiles: %+v", hz)
+	}
+
+	code, _, body = get(t, h, "/metricz")
+	if code != http.StatusOK || !strings.Contains(string(body), "serve.requests") {
+		t.Fatalf("metricz = %d, missing serve.requests:\n%s", code, body)
+	}
+
+	code, _, body = get(t, h, "/v1/stats")
+	if code != http.StatusOK || !strings.Contains(string(body), "\"stats\"") {
+		t.Fatalf("stats = %d:\n%s", code, body)
+	}
+}
+
+// TestServeStartShutdown exercises the real listener path end to end,
+// including the final on-drain snapshot.
+func TestServeStartShutdown(t *testing.T) {
+	d := serveDesign(t)
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+	s := newTestServer(t, d, Config{Addr: "127.0.0.1:0", SnapshotPath: snap})
+	mustInit(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz over TCP = %d", resp.StatusCode)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pao.ReadSnapshotFile(snap, d, pao.DefaultConfig()); err != nil {
+		t.Fatalf("no final snapshot after shutdown: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
