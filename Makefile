@@ -3,8 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments experiments-full examples clean \
-	difftest golden-update fuzz-smoke cover faultinject serve-smoke
+.PHONY: all build test vet bench bench-json bench-check experiments \
+	experiments-full examples clean difftest golden-update fuzz-smoke cover \
+	faultinject serve-smoke
 
 all: build vet test
 
@@ -62,9 +63,21 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 # One benchmark run per paper table/figure plus the ablations; the output is
-# kept in BENCH_PR1.txt as the PR's perf record.
-bench:
+# kept in BENCH_PR1.txt as the PR's perf record. Also refreshes the
+# machine-readable cache-speedup artifact (bench-json).
+bench: bench-json
 	$(GO) test -bench=. -benchmem . | tee BENCH_PR1.txt
+
+# Measure the Step 1/2/3 hot paths with the memoization layers on and off and
+# write the machine-readable report checked in as the perf baseline.
+bench-json:
+	$(GO) run ./cmd/paobench -out BENCH_PR5.json
+
+# CI regression gate: re-measure and fail on >15% regression vs the
+# checked-in baseline (machine-independent metrics only; add -gate-ns on a
+# quiet dedicated host to also gate wall-clock time).
+bench-check:
+	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
 
 # Laptop-scale experiment sweep (~4 minutes).
 experiments:

@@ -76,6 +76,14 @@ func TestRunMetricsAndTrace(t *testing.T) {
 	if len(rep.Counters) == 0 {
 		t.Error("report has no counters; PublishObs not wired")
 	}
+	// The memoization layers must surface their traffic in -metrics: the
+	// via-verdict cache counters flow through drc.Counters.Snapshot and the
+	// pair-cache counters are published directly by PublishObs.
+	for _, name := range []string{"drc.viacache.hit", "drc.viacache.miss", "pao.paircache.hit", "pao.paircache.miss"} {
+		if _, ok := rep.Counters[name]; !ok {
+			t.Errorf("report missing cache counter %q", name)
+		}
+	}
 	if rep.Trace == nil || len(rep.Trace.Children) == 0 {
 		t.Fatalf("report has no span tree: %+v", rep.Trace)
 	}

@@ -1,0 +1,193 @@
+// Package bench defines the reproducible performance scenarios behind `make
+// bench-json`: the three hot paths of the PAAF pipeline (Step 1 access-point
+// validation, Step 2 pattern validation, Step 3 cluster selection), each run
+// with the memoization layers on and off. Emitting both variants into one
+// report makes the verdict-cache speedup a measured, regression-gated
+// quantity instead of a claim: `cmd/paobench -compare` fails when the
+// speedup, the allocation counts, or the cache hit rates drift from the
+// checked-in baseline.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+// Workload is one prepared scenario variant. Run executes a single timed
+// iteration; Stats reports the analyzer's cache counters accumulated so far
+// (zero when the variant runs with caches disabled).
+type Workload struct {
+	Run   func()
+	Stats func() pao.CacheStats
+}
+
+// Scenario names one timed hot path of the pipeline and knows how to build
+// it at a given suite scale.
+type Scenario struct {
+	// Name identifies the scenario in reports, e.g.
+	// "pao_test1/step2_pattern_validation".
+	Name string
+	// Prepare builds the workload; noCache disables the via-verdict and
+	// via-pair caches (pao.Config.NoCache). Everything expensive that is not
+	// part of the timed loop (design generation, the initial analysis that
+	// the iteration re-validates) happens here.
+	Prepare func(scale float64, noCache bool) (*Workload, error)
+}
+
+// specs are the suite testcases the scenarios run on: the 45 nm baseline
+// testcase and the 14 nm off-track study, so both rule decks (EOL/min-step
+// heavy vs. spacing-table heavy) are measured.
+func specs() []suite.Spec {
+	return []suite.Spec{suite.Testcases[0], suite.AES14}
+}
+
+func config(noCache bool) pao.Config {
+	cfg := pao.DefaultConfig()
+	cfg.NoCache = noCache
+	return cfg
+}
+
+// Scenarios returns every benchmark scenario, one per (testcase, step).
+func Scenarios() []Scenario {
+	var out []Scenario
+	for _, spec := range specs() {
+		spec := spec
+		out = append(out,
+			Scenario{
+				Name: spec.Name + "/step1_access",
+				Prepare: func(scale float64, noCache bool) (*Workload, error) {
+					d, err := suite.Generate(spec.Scale(scale).WithSeed(7))
+					if err != nil {
+						return nil, err
+					}
+					a := pao.NewAnalyzer(d, config(noCache))
+					uis := d.UniqueInstances()
+					if len(uis) == 0 {
+						return nil, fmt.Errorf("%s: no unique instances at scale %g", spec.Name, scale)
+					}
+					return &Workload{
+						// One iteration = Step 1+2 over every unique class. The
+						// shared verdict cache stays warm across classes and
+						// iterations — exactly its production duty cycle.
+						Run: func() {
+							for _, ui := range uis {
+								a.AnalyzeUnique(ui)
+							}
+						},
+						Stats: a.CacheStats,
+					}, nil
+				},
+			},
+			Scenario{
+				Name: spec.Name + "/step2_pattern_validation",
+				Prepare: func(scale float64, noCache bool) (*Workload, error) {
+					d, err := suite.Generate(spec.Scale(scale).WithSeed(7))
+					if err != nil {
+						return nil, err
+					}
+					a := pao.NewAnalyzer(d, config(noCache))
+					var uas []*pao.UniqueAccess
+					for _, ui := range d.UniqueInstances() {
+						uas = append(uas, a.AnalyzeUnique(ui))
+					}
+					return &Workload{
+						// One iteration = regenerate and re-validate the pattern
+						// set of every class from its existing access points;
+						// the via-pair cache is the memo layer under test.
+						Run: func() {
+							for _, ua := range uas {
+								a.RegenPatterns(ua)
+							}
+						},
+						Stats: a.CacheStats,
+					}, nil
+				},
+			},
+			Scenario{
+				Name: spec.Name + "/step3_selection",
+				Prepare: func(scale float64, noCache bool) (*Workload, error) {
+					d, err := suite.Generate(spec.Scale(scale).WithSeed(7))
+					if err != nil {
+						return nil, err
+					}
+					a := pao.NewAnalyzer(d, config(noCache))
+					res := a.Run()
+					eng := a.GlobalEngine()
+					return &Workload{
+						// One iteration = the cluster DP over the placed design;
+						// vertex costs go through the via-verdict cache, edge
+						// costs through the via-pair cache.
+						Run: func() {
+							a.SelectPatterns(res, eng)
+						},
+						Stats: a.CacheStats,
+					}, nil
+				},
+			},
+		)
+	}
+	return out
+}
+
+// Measure runs every scenario in both variants via testing.Benchmark and
+// assembles the report. progress, when non-nil, is called once per variant
+// with a human-readable line.
+func Measure(scale float64, progress func(string)) (Report, error) {
+	rep := Report{Scale: scale}
+	for _, sc := range Scenarios() {
+		var e Entry
+		e.Scenario = sc.Name
+		for _, noCache := range []bool{false, true} {
+			sc, noCache := sc, noCache
+			var w *Workload
+			var prepErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				// testing.Benchmark re-invokes with growing b.N; rebuild the
+				// workload each time so earlier probe rounds cannot leak warm
+				// state into the reported round's setup.
+				w, prepErr = sc.Prepare(scale, noCache)
+				if prepErr != nil {
+					b.Fatal(prepErr)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.Run()
+				}
+			})
+			if prepErr != nil {
+				return rep, fmt.Errorf("%s: %w", sc.Name, prepErr)
+			}
+			m := Metrics{
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			if noCache {
+				e.Uncached = m
+			} else {
+				e.Cached = m
+				s := w.Stats()
+				e.ViaHitRate = s.ViaHitRate()
+				e.PairHitRate = s.PairHitRate()
+			}
+			if progress != nil {
+				variant := "cached"
+				if noCache {
+					variant = "uncached"
+				}
+				progress(fmt.Sprintf("%-45s %-8s %12.0f ns/op %8d allocs/op (n=%d)",
+					sc.Name, variant, m.NsPerOp, m.AllocsPerOp, m.Iterations))
+			}
+		}
+		if e.Cached.NsPerOp > 0 {
+			e.Speedup = e.Uncached.NsPerOp / e.Cached.NsPerOp
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}

@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestScenariosPrepareAndRun smoke-tests every scenario at the default CI
+// scale: prepare must succeed, one iteration must run, and the cached
+// variants must actually exercise at least one memo layer (otherwise the
+// published speedup would compare two identical code paths).
+func TestScenariosPrepareAndRun(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			w, err := sc.Prepare(0.01, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Run()
+			s := w.Stats()
+			if s.ViaHits+s.ViaMisses+s.PairHits+s.PairMisses == 0 {
+				t.Fatalf("cached run recorded no cache traffic: %+v", s)
+			}
+		})
+	}
+}
+
+func TestScenarioUncachedVariantHasNoCacheTraffic(t *testing.T) {
+	sc := Scenarios()[0]
+	w, err := sc.Prepare(0.01, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if s := w.Stats(); s.ViaHits+s.ViaMisses+s.PairHits+s.PairMisses != 0 {
+		t.Fatalf("uncached run touched a cache: %+v", s)
+	}
+}

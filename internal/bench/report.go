@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Metrics are the per-variant benchmark numbers. NsPerOp and BytesPerOp are
+// machine-dependent; AllocsPerOp is not (Go allocation counts are
+// deterministic for a deterministic workload), which is why the comparator
+// gates on allocations by default and on time only when asked.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Entry is one scenario's cached-vs-uncached measurement.
+type Entry struct {
+	Scenario string  `json:"scenario"`
+	Cached   Metrics `json:"cached"`
+	Uncached Metrics `json:"uncached"`
+	// Speedup is uncached ns/op divided by cached ns/op (>1 means the caches
+	// pay for themselves).
+	Speedup float64 `json:"speedup"`
+	// ViaHitRate and PairHitRate are the cached variant's steady-state cache
+	// hit rates in [0,1].
+	ViaHitRate  float64 `json:"via_hit_rate"`
+	PairHitRate float64 `json:"pair_hit_rate"`
+}
+
+// Report is the full benchmark artifact (BENCH_PR5.json). It deliberately
+// carries no timestamps or host identifiers so diffs against the checked-in
+// baseline show only measurement changes.
+type Report struct {
+	// Scale is the suite scale factor the run used; reports at different
+	// scales are not comparable and the comparator refuses them.
+	Scale   float64 `json:"scale"`
+	Entries []Entry `json:"entries"`
+}
+
+// Write emits the report as indented JSON.
+func (r Report) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Load reads a report written by Write.
+func Load(path string) (Report, error) {
+	var r Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Compare gates cur against base with relative tolerance tol (0.15 = 15%).
+// It returns one message per violation; an empty slice means cur is within
+// tolerance.
+//
+// Machine-independent metrics gate unconditionally: allocations per op may
+// not regress, cache hit rates may not drop, and the cached-vs-uncached
+// speedup may not shrink. Wall-clock ns/op gates only when gateNs is set,
+// because absolute times are not comparable across CI hosts — the speedup
+// ratio already catches a cache that stopped working, host speed cancels
+// out of it.
+func Compare(base, cur Report, tol float64, gateNs bool) []string {
+	var v []string
+	if base.Scale != cur.Scale {
+		return []string{fmt.Sprintf("scale mismatch: baseline %g vs current %g; reports are not comparable",
+			base.Scale, cur.Scale)}
+	}
+	baseBy := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseBy[e.Scenario] = e
+	}
+	seen := make(map[string]bool, len(cur.Entries))
+	for _, c := range cur.Entries {
+		seen[c.Scenario] = true
+		b, ok := baseBy[c.Scenario]
+		if !ok {
+			// A new scenario has no baseline yet; it starts gating once the
+			// baseline is regenerated.
+			continue
+		}
+		grewBy := func(now, was float64) (float64, bool) {
+			if was <= 0 {
+				return 0, false
+			}
+			g := now/was - 1
+			return g, g > tol
+		}
+		if g, bad := grewBy(float64(c.Cached.AllocsPerOp), float64(b.Cached.AllocsPerOp)); bad {
+			v = append(v, fmt.Sprintf("%s: cached allocs/op regressed %.0f%% (%d -> %d)",
+				c.Scenario, g*100, b.Cached.AllocsPerOp, c.Cached.AllocsPerOp))
+		}
+		if g, bad := grewBy(float64(c.Uncached.AllocsPerOp), float64(b.Uncached.AllocsPerOp)); bad {
+			v = append(v, fmt.Sprintf("%s: uncached allocs/op regressed %.0f%% (%d -> %d)",
+				c.Scenario, g*100, b.Uncached.AllocsPerOp, c.Uncached.AllocsPerOp))
+		}
+		if b.Speedup > 0 && c.Speedup < b.Speedup*(1-tol) {
+			v = append(v, fmt.Sprintf("%s: cache speedup shrank %.0f%% (%.2fx -> %.2fx)",
+				c.Scenario, (1-c.Speedup/b.Speedup)*100, b.Speedup, c.Speedup))
+		}
+		if b.ViaHitRate > 0 && c.ViaHitRate < b.ViaHitRate*(1-tol) {
+			v = append(v, fmt.Sprintf("%s: via-verdict hit rate dropped (%.1f%% -> %.1f%%)",
+				c.Scenario, b.ViaHitRate*100, c.ViaHitRate*100))
+		}
+		if b.PairHitRate > 0 && c.PairHitRate < b.PairHitRate*(1-tol) {
+			v = append(v, fmt.Sprintf("%s: via-pair hit rate dropped (%.1f%% -> %.1f%%)",
+				c.Scenario, b.PairHitRate*100, c.PairHitRate*100))
+		}
+		if gateNs {
+			if g, bad := grewBy(c.Cached.NsPerOp, b.Cached.NsPerOp); bad {
+				v = append(v, fmt.Sprintf("%s: cached ns/op regressed %.0f%% (%.0f -> %.0f)",
+					c.Scenario, g*100, b.Cached.NsPerOp, c.Cached.NsPerOp))
+			}
+			if g, bad := grewBy(c.Uncached.NsPerOp, b.Uncached.NsPerOp); bad {
+				v = append(v, fmt.Sprintf("%s: uncached ns/op regressed %.0f%% (%.0f -> %.0f)",
+					c.Scenario, g*100, b.Uncached.NsPerOp, c.Uncached.NsPerOp))
+			}
+		}
+	}
+	for name := range baseBy {
+		if !seen[name] {
+			v = append(v, fmt.Sprintf("%s: scenario present in baseline but missing from current run", name))
+		}
+	}
+	sort.Strings(v)
+	return v
+}

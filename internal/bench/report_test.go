@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func baseReport() Report {
+	return Report{
+		Scale: 0.01,
+		Entries: []Entry{{
+			Scenario:    "pao_test1/step2_pattern_validation",
+			Cached:      Metrics{NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4096, Iterations: 100},
+			Uncached:    Metrics{NsPerOp: 3000, AllocsPerOp: 400, BytesPerOp: 65536, Iterations: 40},
+			Speedup:     3.0,
+			ViaHitRate:  0.95,
+			PairHitRate: 0.90,
+		}},
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	// Wiggle everything by less than 15%.
+	cur.Entries[0].Cached.AllocsPerOp = 55
+	cur.Entries[0].Speedup = 2.7
+	cur.Entries[0].ViaHitRate = 0.90
+	if v := Compare(base, cur, 0.15, false); len(v) != 0 {
+		t.Fatalf("in-tolerance report rejected: %v", v)
+	}
+}
+
+func TestCompareGatesMachineIndependentMetrics(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Entry)
+		want   string
+	}{
+		{"alloc regression", func(e *Entry) { e.Cached.AllocsPerOp = 70 }, "allocs/op regressed"},
+		{"speedup collapse", func(e *Entry) { e.Speedup = 1.1 }, "speedup shrank"},
+		{"via hit rate drop", func(e *Entry) { e.ViaHitRate = 0.4 }, "via-verdict hit rate dropped"},
+		{"pair hit rate drop", func(e *Entry) { e.PairHitRate = 0.2 }, "via-pair hit rate dropped"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cur := baseReport()
+			c.mutate(&cur.Entries[0])
+			v := Compare(baseReport(), cur, 0.15, false)
+			if len(v) != 1 || !strings.Contains(v[0], c.want) {
+				t.Fatalf("Compare = %v, want one violation containing %q", v, c.want)
+			}
+		})
+	}
+}
+
+func TestCompareNsGateIsOptIn(t *testing.T) {
+	cur := baseReport()
+	cur.Entries[0].Cached.NsPerOp = 2000 // 2x slower wall clock
+	cur.Entries[0].Uncached.NsPerOp = 6000
+	cur.Entries[0].Speedup = 3.0 // ratio unchanged
+	if v := Compare(baseReport(), cur, 0.15, false); len(v) != 0 {
+		t.Fatalf("ns/op must not gate by default (CI hosts vary): %v", v)
+	}
+	if v := Compare(baseReport(), cur, 0.15, true); len(v) != 2 {
+		t.Fatalf("with gateNs both variants must flag, got %v", v)
+	}
+}
+
+func TestCompareRefusesScaleMismatch(t *testing.T) {
+	cur := baseReport()
+	cur.Scale = 0.02
+	v := Compare(baseReport(), cur, 0.15, false)
+	if len(v) != 1 || !strings.Contains(v[0], "scale mismatch") {
+		t.Fatalf("Compare = %v, want a scale-mismatch refusal", v)
+	}
+}
+
+func TestCompareFlagsMissingScenario(t *testing.T) {
+	cur := baseReport()
+	cur.Entries = nil
+	v := Compare(baseReport(), cur, 0.15, false)
+	if len(v) != 1 || !strings.Contains(v[0], "missing from current run") {
+		t.Fatalf("Compare = %v, want a missing-scenario violation", v)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := baseReport().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if v := Compare(baseReport(), got, 0, false); len(v) != 0 {
+		t.Fatalf("round-tripped report differs from original: %v", v)
+	}
+	for _, k := range []string{"timestamp", "host", "date"} {
+		if bytes.Contains(bytes.ToLower(buf.Bytes()), []byte(k)) {
+			t.Fatalf("report JSON must stay host- and time-free, found %q", k)
+		}
+	}
+}

@@ -93,10 +93,20 @@ type RetryPolicy struct {
 	// permanent and Retry gives up immediately. Nil retries every error.
 	RetryIf func(error) bool
 
-	// Rand supplies the jitter randomness; nil uses the global source. Tests
-	// inject a seeded generator for reproducible schedules.
+	// Rand supplies the jitter randomness; nil makes Retry use a local
+	// generator with a fixed seed, so backoff schedules are reproducible by
+	// default (the global math/rand source would differ run to run and leak
+	// nondeterminism into tests). Inject a generator to randomize or to pin a
+	// different schedule.
 	Rand *rand.Rand
+
+	// sleep is a test seam: when non-nil, Retry calls it instead of sleeping
+	// on a real timer, so tests can record the backoff schedule.
+	sleep func(time.Duration)
 }
+
+// retrySeed seeds the fallback jitter source when RetryPolicy.Rand is nil.
+const retrySeed = 1
 
 // delay returns the backoff before attempt n (n = 1 is the first retry).
 func (p RetryPolicy) delay(n int) time.Duration {
@@ -123,13 +133,12 @@ func (p RetryPolicy) delay(n int) time.Duration {
 		if j > 1 {
 			j = 1
 		}
-		var u float64
-		if p.Rand != nil {
-			u = p.Rand.Float64()
-		} else {
-			u = rand.Float64()
+		r := p.Rand
+		if r == nil {
+			// Retry seeds p.Rand up front; this covers direct delay() calls.
+			r = rand.New(rand.NewSource(retrySeed))
 		}
-		d *= 1 - j*u
+		d *= 1 - j*r.Float64()
 	}
 	return time.Duration(d)
 }
@@ -140,6 +149,9 @@ func (p RetryPolicy) delay(n int) time.Duration {
 // otherwise fn's last error. The snapshot-write and warm-restart-load paths
 // of the oracle server are the canonical users.
 func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	if p.Rand == nil {
+		p.Rand = rand.New(rand.NewSource(retrySeed))
+	}
 	attempts := p.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -153,6 +165,10 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 			return err
 		}
 		if d := p.delay(n); d > 0 {
+			if p.sleep != nil {
+				p.sleep(d)
+				continue
+			}
 			t := time.NewTimer(d)
 			select {
 			case <-t.C:

@@ -125,6 +125,46 @@ func TestRetryPolicyJitterBounds(t *testing.T) {
 	}
 }
 
+// TestRetryJitterDeterministicByDefault pins the nil-Rand contract: Retry
+// must seed a local generator, so two runs with identical policies produce
+// byte-identical backoff schedules (the old global-math/rand fallback made
+// schedules differ run to run).
+func TestRetryJitterDeterministicByDefault(t *testing.T) {
+	run := func() []time.Duration {
+		var ds []time.Duration
+		p := RetryPolicy{Attempts: 6, BaseDelay: 10 * time.Millisecond, Jitter: 0.9}
+		p.sleep = func(d time.Duration) { ds = append(ds, d) }
+		if err := Retry(context.Background(), p, func() error { return errors.New("transient") }); err == nil {
+			t.Fatal("Retry must exhaust attempts")
+		}
+		return ds
+	}
+	a, b := run(), run()
+	if len(a) != 5 {
+		t.Fatalf("recorded %d delays, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nil-Rand backoff schedules differ at retry %d: %v vs %v", i+1, a, b)
+		}
+	}
+	// The jitter must actually engage: with Jitter 0.9 at least one delay has
+	// to land strictly below the unjittered exponential sequence.
+	jittered := false
+	for i, d := range a {
+		pure := 10 * time.Millisecond << i
+		if d > pure {
+			t.Fatalf("delay %d = %v exceeds unjittered %v", i+1, d, pure)
+		}
+		if d < pure {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Fatal("no delay was jittered; the seeded source is not being consumed")
+	}
+}
+
 func TestExitCode(t *testing.T) {
 	cases := []struct {
 		err  error

@@ -75,10 +75,16 @@ func (v Violation) Key() string {
 	return fmt.Sprintf("%s|%s|%d,%d,%d,%d", v.Rule, v.Layer, v.Where.XL, v.Where.YL, v.Where.XH, v.Where.YH)
 }
 
-// Dedup removes violations with duplicate keys, preserving order.
+// Dedup removes violations with duplicate keys, preserving order. The input
+// slice is left untouched: the result is a fresh slice (callers routinely keep
+// the original list for reporting, so rewriting its backing array in place —
+// the old vs[:0] trick — would clobber it).
 func Dedup(vs []Violation) []Violation {
+	if len(vs) <= 1 {
+		return vs
+	}
 	seen := make(map[string]bool, len(vs))
-	out := vs[:0]
+	out := make([]Violation, 0, len(vs))
 	for _, v := range vs {
 		k := v.Key()
 		if !seen[k] {
@@ -157,6 +163,13 @@ type Counters struct {
 	ViaChecks     atomic.Int64 // via drops attempted
 	ViaClean      atomic.Int64 // via drops that validated clean
 	Violations    atomic.Int64 // violations found (pre-dedup)
+
+	// Via-verdict cache instrumentation (see ViaCache): lookups answered from
+	// the cache, lookups that ran the full check, and cache invalidations
+	// triggered by engine mutation.
+	CacheHits        atomic.Int64
+	CacheMisses      atomic.Int64
+	CacheInvalidates atomic.Int64
 }
 
 // Snapshot exports the counters under their canonical metric names.
@@ -165,16 +178,19 @@ func (c *Counters) Snapshot() map[string]int64 {
 		return nil
 	}
 	return map[string]int64{
-		"drc.query.count":   c.Queries.Load(),
-		"drc.query.objects": c.QueryObjects.Load(),
-		"drc.check.metal":   c.MetalChecks.Load(),
-		"drc.check.cut":     c.CutChecks.Load(),
-		"drc.check.eol":     c.EOLChecks.Load(),
-		"drc.check.minstep": c.MinStepChecks.Load(),
-		"drc.check.pair":    c.PairChecks.Load(),
-		"drc.via.attempted": c.ViaChecks.Load(),
-		"drc.via.clean":     c.ViaClean.Load(),
-		"drc.violations":    c.Violations.Load(),
+		"drc.query.count":         c.Queries.Load(),
+		"drc.query.objects":       c.QueryObjects.Load(),
+		"drc.check.metal":         c.MetalChecks.Load(),
+		"drc.check.cut":           c.CutChecks.Load(),
+		"drc.check.eol":           c.EOLChecks.Load(),
+		"drc.check.minstep":       c.MinStepChecks.Load(),
+		"drc.check.pair":          c.PairChecks.Load(),
+		"drc.via.attempted":       c.ViaChecks.Load(),
+		"drc.via.clean":           c.ViaClean.Load(),
+		"drc.violations":          c.Violations.Load(),
+		"drc.viacache.hit":        c.CacheHits.Load(),
+		"drc.viacache.miss":       c.CacheMisses.Load(),
+		"drc.viacache.invalidate": c.CacheInvalidates.Load(),
 	}
 }
 
@@ -200,6 +216,10 @@ type Engine struct {
 	cut     []*binIndex // index 1..NumMetals-1
 	stamp   []int32     // per-object visit stamp for query dedup
 	curPass int32
+
+	// cache, when attached, memoizes via-drop verdicts (CheckViaVerdictCtx)
+	// keyed by canonicalized local geometry. Engine mutation invalidates it.
+	cache *ViaCache
 }
 
 // NewEngine creates an empty engine for the given technology. Bin size is
@@ -239,8 +259,29 @@ func (e *Engine) ForEachObj(fn func(o *Obj)) {
 	}
 }
 
+// AttachViaCache installs a via-verdict cache on the engine. Attach after the
+// engine's shapes are loaded: every later Add/Remove invalidates the cache
+// (the memoized verdicts describe an environment that no longer exists), so
+// attaching before construction would wipe it once per shape. One cache may be
+// shared by several engines over the same Technology — verdicts are keyed by
+// canonicalized local geometry, so a hit from another engine is still exact.
+func (e *Engine) AttachViaCache(c *ViaCache) {
+	if c != nil && !c.tech.CompareAndSwap(nil, e.Tech) && c.tech.Load() != e.Tech {
+		// A cache keyed under different design rules would alias verdicts;
+		// refuse silently rather than corrupt results.
+		return
+	}
+	e.cache = c
+}
+
+// ViaCacheAttached reports whether a via-verdict cache is installed.
+func (e *Engine) ViaCacheAttached() bool { return e.cache != nil }
+
 // Add registers a shape and returns its ID.
 func (e *Engine) Add(o Obj) int {
+	if e.cache != nil {
+		e.cache.invalidate(e.Counters)
+	}
 	o.ID = len(e.objs)
 	e.objs = append(e.objs, o)
 	e.alive = append(e.alive, true)
@@ -268,6 +309,9 @@ func (e *Engine) AddCut(cutBelow int, r geom.Rect, net int, tag string) int {
 func (e *Engine) Remove(id int) {
 	if id < 0 || id >= len(e.objs) || !e.alive[id] {
 		return
+	}
+	if e.cache != nil {
+		e.cache.invalidate(e.Counters)
 	}
 	o := &e.objs[id]
 	switch {
@@ -365,9 +409,17 @@ func (e *Engine) queryIdxInto(idx *binIndex, r geom.Rect, stamp []int32, pass in
 // QueryCtx carries per-goroutine query state so read-only checks can run
 // concurrently against one engine. Obtain with NewQueryCtx after all shapes
 // are added; adding shapes afterwards invalidates the context.
+//
+// The context also pools the query result buffer: a slice returned by
+// QueryMetalCtx/QueryCutCtx is only valid until the next query through the
+// same context. Every in-tree caller consumes the IDs before issuing another
+// query; callers that need to keep results across queries must copy them.
 type QueryCtx struct {
 	stamp []int32
 	pass  int32
+	buf   []int      // reused query result buffer
+	sig   []sigEntry // via-signature scratch (viacache.go)
+	enc   []byte     // via-signature encode scratch
 }
 
 // NewQueryCtx allocates query state sized for the engine's current objects.
@@ -376,7 +428,8 @@ func (e *Engine) NewQueryCtx() *QueryCtx {
 }
 
 // QueryMetalCtx is QueryMetal with caller-owned state (safe for concurrent
-// use with other contexts; the engine must not be mutated meanwhile).
+// use with other contexts; the engine must not be mutated meanwhile). The
+// result aliases the context's pooled buffer — valid until the next query.
 func (e *Engine) QueryMetalCtx(layer int, r geom.Rect, ctx *QueryCtx) []int {
 	if ctx == nil {
 		return e.QueryMetal(layer, r)
@@ -385,10 +438,12 @@ func (e *Engine) QueryMetalCtx(layer int, r geom.Rect, ctx *QueryCtx) []int {
 		return nil
 	}
 	ctx.pass++
-	return e.queryIdxInto(e.metal[layer], r, ctx.stamp, ctx.pass, nil)
+	ctx.buf = e.queryIdxInto(e.metal[layer], r, ctx.stamp, ctx.pass, ctx.buf[:0])
+	return ctx.buf
 }
 
-// QueryCutCtx is QueryCut with caller-owned state.
+// QueryCutCtx is QueryCut with caller-owned state. The result aliases the
+// context's pooled buffer — valid until the next query.
 func (e *Engine) QueryCutCtx(cutBelow int, r geom.Rect, ctx *QueryCtx) []int {
 	if ctx == nil {
 		return e.QueryCut(cutBelow, r)
@@ -397,5 +452,6 @@ func (e *Engine) QueryCutCtx(cutBelow int, r geom.Rect, ctx *QueryCtx) []int {
 		return nil
 	}
 	ctx.pass++
-	return e.queryIdxInto(e.cut[cutBelow], r, ctx.stamp, ctx.pass, nil)
+	ctx.buf = e.queryIdxInto(e.cut[cutBelow], r, ctx.stamp, ctx.pass, ctx.buf[:0])
+	return ctx.buf
 }

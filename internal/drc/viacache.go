@@ -1,0 +1,274 @@
+package drc
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// ViaCache memoizes via-drop verdicts (the number of violations a CheckVia
+// would report) keyed by the via definition plus a canonicalized signature of
+// the local geometry inside the DRC halo. Every rule CheckVia evaluates —
+// metal spacing, end-of-line, cut spacing, min step — is translation
+// invariant, so two drops whose environments agree after shifting the access
+// point to the origin must produce identical verdicts. That makes the cache
+// content-addressed: it can be shared across engines (the pao analyzer shares
+// one across every per-cell context and the global engine) and a hit from a
+// different unique-instance class is still exact.
+//
+// Fill is exactly-once per key (singleflight): concurrent workers that miss on
+// the same key run the underlying check once and share the verdict, keeping
+// the engine's check counters deterministic across worker schedules.
+//
+// Invalidation: engines with an attached cache clear it on every Add/Remove.
+// Content addressing alone already keeps stale entries from answering wrongly
+// (a mutated environment hashes to a new signature), so invalidation here is
+// memory hygiene — it bounds the cache to verdicts about live geometry.
+type ViaCache struct {
+	shards [viaCacheShards]viaShard
+
+	// tech pins the rule set the cached verdicts were computed under; set
+	// atomically on first attach (engines are built concurrently by analysis
+	// workers), engines over a different Technology refuse the cache.
+	tech atomic.Pointer[tech.Technology]
+
+	invalidations atomic.Int64
+}
+
+const (
+	viaCacheShards = 64
+	// viaShardCap bounds each shard; an overflowing shard is reset wholesale
+	// (the cache is a memo, not a store — losing entries only costs misses).
+	viaShardCap = 1 << 15
+)
+
+type viaShard struct {
+	mu sync.Mutex
+	m  map[viaKey]*viaEntry
+}
+
+type viaKey struct {
+	via *tech.ViaDef
+	sig string
+}
+
+// viaEntry is a singleflight slot: the filling goroutine computes the verdict
+// and releases wg; concurrent lookups of the same key wait instead of
+// re-running the check.
+type viaEntry struct {
+	wg      sync.WaitGroup
+	verdict int
+	failed  bool // the fill panicked; waiters fall back to an uncached check
+}
+
+// NewViaCache creates an empty verdict cache.
+func NewViaCache() *ViaCache {
+	c := &ViaCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[viaKey]*viaEntry)
+	}
+	return c
+}
+
+// Len returns the number of cached verdicts.
+func (c *ViaCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Invalidations returns how many times the cache was cleared by engine
+// mutation.
+func (c *ViaCache) Invalidations() int64 { return c.invalidations.Load() }
+
+// invalidate drops every entry. Engines call it from Add/Remove; the engine
+// mutation contract (no concurrent queries during mutation) covers the cache
+// too.
+func (c *ViaCache) invalidate(ctrs *Counters) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if len(sh.m) > 0 {
+			sh.m = make(map[viaKey]*viaEntry)
+		}
+		sh.mu.Unlock()
+	}
+	c.invalidations.Add(1)
+	if ctrs != nil {
+		ctrs.CacheInvalidates.Add(1)
+	}
+}
+
+func (c *ViaCache) shard(sig string) *viaShard {
+	// FNV-1a over the signature bytes; the via pointer is folded in by the
+	// signature's layer-dependent content already.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint64(sig[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%viaCacheShards]
+}
+
+// sigEntry is one canonicalized environment object: its index class, net
+// relation flags, and its rectangle relative to the access point.
+type sigEntry struct {
+	cls   uint8 // 0 = metal below, 1 = metal above, 2 = cut, 3 = same-net rect
+	flags uint8 // bit 0: same net as the candidate; bit 1: NoNet blockage
+	r     geom.Rect
+}
+
+// sigHalo returns the halo distance that covers every query window CheckVia
+// opens on the layer: the spacing-table maximum plus the end-of-line window
+// extents.
+func sigHalo(l *tech.RoutingLayer) int64 {
+	h := l.Spacing.MaxSpacing()
+	if l.EOL.Enabled() {
+		if l.EOL.EOLSpace > h {
+			h = l.EOL.EOLSpace
+		}
+		if l.EOL.EOLWithin > h {
+			h = l.EOL.EOLWithin
+		}
+	}
+	return h
+}
+
+// viaSignature canonicalizes the local geometry a CheckVia of v at p would
+// see: every indexed object touching the halo around the enclosures and cuts
+// (relative to p, tagged with its net relation) plus the caller-provided
+// same-net rects that join the min-step union. Identical signatures guarantee
+// identical verdicts; the converse need not hold (a too-wide halo only costs
+// hit rate, never correctness).
+func (e *Engine) viaSignature(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx) string {
+	k := v.CutBelow
+	ents := qc.sig[:0]
+	add := func(cls, flags uint8, r geom.Rect) {
+		ents = append(ents, sigEntry{cls, flags, geom.R(r.XL-p.X, r.YL-p.Y, r.XH-p.X, r.YH-p.Y)})
+	}
+	collectMetal := func(cls uint8, layer int, win geom.Rect) {
+		for _, id := range e.QueryMetalCtx(layer, win, qc) {
+			o := &e.objs[id]
+			var fl uint8
+			if sameNet(net, o.Net) {
+				fl |= 1
+			}
+			if o.Net == NoNet {
+				fl |= 2
+			}
+			add(cls, fl, o.Rect)
+		}
+	}
+	collectMetal(0, k, v.BotRect(p).Bloat(sigHalo(e.Tech.Metal(k))))
+	collectMetal(1, k+1, v.TopRect(p).Bloat(sigHalo(e.Tech.Metal(k+1))))
+	if c := e.Tech.Cut(k); c != nil && len(v.Cuts) > 0 {
+		win := v.Cuts[0].Shift(p)
+		for _, cr := range v.Cuts[1:] {
+			win = win.UnionBBox(cr.Shift(p))
+		}
+		for _, id := range e.QueryCutCtx(k, win.Bloat(c.Spacing), qc) {
+			// Cut spacing ignores nets; only the relative rectangle matters
+			// (the coincident-cut exemption compares rects, which survives the
+			// shift to relative coordinates).
+			add(2, 0, e.objs[id].Rect)
+		}
+	}
+	for _, r := range sameNetRects {
+		add(3, 0, r)
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		a, b := &ents[i], &ents[j]
+		if a.cls != b.cls {
+			return a.cls < b.cls
+		}
+		if a.r.XL != b.r.XL {
+			return a.r.XL < b.r.XL
+		}
+		if a.r.YL != b.r.YL {
+			return a.r.YL < b.r.YL
+		}
+		if a.r.XH != b.r.XH {
+			return a.r.XH < b.r.XH
+		}
+		if a.r.YH != b.r.YH {
+			return a.r.YH < b.r.YH
+		}
+		return a.flags < b.flags
+	})
+	qc.sig = ents
+
+	buf := qc.enc[:0]
+	for i := range ents {
+		en := &ents[i]
+		buf = append(buf, en.cls, en.flags)
+		buf = binary.AppendVarint(buf, en.r.XL)
+		buf = binary.AppendVarint(buf, en.r.YL)
+		buf = binary.AppendVarint(buf, en.r.XH)
+		buf = binary.AppendVarint(buf, en.r.YH)
+	}
+	qc.enc = buf
+	return string(buf)
+}
+
+// CheckViaVerdict is CheckViaVerdictCtx without caller-owned query state (the
+// verdict is computed uncached when qc is nil, so prefer the Ctx form on hot
+// paths).
+func (e *Engine) CheckViaVerdict(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect) int {
+	return e.CheckViaVerdictCtx(v, p, net, sameNetRects, nil)
+}
+
+// CheckViaVerdictCtx returns the number of (deduplicated) violations dropping
+// via v at p would cause — len(CheckViaCtx(...)) — answering from the
+// attached ViaCache when the local-geometry signature was seen before. The
+// full CheckVia/CheckViaCtx entry points never consult the cache, so
+// violation reports (coordinates, notes) always come from a live check.
+//
+// The cache is bypassed when no cache is attached, when the caller supplies
+// no QueryCtx (the signature scratch lives there), and when a FaultHook is
+// installed (injected violations must not be memoized).
+func (e *Engine) CheckViaVerdictCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx) int {
+	if e.cache == nil || qc == nil || e.FaultHook != nil {
+		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
+	}
+	key := viaKey{via: v, sig: e.viaSignature(v, p, net, sameNetRects, qc)}
+	sh := e.cache.shard(key.sig)
+	sh.mu.Lock()
+	ent, ok := sh.m[key]
+	if !ok {
+		if len(sh.m) >= viaShardCap {
+			sh.m = make(map[viaKey]*viaEntry)
+		}
+		ent = &viaEntry{}
+		ent.wg.Add(1)
+		sh.m[key] = ent
+	}
+	sh.mu.Unlock()
+	if ok {
+		ent.wg.Wait()
+		if !ent.failed {
+			e.Counters.CacheHits.Add(1)
+			return ent.verdict
+		}
+		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
+	}
+	e.Counters.CacheMisses.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			ent.failed = true
+			ent.wg.Done()
+			panic(r)
+		}
+	}()
+	ent.verdict = len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
+	ent.wg.Done()
+	return ent.verdict
+}

@@ -1,0 +1,189 @@
+package drc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// TestDedupDoesNotClobberInput pins the fix for the old vs[:0] aliasing bug:
+// Dedup must leave the caller's slice untouched.
+func TestDedupDoesNotClobberInput(t *testing.T) {
+	in := []Violation{
+		{Rule: "Spacing", Layer: "M1", Where: geom.R(0, 0, 10, 10)},
+		{Rule: "Spacing", Layer: "M1", Where: geom.R(0, 0, 10, 10)}, // dup of [0]
+		{Rule: "Short", Layer: "M1", Where: geom.R(5, 5, 15, 15)},
+		{Rule: "EOL", Layer: "M2", Where: geom.R(0, 0, 1, 1)},
+	}
+	orig := make([]Violation, len(in))
+	copy(orig, in)
+
+	out := Dedup(in)
+	if len(out) != 3 {
+		t.Fatalf("Dedup kept %d, want 3", len(out))
+	}
+	for i := range in {
+		if in[i].Key() != orig[i].Key() {
+			t.Fatalf("Dedup clobbered input[%d]: %s became %s", i, orig[i].Key(), in[i].Key())
+		}
+	}
+	if len(in) >= 2 && &in[0] == &out[0] {
+		t.Fatal("Dedup returned a view over the input's backing array")
+	}
+}
+
+// viaCacheFixture builds an engine with one pin bar plus a cache and query
+// context, returning everything a verdict-cache test needs.
+func viaCacheFixture(t *testing.T) (*Engine, *tech.ViaDef, geom.Rect, *ViaCache, *QueryCtx) {
+	t.Helper()
+	tt := tech.N45()
+	e := NewEngine(tt)
+	bar := geom.R(0, 400, 1000, 470)
+	e.AddMetal(1, bar, 1, KindPin, "pin")
+	c := NewViaCache()
+	e.AttachViaCache(c)
+	return e, tt.ViaByName("VIA1_H"), bar, c, e.NewQueryCtx()
+}
+
+func TestViaCacheHitAndVerdictAgreement(t *testing.T) {
+	e, v, bar, c, qc := viaCacheFixture(t)
+
+	// Every cached verdict must equal the live check, clean and dirty alike.
+	pts := []geom.Point{
+		geom.Pt(500, 435), // clean: centered on the bar
+		geom.Pt(500, 460), // min-step violation: misaligned
+		geom.Pt(500, 435), // repeat of the clean drop (should hit)
+	}
+	for i, p := range pts {
+		want := len(e.CheckVia(v, p, 1, []geom.Rect{bar}))
+		if got := e.CheckViaVerdictCtx(v, p, 1, []geom.Rect{bar}, qc); got != want {
+			t.Fatalf("pt %d: cached verdict %d != live %d", i, got, want)
+		}
+	}
+	if hits := e.Counters.CacheHits.Load(); hits != 1 {
+		t.Fatalf("CacheHits = %d, want 1 (third drop repeats the first)", hits)
+	}
+	if misses := e.Counters.CacheMisses.Load(); misses != 2 {
+		t.Fatalf("CacheMisses = %d, want 2", misses)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache Len = %d, want 2", c.Len())
+	}
+
+	// Translation invariance: an identical bar far away must hit the same
+	// entries (same relative signature), not add new ones.
+	e2 := NewEngine(e.Tech)
+	bar2 := bar.Shift(geom.Pt(100000, 50000))
+	e2.AddMetal(1, bar2, 9, KindPin, "pin-far")
+	e2.AttachViaCache(c)
+	qc2 := e2.NewQueryCtx()
+	p2 := geom.Pt(100500, 50435)
+	if got := e2.CheckViaVerdictCtx(v, p2, 9, []geom.Rect{bar2}, qc2); got != 0 {
+		t.Fatalf("translated clean drop verdict = %d, want 0", got)
+	}
+	if hits := e2.Counters.CacheHits.Load(); hits != 1 {
+		t.Fatalf("cross-engine CacheHits = %d, want 1 (shared cache, same signature)", hits)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache grew to %d after a translated repeat, want 2", c.Len())
+	}
+}
+
+// TestViaCacheInvalidationOnRemove checks the eviction path: mutating the
+// engine clears the attached cache, and the next query recomputes against the
+// new geometry.
+func TestViaCacheInvalidationOnRemove(t *testing.T) {
+	e, v, bar, c, qc := viaCacheFixture(t)
+	p := geom.Pt(500, 435)
+
+	// A foreign bar 60nm above makes the drop dirty.
+	blocker := e.AddMetal(1, geom.R(0, 530, 1000, 600), 2, KindPin, "blocker")
+	qc = e.NewQueryCtx() // re-size after mutation
+	if got := e.CheckViaVerdictCtx(v, p, 1, []geom.Rect{bar}, qc); got == 0 {
+		t.Fatal("drop next to foreign pin must be dirty")
+	}
+	if c.Len() == 0 {
+		t.Fatal("verdict was not cached")
+	}
+
+	e.Remove(blocker)
+	if c.Len() != 0 {
+		t.Fatalf("Remove left %d cached verdicts, want 0", c.Len())
+	}
+	if n := e.Counters.CacheInvalidates.Load(); n < 1 {
+		t.Fatalf("CacheInvalidates = %d, want >= 1", n)
+	}
+	if n := c.Invalidations(); n < 1 {
+		t.Fatalf("cache Invalidations = %d, want >= 1", n)
+	}
+
+	// Same placement, new world: clean now, and recomputed (a miss).
+	misses := e.Counters.CacheMisses.Load()
+	if got := e.CheckViaVerdictCtx(v, p, 1, []geom.Rect{bar}, qc); got != 0 {
+		t.Fatalf("post-remove verdict = %d, want 0", got)
+	}
+	if e.Counters.CacheMisses.Load() != misses+1 {
+		t.Fatal("post-invalidation lookup did not recompute")
+	}
+}
+
+// TestViaCacheSingleflight: concurrent first lookups of one key fill the
+// cache exactly once, so check counters stay schedule-independent.
+func TestViaCacheSingleflight(t *testing.T) {
+	e, v, bar, _, _ := viaCacheFixture(t)
+	p := geom.Pt(500, 435)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	verdicts := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qc := e.NewQueryCtx()
+			verdicts[i] = e.CheckViaVerdictCtx(v, p, 1, []geom.Rect{bar}, qc)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range verdicts {
+		if got != 0 {
+			t.Fatalf("worker %d verdict = %d, want 0", i, got)
+		}
+	}
+	if misses := e.Counters.CacheMisses.Load(); misses != 1 {
+		t.Fatalf("CacheMisses = %d, want 1 (singleflight)", misses)
+	}
+	if total := e.Counters.CacheHits.Load() + e.Counters.CacheMisses.Load(); total != workers {
+		t.Fatalf("hits+misses = %d, want %d", total, workers)
+	}
+}
+
+// TestViaCacheBypass: no cache, no query ctx, or an installed fault hook all
+// fall back to the live check and never touch the counters.
+func TestViaCacheBypass(t *testing.T) {
+	tt := tech.N45()
+	e := NewEngine(tt)
+	bar := geom.R(0, 400, 1000, 470)
+	e.AddMetal(1, bar, 1, KindPin, "pin")
+	v := tt.ViaByName("VIA1_H")
+	p := geom.Pt(500, 435)
+
+	if got := e.CheckViaVerdict(v, p, 1, []geom.Rect{bar}); got != 0 {
+		t.Fatalf("uncached verdict = %d, want 0", got)
+	}
+	c := NewViaCache()
+	e.AttachViaCache(c)
+	e.FaultHook = func(site string) []Violation { return nil }
+	qc := e.NewQueryCtx()
+	if got := e.CheckViaVerdictCtx(v, p, 1, []geom.Rect{bar}, qc); got != 0 {
+		t.Fatalf("fault-hook verdict = %d, want 0", got)
+	}
+	if c.Len() != 0 {
+		t.Fatal("fault-hooked check must not populate the cache")
+	}
+	if n := e.Counters.CacheHits.Load() + e.Counters.CacheMisses.Load(); n != 0 {
+		t.Fatalf("bypass paths touched cache counters: %d", n)
+	}
+}

@@ -53,6 +53,14 @@ type Analyzer struct {
 	// deterministic across worker schedules.
 	DRCFaultHook func(site, detail string) []drc.Violation
 
+	// viaCache is the shared via-drop verdict memo attached to every DRC
+	// engine the analyzer creates (content-keyed, so per-cell contexts and
+	// the global engine can share it). Nil when Config.NoCache is set.
+	viaCache *drc.ViaCache
+	// pairs memoizes ViaPairClean for Step-2 pattern validation and Step-3
+	// edge costs. Nil when Config.NoCache is set.
+	pairs *pairCache
+
 	// netOf maps (instance ID, pin name) to a net index (>= 1). Pins not on
 	// any net receive fresh pseudo-net indexes so that they still conflict
 	// with everything else but never with themselves.
@@ -73,6 +81,10 @@ type termKey struct {
 // NewAnalyzer builds an analyzer for the design with the given configuration.
 func NewAnalyzer(d *db.Design, cfg Config) *Analyzer {
 	a := &Analyzer{Design: d, Cfg: cfg.normalized(), DRC: &drc.Counters{}, netOf: make(map[termKey]int)}
+	if !a.Cfg.NoCache {
+		a.viaCache = drc.NewViaCache()
+		a.pairs = newPairCache(d.Tech)
+	}
 	for idx, net := range d.Nets {
 		for _, t := range net.Terms {
 			a.netOf[termKey{t.Inst.ID, t.Pin.Name}] = idx + 1
@@ -82,12 +94,52 @@ func NewAnalyzer(d *db.Design, cfg Config) *Analyzer {
 	return a
 }
 
-// PublishObs folds the analyzer's accumulated DRC counters into the
-// observer's registry. Call once per analyzer, after its last Run.
+// PublishObs folds the analyzer's accumulated DRC counters (including the
+// via-verdict cache hit/miss/invalidate counts) and the pair-cache counters
+// into the observer's registry. Call once per analyzer, after its last Run.
 func (a *Analyzer) PublishObs() {
 	if reg := a.Obs.Reg(); reg != nil {
 		reg.AddAll(a.DRC.Snapshot())
+		if a.pairs != nil {
+			reg.Counter("pao.paircache.hit").Add(a.pairs.hits.Load())
+			reg.Counter("pao.paircache.miss").Add(a.pairs.misses.Load())
+		}
 	}
+}
+
+// CacheStats is a snapshot of the analyzer's memoization counters: the shared
+// via-drop verdict cache (drc layer) and the via-pair cache (Step 2/3).
+type CacheStats struct {
+	ViaHits, ViaMisses, ViaInvalidations int64
+	PairHits, PairMisses                 int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// ViaHitRate is the via-verdict cache hit rate.
+func (s CacheStats) ViaHitRate() float64 { return hitRate(s.ViaHits, s.ViaMisses) }
+
+// PairHitRate is the via-pair cache hit rate.
+func (s CacheStats) PairHitRate() float64 { return hitRate(s.PairHits, s.PairMisses) }
+
+// CacheStats reports the analyzer's cache counters accumulated so far.
+func (a *Analyzer) CacheStats() CacheStats {
+	s := CacheStats{
+		ViaHits:          a.DRC.CacheHits.Load(),
+		ViaMisses:        a.DRC.CacheMisses.Load(),
+		ViaInvalidations: a.DRC.CacheInvalidates.Load(),
+	}
+	if a.pairs != nil {
+		s.PairHits = a.pairs.hits.Load()
+		s.PairMisses = a.pairs.misses.Load()
+	}
+	return s
 }
 
 // NetOf returns the net index of an instance pin, allocating a pseudo net for
@@ -134,6 +186,9 @@ func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]in
 	for _, s := range pivot.ObsShapes() {
 		eng.AddMetal(s.Layer, s.Rect, drc.NoNet, drc.KindObs, "")
 	}
+	// Attach after construction: Add invalidates an attached cache, and the
+	// shared memo must survive across the per-class engines.
+	eng.AttachViaCache(a.viaCache)
 	return eng, nets
 }
 
@@ -163,6 +218,7 @@ func (a *Analyzer) GlobalEngine() *drc.Engine {
 	for _, io := range a.Design.IOPins {
 		eng.AddMetal(io.Shape.Layer, io.Shape.Rect, a.ioNet(io), drc.KindIOPin, io.Name)
 	}
+	eng.AttachViaCache(a.viaCache)
 	return eng
 }
 
@@ -199,6 +255,7 @@ func (a *Analyzer) analyzeUnique(ctx context.Context, ui *db.UniqueInstance, par
 		sp = parent.Agg("ui:" + ui.Signature())
 	}
 	eng, nets := a.cellEngine(ui)
+	qc := eng.NewQueryCtx()
 	pivot := ui.Pivot()
 	ua := &UniqueAccess{UI: ui, PivotPos: pivot.Pos}
 	for _, pin := range pivot.Master.SignalPins() {
@@ -212,7 +269,7 @@ func (a *Analyzer) analyzeUnique(ctx context.Context, ui *db.UniqueInstance, par
 		if sp != nil {
 			tp = time.Now()
 		}
-		pa := a.genAccessPoints(eng, pivot, pin, nets[pin.Name])
+		pa := a.genAccessPoints(eng, qc, pivot, pin, nets[pin.Name])
 		if sp != nil {
 			sp.AddTime("pin:"+pin.Name, time.Since(tp))
 		}

@@ -1,0 +1,137 @@
+package pao
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// pairCache memoizes ViaPairClean. The predicate is a pure function of the
+// two via definitions, their relative offset, and the same-net relation —
+// every rule it evaluates is translation invariant and the net IDs only feed
+// the same-net exemption — so one computed answer serves every placement of
+// the same via pair at the same offset, across Step-2 pattern validation and
+// Step-3 edge costs alike.
+//
+// Like drc.ViaCache, fills are exactly-once per key (singleflight) so the
+// hit/miss counters published through obs stay identical for any worker
+// schedule.
+type pairCache struct {
+	// viaIdx gives each via definition of the technology a compact index for
+	// the key; vias outside the technology bypass the cache.
+	viaIdx map[*tech.ViaDef]uint16
+
+	shards [pairShards]pairShard
+
+	hits, misses atomic.Int64
+}
+
+const (
+	pairShards = 32
+	// pairShardCap bounds each shard; an overflowing shard resets wholesale.
+	pairShardCap = 1 << 15
+)
+
+type pairShard struct {
+	mu sync.Mutex
+	m  map[pairKey]*pairEntry
+}
+
+type pairKey struct {
+	v1, v2 uint16 // viaIdx of the two definitions, in call order
+	dx, dy int64  // p2 - p1
+	same   bool   // drc same-net relation of the two nets
+}
+
+type pairEntry struct {
+	wg     sync.WaitGroup
+	clean  bool
+	failed bool // the fill panicked; waiters recompute uncached
+}
+
+func newPairCache(t *tech.Technology) *pairCache {
+	c := &pairCache{viaIdx: make(map[*tech.ViaDef]uint16, len(t.Vias))}
+	for i, v := range t.Vias {
+		c.viaIdx[v] = uint16(i)
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[pairKey]*pairEntry)
+	}
+	return c
+}
+
+// Len returns the number of cached pair verdicts.
+func (c *pairCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func pairHash(k pairKey) uint64 {
+	h := uint64(k.v1)<<17 ^ uint64(k.v2)<<1
+	h ^= uint64(k.dx) * 0x9e3779b97f4a7c15
+	h ^= uint64(k.dy) * 0xc2b2ae3d27d4eb4f
+	if k.same {
+		h ^= 0x5bf03635
+	}
+	return h ^ h>>29
+}
+
+// pairClean is ViaPairClean routed through the analyzer's memo (identical
+// semantics; a nil cache — Config.NoCache — falls through to the direct
+// check).
+func (a *Analyzer) pairClean(v1 *tech.ViaDef, p1 geom.Point, n1 int, v2 *tech.ViaDef, p2 geom.Point, n2 int) bool {
+	if v1 == nil || v2 == nil {
+		return true
+	}
+	c := a.pairs
+	if c == nil {
+		return ViaPairClean(a.Design.Tech, v1, p1, n1, v2, p2, n2)
+	}
+	i1, ok1 := c.viaIdx[v1]
+	i2, ok2 := c.viaIdx[v2]
+	if !ok1 || !ok2 {
+		return ViaPairClean(a.Design.Tech, v1, p1, n1, v2, p2, n2)
+	}
+	same := (n1 == n2 && n1 != drc.NoNet) || (n1 == drc.NoNet && n2 == drc.NoNet)
+	key := pairKey{v1: i1, v2: i2, dx: p2.X - p1.X, dy: p2.Y - p1.Y, same: same}
+	sh := &c.shards[pairHash(key)%pairShards]
+	sh.mu.Lock()
+	ent, ok := sh.m[key]
+	if !ok {
+		if len(sh.m) >= pairShardCap {
+			sh.m = make(map[pairKey]*pairEntry)
+		}
+		ent = &pairEntry{}
+		ent.wg.Add(1)
+		sh.m[key] = ent
+	}
+	sh.mu.Unlock()
+	if ok {
+		ent.wg.Wait()
+		if !ent.failed {
+			c.hits.Add(1)
+			return ent.clean
+		}
+		return ViaPairClean(a.Design.Tech, v1, p1, n1, v2, p2, n2)
+	}
+	c.misses.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			ent.failed = true
+			ent.wg.Done()
+			panic(r)
+		}
+	}()
+	ent.clean = ViaPairClean(a.Design.Tech, v1, p1, n1, v2, p2, n2)
+	ent.wg.Done()
+	return ent.clean
+}

@@ -14,11 +14,11 @@ import (
 // for the layer's preferred direction, the first three for the non-preferred
 // direction — in cost order, validated with the DRC engine, and the loop
 // early-terminates once at least Cfg.K valid points exist.
-func (a *Analyzer) genAccessPoints(eng *drc.Engine, pivot *db.Instance, pin *db.MPin, net int) *PinAccess {
+func (a *Analyzer) genAccessPoints(eng *drc.Engine, qc *drc.QueryCtx, pivot *db.Instance, pin *db.MPin, net int) *PinAccess {
 	pa := &PinAccess{Pin: pin}
 	layers := pinLayers(pivot, pin)
 	for _, layer := range layers {
-		a.genAccessPointsOnLayer(eng, pivot, pin, net, layer, pa)
+		a.genAccessPointsOnLayer(eng, qc, pivot, pin, net, layer, pa)
 		if len(pa.APs) >= a.Cfg.K {
 			break
 		}
@@ -46,7 +46,7 @@ func pinLayers(inst *db.Instance, pin *db.MPin) []int {
 // one maximal pin rectangle.
 type coordCandidates [4][]int64
 
-func (a *Analyzer) genAccessPointsOnLayer(eng *drc.Engine, pivot *db.Instance, pin *db.MPin, net, layer int, pa *PinAccess) {
+func (a *Analyzer) genAccessPointsOnLayer(eng *drc.Engine, qc *drc.QueryCtx, pivot *db.Instance, pin *db.MPin, net, layer int, pa *PinAccess) {
 	l := a.Design.Tech.Metal(layer)
 	if l == nil {
 		return
@@ -100,7 +100,7 @@ func (a *Analyzer) genAccessPointsOnLayer(eng *drc.Engine, pivot *db.Instance, p
 							continue
 						}
 						seen[pt] = true
-						ap := a.validateAP(eng, pt, layer, net, allPinRects, vias, pivot.Master.Class, t0, t1, l.Dir)
+						ap := a.validateAP(eng, qc, pt, layer, net, allPinRects, vias, pivot.Master.Class, t0, t1, l.Dir)
 						if ap != nil {
 							pa.APs = append(pa.APs, ap)
 						}
@@ -187,7 +187,7 @@ func (a *Analyzer) axisCandidates(tracks []db.TrackPattern, lo, hi int64, vias [
 // via must drop DRC-free (up access) and/or a planar escape stub must be
 // DRC-clean. Standard cells require via access when Cfg.RequireVia is set
 // (footnote 1); macro pins accept planar-only access points.
-func (a *Analyzer) validateAP(eng *drc.Engine, pt geom.Point, layer, net int, pinRects []geom.Rect,
+func (a *Analyzer) validateAP(eng *drc.Engine, qc *drc.QueryCtx, pt geom.Point, layer, net int, pinRects []geom.Rect,
 	vias []*tech.ViaDef, class db.MasterClass, t0, t1 CoordType, dir tech.Dir) *AccessPoint {
 
 	if !geom.CoversPt(pinRects, pt) {
@@ -200,9 +200,10 @@ func (a *Analyzer) validateAP(eng *drc.Engine, pt geom.Point, layer, net int, pi
 		ap.TypeX, ap.TypeY = t0, t1
 	}
 	// Up (via) access: collect the DRC-clean via variants; the first valid
-	// one is primary.
+	// one is primary. The verdict cache short-circuits repeats of the same
+	// local geometry across candidate points and unique-instance classes.
 	for _, v := range vias {
-		if len(eng.CheckVia(v, pt, net, pinRects)) == 0 {
+		if eng.CheckViaVerdictCtx(v, pt, net, pinRects, qc) == 0 {
 			ap.Vias = append(ap.Vias, v)
 		}
 	}
@@ -224,7 +225,7 @@ func (a *Analyzer) validateAP(eng *drc.Engine, pt geom.Point, layer, net int, pi
 		{DirSouth, geom.R(pt.X-hw, pt.Y-ext, pt.X+hw, pt.Y)},
 	}
 	for _, s := range stubs {
-		if len(eng.CheckMetalRect(layer, s.r, net)) == 0 {
+		if len(eng.CheckMetalRectCtx(layer, s.r, net, qc)) == 0 {
 			ap.Dirs[s.d] = true
 		}
 	}

@@ -3,6 +3,7 @@ package pao
 import (
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/drc"
 	"repro/internal/geom"
@@ -69,10 +70,11 @@ func ViaPairClean(t *tech.Technology, v1 *tech.ViaDef, p1 geom.Point, n1 int, v2
 	return true
 }
 
-// apPairClean applies ViaPairClean to the primary vias of two access points.
-// Access points without a via (planar-only) never conflict here.
+// apPairClean applies ViaPairClean (through the analyzer's pair memo) to the
+// primary vias of two access points. Access points without a via (planar-only)
+// never conflict here.
 func (a *Analyzer) apPairClean(ap1, ap2 *AccessPoint, net1, net2 int) bool {
-	return ViaPairClean(a.Design.Tech, ap1.Primary(), ap1.Pos, net1, ap2.Primary(), ap2.Pos, net2)
+	return a.pairClean(ap1.Primary(), ap1.Pos, net1, ap2.Primary(), ap2.Pos, net2)
 }
 
 // dpVertex is one cell of the Algorithm 2 DP array.
@@ -118,6 +120,16 @@ func (a *Analyzer) genPatterns(ua *UniqueAccess) {
 	}
 }
 
+// RegenPatterns discards and regenerates a class's Step-2 access patterns
+// (pattern DP plus whole-pattern DRC validation) against the analyzer's
+// current caches. It exists for benchmarking: Step 2 can be re-run warm or
+// cold without repeating Step-1 access point generation.
+func (a *Analyzer) RegenPatterns(ua *UniqueAccess) {
+	ua.Patterns = nil
+	ua.DroppedPatterns = 0
+	a.genPatterns(ua)
+}
+
 // activeGroups returns the ordered-pin indexes that have at least one access
 // point; pins with none cannot join the graph.
 func activeGroups(ua *UniqueAccess) []int {
@@ -130,10 +142,15 @@ func activeGroups(ua *UniqueAccess) []int {
 	return out
 }
 
+// patternKey encodes a choice vector for pattern dedup. Indices are written
+// in full decimal (the old single-byte encoding truncated at 8 bits, so
+// choices differing by 256 — or index 255 vs. the -1 sentinel — collided and
+// distinct patterns were silently dropped as duplicates).
 func patternKey(choice []int) string {
-	b := make([]byte, 0, len(choice)*2)
+	b := make([]byte, 0, len(choice)*4)
 	for _, c := range choice {
-		b = append(b, byte(c+1), ',')
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, ',')
 	}
 	return string(b)
 }

@@ -196,7 +196,7 @@ func (a *Analyzer) vertexCost(res *Result, eng *drc.Engine, inst *db.Instance, p
 			continue
 		}
 		pinRects := pinRectsOnLayer(inst, b.pin, b.ap.Layer)
-		cost += a.Cfg.DRCCost * len(eng.CheckViaCtx(b.ap.Primary(), b.pos, b.net, pinRects, ctx))
+		cost += a.Cfg.DRCCost * eng.CheckViaVerdictCtx(b.ap.Primary(), b.pos, b.net, pinRects, ctx)
 	}
 	return cost
 }
@@ -211,7 +211,7 @@ func (a *Analyzer) edgeCost3(res *Result, left *db.Instance, lp *AccessPattern, 
 	}
 	l := lb[len(lb)-1] // rightmost boundary AP of the left instance
 	r := rb[0]         // leftmost boundary AP of the right instance
-	if !ViaPairClean(a.Design.Tech, l.ap.Primary(), l.pos, l.net, r.ap.Primary(), r.pos, r.net) {
+	if !a.pairClean(l.ap.Primary(), l.pos, l.net, r.ap.Primary(), r.pos, r.net) {
 		return a.Cfg.DRCCost
 	}
 	return 0
@@ -343,7 +343,7 @@ place:
 				break
 			}
 			pinRects := pinRectsOnLayer(p.inst, p.pin, p.ap.Layer)
-			if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, qc)) > 0 {
+			if eng.CheckViaVerdictCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, qc) > 0 {
 				failed++
 			}
 		}
@@ -366,7 +366,7 @@ place:
 					}
 					p := all[i]
 					pinRects := pinRectsOnLayer(p.inst, p.pin, p.ap.Layer)
-					if len(eng.CheckViaCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, qc)) > 0 {
+					if eng.CheckViaVerdictCtx(p.ap.Primary(), p.ap.Pos, p.net, pinRects, qc) > 0 {
 						counts[w]++
 					}
 				}
