@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build test vet bench bench-json bench-check experiments \
 	experiments-full examples clean difftest golden-update fuzz-smoke cover \
-	faultinject serve-smoke
+	faultinject serve-smoke telemetry-smoke
 
 all: build vet test
 
@@ -44,6 +44,18 @@ faultinject:
 serve-smoke:
 	$(GO) test -race -v -run 'TestServeSmoke' ./cmd/paoserve
 	$(GO) test -race ./internal/serve
+
+# Telemetry smoke campaign under the race detector: boot paoserve with
+# trace-sample=1, run concurrent queries (correlation IDs echoed) while
+# scraping /metrics — every scrape must parse under the strict Prometheus
+# text-format checker — then audit a live decision via /v1/access/explain and
+# check the slow log's trace exemplars. The telemetry package tests cover the
+# exposition writer, histogram merge rules, logger, sampler and slow-log ring;
+# bench-check proves the nil-by-default hooks stay alloc-neutral.
+telemetry-smoke:
+	$(GO) test -race -v -run 'TestTelemetrySmoke' ./cmd/paoserve
+	$(GO) test -race ./internal/telemetry ./internal/serve
+	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
 
 # Re-pin the golden per-testcase result snapshots after an intentional
 # behaviour change (testdata/golden/*.json).

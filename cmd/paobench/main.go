@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,12 +33,25 @@ func run() int {
 	tol := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
 	gateNs := flag.Bool("gate-ns", false, "also gate wall-clock ns/op (off by default: CI hosts vary)")
 	quiet := flag.Bool("q", false, "suppress per-scenario progress lines")
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
 	if *quiet {
 		progress = nil
 	}
+
+	t0 := time.Now()
+	_, tel, err := tf.Activate("paobench", nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paobench:", err)
+		return 1
+	}
+	defer tel.Close()
+	defer func() {
+		tel.RecordRun("bench", fmt.Sprintf("scale %g", *scale), telemetry.NewCorrID(),
+			t0, time.Since(t0), nil)
+	}()
 
 	var base bench.Report
 	if *compare != "" {

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/def"
 	"repro/internal/lef"
 	"repro/internal/obs"
 	"repro/internal/pao"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -30,6 +32,7 @@ type options struct {
 	maxPrint         int
 	run              *cliutil.RunFlags
 	obs              *obs.Flags
+	tel              *telemetry.Flags
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
@@ -39,6 +42,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.maxPrint, "max", 50, "maximum violations to print")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -105,6 +109,13 @@ func run(opts *options) (int, error) {
 	}
 	spParse.End()
 
+	t0 := time.Now()
+	o, tel, err := opts.tel.Activate("paodrc", o, telemetry.Label{Name: "design", Value: d.Name})
+	if err != nil {
+		return 0, err
+	}
+	defer tel.Close()
+
 	if problems := d.Validate(opts.maxPrint); len(problems) > 0 {
 		fmt.Printf("%s: %d structural problems\n", d.Name, len(problems))
 		for _, p := range problems {
@@ -140,5 +151,6 @@ func run(opts *options) (int, error) {
 		}
 		fmt.Println(" ", v)
 	}
+	tel.RecordRun("drc", d.Name, telemetry.CorrIDFrom(ctx), t0, time.Since(t0), o.Root())
 	return len(vs), finish()
 }

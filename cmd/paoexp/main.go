@@ -21,11 +21,13 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -36,6 +38,7 @@ type options struct {
 	cases   string
 	run     *cliutil.RunFlags
 	obs     *obs.Flags
+	tel     *telemetry.Flags
 	out     io.Writer // table destination; nil means os.Stdout
 }
 
@@ -46,6 +49,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.cases, "cases", "", "comma-separated testcase subset (default: all)")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -95,6 +99,12 @@ func run(opts *options) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
+	o, tel, err := opts.tel.Activate("paoexp", o, telemetry.Label{Name: "exp", Value: expName})
+	if err != nil {
+		return err
+	}
+	defer tel.Close()
 	// abort flushes the observability report before surfacing a cancellation
 	// or experiment failure. Each experiment block below renders whatever rows
 	// it finished — including the partial row the Run*Obs entry points return
@@ -185,6 +195,7 @@ func run(opts *options) error {
 			return fmt.Errorf("unknown experiment %q", expName)
 		}
 	}
+	tel.RecordRun("exp", expName, telemetry.CorrIDFrom(ctx), t0, time.Since(t0), o.Root())
 	return finish()
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/def"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -33,6 +35,7 @@ type options struct {
 	out   string
 	run   *cliutil.RunFlags
 	obs   *obs.Flags
+	tel   *telemetry.Flags
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
@@ -42,6 +45,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.out, "out", ".", "output directory")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -71,6 +75,12 @@ func run(opts *options) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
+	o, tel, err := opts.tel.Activate("paogen", o, telemetry.Label{Name: "design", Value: spec.Name})
+	if err != nil {
+		return err
+	}
+	defer tel.Close()
 	spGen := o.Root().Start("generate")
 	d, err := suite.Generate(spec.Scale(opts.scale))
 	if err != nil {
@@ -134,6 +144,7 @@ func run(opts *options) error {
 		return err
 	}
 	spHeat.End()
+	tel.RecordRun("gen", d.Name, telemetry.CorrIDFrom(ctx), t0, time.Since(t0), o.Root())
 	over, maxOver := gr.CongestionReport()
 	fmt.Printf("wrote %s (%d masters), %s (%d instances, %d nets), %s and %s (overflow edges: %d, max %d)\n",
 		lefPath, len(d.Masters), defPath, len(d.Instances), len(d.Nets), guidePath, heatPath, over, maxOver)

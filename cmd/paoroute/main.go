@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/def"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/render"
 	"repro/internal/report"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -37,6 +39,7 @@ type options struct {
 	outPath, svgPath  string
 	run               *cliutil.RunFlags
 	obs               *obs.Flags
+	tel               *telemetry.Flags
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
@@ -49,6 +52,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.svgPath, "svg", "", "write a violation-window SVG here")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -97,6 +101,13 @@ func run(opts *options) error {
 		return err
 	}
 	spParse.End()
+
+	t0 := time.Now()
+	o, tel, err := opts.tel.Activate("paoroute", o, telemetry.Label{Name: "design", Value: d.Name})
+	if err != nil {
+		return err
+	}
+	defer tel.Close()
 
 	pcfg := pao.DefaultConfig()
 	pcfg.FailFast = opts.run.FailFastSet()
@@ -188,5 +199,6 @@ func run(opts *options) error {
 		}
 		fmt.Println("SVG written to", opts.svgPath)
 	}
+	tel.RecordRun("route", d.Name+" ("+opts.access+")", telemetry.CorrIDFrom(ctx), t0, time.Since(t0), o.Root())
 	return finish()
 }

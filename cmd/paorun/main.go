@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/def"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pao"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -35,6 +37,7 @@ type options struct {
 	k, workers           int
 	run                  *cliutil.RunFlags
 	obs                  *obs.Flags
+	tel                  *telemetry.Flags
 	out                  io.Writer // report destination; nil means os.Stdout
 }
 
@@ -49,6 +52,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.IntVar(&o.workers, "workers", 1, "analysis worker goroutines")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -103,6 +107,13 @@ func run(opts *options) error {
 	}
 	spParse.End()
 
+	t0 := time.Now()
+	o, tel, err := opts.tel.Activate("paorun", o, telemetry.Label{Name: "design", Value: d.Name})
+	if err != nil {
+		return err
+	}
+	defer tel.Close()
+
 	cfg := pao.DefaultConfig()
 	cfg.K = opts.k
 	cfg.BCA = !opts.noBCA
@@ -110,8 +121,10 @@ func run(opts *options) error {
 	cfg.FailFast = opts.run.FailFastSet()
 	a := pao.NewAnalyzer(d, cfg)
 	a.Obs = o
+	tel.SetExtra(a.LiveCounters) // mid-run -metrics-listen scrapes see progress
 	res, runErr := a.RunContext(ctx)
 	a.PublishObs()
+	tel.SetExtra(nil) // totals now live in the registry; don't double-count
 
 	t := report.New(fmt.Sprintf("Pin access summary for %s", d.Name),
 		"#Inst", "#Unique", "#APs", "#OffTrack", "#Patterns", "#Pins", "#Failed")
@@ -153,6 +166,7 @@ func run(opts *options) error {
 			}
 		}
 	}
+	tel.RecordRun("run", d.Name, telemetry.CorrIDFrom(ctx), t0, time.Since(t0), o.Root())
 	// Flush the observability report before surfacing a cancellation or
 	// fail-fast abort: the partial summary above is the graceful-degradation
 	// contract.

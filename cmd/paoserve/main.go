@@ -11,9 +11,15 @@
 //	GET  /v1/stats             analysis stats and health summary
 //	POST /v1/reanalyze         start one background re-analysis (202; 503 when
 //	                           the circuit breaker is open or one is running)
+//	GET  /v1/access/explain    decision audit for one pin (?inst=NAME&pin=NAME):
+//	                           per-candidate DRC verdicts with cache provenance,
+//	                           pattern iterations, and the live serving status
 //	GET  /healthz              liveness + health/breaker/latency summary (always 200)
 //	GET  /readyz               readiness (503 while loading, draining, or breaker open)
 //	GET  /metricz              full metrics registry as JSON
+//	GET  /metrics              Prometheus text exposition (labeled by design)
+//	GET  /debug/slowlog        recent slow or trace-sampled queries, newest first
+//	GET  /version              build info, design hash, config fingerprint
 //
 // Exit codes: 0 clean shutdown (including SIGTERM/SIGINT drain), 1 startup or
 // serve failure, 2 flag errors, 3 cancelled during initial analysis.
@@ -43,6 +49,7 @@ import (
 	"repro/internal/pao"
 	"repro/internal/serve"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -65,6 +72,11 @@ type options struct {
 	drainTimeout     time.Duration
 	breakerThreshold int
 	breakerCooldown  time.Duration
+
+	traceSample   float64
+	slowlogSize   int
+	slowThreshold time.Duration
+	logLevel      string
 
 	k, workers int
 	run        *cliutil.RunFlags
@@ -98,6 +110,10 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 3, "consecutive failures that trip the re-analysis breaker")
 	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 30*time.Second, "breaker open duration before a probe")
+	fs.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of queries that record a span-tree exemplar in /debug/slowlog (0..1)")
+	fs.IntVar(&o.slowlogSize, "slowlog", 128, "slow-query log capacity")
+	fs.DurationVar(&o.slowThreshold, "slow-threshold", 100*time.Millisecond, "latency at which a query enters the slow log")
+	fs.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
 	fs.IntVar(&o.k, "k", 3, "target access points per pin")
 	fs.IntVar(&o.workers, "workers", 0, "analysis worker goroutines (0: NumCPU via pao default)")
 	o.run = cliutil.RegisterRunFlags(fs)
@@ -109,6 +125,12 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	haveFiles := o.lefPath != "" && o.defPath != ""
 	if haveCase == haveFiles {
 		return nil, fmt.Errorf("exactly one of -case or -lef/-def is required")
+	}
+	if o.traceSample < 0 || o.traceSample > 1 {
+		return nil, fmt.Errorf("-trace-sample %v out of range [0,1]", o.traceSample)
+	}
+	if _, err := telemetry.ParseLevel(o.logLevel); err != nil {
+		return nil, err
 	}
 	return o, nil
 }
@@ -161,6 +183,11 @@ func run(opts *options) error {
 	if logw == nil {
 		logw = os.Stderr
 	}
+	lvl, err := telemetry.ParseLevel(opts.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := telemetry.NewLogger(logw, "paoserve", lvl)
 	o, finish, err := opts.obs.Start("paoserve")
 	if err != nil {
 		return err
@@ -188,8 +215,11 @@ func run(opts *options) error {
 		BreakerThreshold: opts.breakerThreshold,
 		BreakerCooldown:  opts.breakerCooldown,
 		DrainTimeout:     opts.drainTimeout,
+		TraceSample:      opts.traceSample,
+		SlowLogSize:      opts.slowlogSize,
+		SlowThreshold:    opts.slowThreshold,
 	})
-	srv.Log = logw
+	srv.Logger = logger
 	if o != nil {
 		srv.Obs = o
 	}
@@ -205,7 +235,14 @@ func run(opts *options) error {
 		finish()
 		return err
 	}
-	fmt.Fprintf(logw, "paoserve: serving %s (%s) on http://%s\n", d.Name, srv.Source(), srv.Addr())
+	logger.Info("serving", append(telemetry.Build().Fields(),
+		telemetry.F("design", d.Name),
+		telemetry.F("design_hash", pao.DesignHash(d)),
+		telemetry.F("config", pao.ConfigFingerprint(paoCfg)),
+		telemetry.F("source", srv.Source()),
+		telemetry.F("addr", srv.Addr()),
+		telemetry.F("trace_sample", opts.traceSample),
+	)...)
 	if opts.onReady != nil {
 		opts.onReady(srv)
 	}
@@ -213,7 +250,7 @@ func run(opts *options) error {
 	// Serve until SIGINT/SIGTERM (or -timeout). The drain + final snapshot
 	// run on a fresh context: the triggering signal already cancelled ctx.
 	<-ctx.Done()
-	fmt.Fprintln(logw, "paoserve: shutdown requested, draining")
+	logger.Info("shutdown requested, draining")
 	sdErr := srv.Shutdown(context.Background())
 	if err := finish(); err != nil && sdErr == nil {
 		sdErr = err
@@ -221,6 +258,6 @@ func run(opts *options) error {
 	if sdErr != nil {
 		return sdErr
 	}
-	fmt.Fprintln(logw, "paoserve: clean shutdown")
+	logger.Info("clean shutdown")
 	return nil
 }

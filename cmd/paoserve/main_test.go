@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/pao"
 	"repro/internal/serve"
 	"repro/internal/suite"
+	"repro/internal/telemetry"
 )
 
 func newFlagSet() *flag.FlagSet {
@@ -213,6 +216,209 @@ func TestServeSmokeSIGTERMWarmRestart(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("second server did not drain")
+	}
+}
+
+// syncBuffer collects the server's structured log under a lock so the test
+// can read it while the server is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTelemetrySmoke is the end-to-end scenario behind `make telemetry-smoke`:
+// boot the server with tracing on, fire concurrent queries (correlation IDs
+// attached) while scraping /metrics, and require that every scrape parses
+// under the strict Prometheus checker, the explain endpoint audits a real
+// decision, the slow log carries trace exemplars, /version reports the build,
+// and the startup log line is valid structured JSON.
+func TestTelemetrySmoke(t *testing.T) {
+	d, err := suite.Generate(suite.Testcases[0].Scale(0.01).WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logbuf syncBuffer
+	ready := make(chan *serve.Server, 1)
+	opts := &options{
+		caseName: "pao_test1", scale: 0.01, seed: 7,
+		addr:  "127.0.0.1:0",
+		queue: 64, requestTimeout: 10 * time.Second, drainTimeout: 10 * time.Second,
+		breakerThreshold: 3, breakerCooldown: 30 * time.Second,
+		traceSample: 1, slowlogSize: 256, slowThreshold: time.Nanosecond,
+		logLevel: "debug",
+		k:        3, obs: &obs.Flags{},
+		log:     &logbuf,
+		onReady: func(s *serve.Server) { ready <- s },
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(opts) }()
+	srv := <-ready
+	base := "http://" + srv.Addr()
+
+	// Startup line: one JSON object with the build info and design identity.
+	var startup map[string]any
+	for _, line := range strings.Split(logbuf.String(), "\n") {
+		if strings.Contains(line, `"msg":"serving"`) {
+			if err := json.Unmarshal([]byte(line), &startup); err != nil {
+				t.Fatalf("startup log line is not JSON: %v\n%s", err, line)
+			}
+		}
+	}
+	if startup == nil {
+		t.Fatalf("no 'serving' startup log line:\n%s", logbuf.String())
+	}
+	for _, key := range []string{"go_version", "design", "design_hash", "config", "addr"} {
+		if v, ok := startup[key].(string); !ok || v == "" {
+			t.Fatalf("startup line missing %q: %v", key, startup)
+		}
+	}
+
+	const workers, iters = 4, 20
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < iters; i++ {
+				inst := d.Instances[(w*iters+i)%len(d.Instances)]
+				req, _ := http.NewRequest(http.MethodGet, base+"/v1/access?inst="+inst.Name, nil)
+				corr := fmt.Sprintf("smoke-%d-%d", w, i)
+				req.Header.Set("X-Correlation-Id", corr)
+				resp, err := client.Do(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query = %d", resp.StatusCode)
+					return
+				}
+				if got := resp.Header.Get("X-Correlation-Id"); got != corr {
+					errc <- fmt.Errorf("corr echo = %q, want %q", got, corr)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/2; i++ {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					errc <- err
+					return
+				}
+				_, cerr := telemetry.CheckProm(resp.Body)
+				resp.Body.Close()
+				if cerr != nil {
+					errc <- fmt.Errorf("scrape %d: %v", i, cerr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Final scrape: every concurrent query must be accounted for.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := telemetry.CheckProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	okSeries := fmt.Sprintf("pao_queries_total{design=%q,status=%q}", d.Name, "ok")
+	if got := scrape.Series[okSeries]; got < workers*iters {
+		t.Fatalf("%s = %v, want >= %d", okSeries, got, workers*iters)
+	}
+
+	// Explain a real pin through the live server.
+	inst := d.Instances[0]
+	pin := inst.Master.SignalPins()[0].Name
+	resp, err = http.Get(base + "/v1/access/explain?inst=" + inst.Name + "&pin=" + pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exp serve.ExplainResponse
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&exp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(exp.APs) == 0 || exp.Pin != pin {
+		t.Fatalf("explain audit empty: %+v", exp)
+	}
+
+	// Slow log: everything was sampled, so entries carry trace exemplars.
+	resp, err = http.Get(base + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow telemetry.LogSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&slow); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(slow.Entries) == 0 {
+		t.Fatal("slow log empty after sampled queries")
+	}
+	for _, e := range slow.Entries {
+		if e.Trace == nil || e.CorrID == "" {
+			t.Fatalf("sampled slowlog entry lacks trace/corr: %+v", e)
+		}
+	}
+
+	// Version: build identity for this serving process.
+	resp, err = http.Get(base + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ver serve.VersionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ver.Design != d.Name || ver.DesignHash == "" || ver.Build.GoVersion == "" {
+		t.Fatalf("bad /version: %+v", ver)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(logbuf.String(), `"msg":"clean shutdown"`) {
+		t.Fatalf("no clean-shutdown log line:\n%s", logbuf.String())
 	}
 }
 

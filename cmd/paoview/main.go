@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/db"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/pao"
 	"repro/internal/render"
 	"repro/internal/tech"
+	"repro/internal/telemetry"
 )
 
 // options holds the parsed command line; parseFlags keeps it testable with
@@ -33,6 +35,7 @@ type options struct {
 	lefPath, cell, out, orientName string
 	run                            *cliutil.RunFlags
 	obs                            *obs.Flags
+	tel                            *telemetry.Flags
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
@@ -43,6 +46,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.StringVar(&o.orientName, "orient", "N", "placement orientation (N, S, FN, FS, ...)")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -121,6 +125,12 @@ func run(opts *options) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
+	o, tel, err := opts.tel.Activate("paoview", o, telemetry.Label{Name: "cell", Value: opts.cell})
+	if err != nil {
+		return err
+	}
+	defer tel.Close()
 	cfg := pao.DefaultConfig()
 	cfg.FailFast = opts.run.FailFastSet()
 	a := pao.NewAnalyzer(d, cfg)
@@ -161,5 +171,6 @@ func run(opts *options) error {
 	if err := c.WriteSVG(f, fmt.Sprintf("%s (%s) pin access", opts.cell, orient)); err != nil {
 		return err
 	}
+	tel.RecordRun("view", opts.cell, telemetry.CorrIDFrom(ctx), t0, time.Since(t0), o.Root())
 	return finish()
 }

@@ -13,6 +13,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // RunFlags carries the robustness options common to every tool.
@@ -40,11 +42,13 @@ func (f *RunFlags) FailFastSet() bool {
 }
 
 // Context returns a context cancelled by SIGINT, SIGTERM, or the -timeout
-// deadline when one is set. Call the returned stop function before exiting
-// to restore default signal behaviour (a second SIGINT then kills the
-// process immediately).
+// deadline when one is set, carrying a fresh correlation ID so every log
+// line, span export, and slow-log entry of the run shares one identifier.
+// Call the returned stop function before exiting to restore default signal
+// behaviour (a second SIGINT then kills the process immediately).
 func (f *RunFlags) Context() (context.Context, context.CancelFunc) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, _ = telemetry.EnsureCorrID(ctx)
 	if f == nil || f.Timeout <= 0 {
 		return ctx, stop
 	}

@@ -236,8 +236,18 @@ func (e *Engine) CheckViaVerdict(v *tech.ViaDef, p geom.Point, net int, sameNetR
 // no QueryCtx (the signature scratch lives there), and when a FaultHook is
 // installed (injected violations must not be memoized).
 func (e *Engine) CheckViaVerdictCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx) int {
+	verdict, _ := e.CheckViaVerdictProvCtx(v, p, net, sameNetRects, qc)
+	return verdict
+}
+
+// CheckViaVerdictProvCtx is CheckViaVerdictCtx plus provenance: cached
+// reports whether the verdict was answered from the ViaCache (true only on a
+// hit against a previously filled entry — the filling call itself, bypasses,
+// and failed-fill fallbacks all ran the check live). The explain path uses
+// this to report where each per-AP verdict came from.
+func (e *Engine) CheckViaVerdictProvCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx) (verdict int, cached bool) {
 	if e.cache == nil || qc == nil || e.FaultHook != nil {
-		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
+		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc)), false
 	}
 	key := viaKey{via: v, sig: e.viaSignature(v, p, net, sameNetRects, qc)}
 	sh := e.cache.shard(key.sig)
@@ -256,9 +266,9 @@ func (e *Engine) CheckViaVerdictCtx(v *tech.ViaDef, p geom.Point, net int, sameN
 		ent.wg.Wait()
 		if !ent.failed {
 			e.Counters.CacheHits.Add(1)
-			return ent.verdict
+			return ent.verdict, true
 		}
-		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
+		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc)), false
 	}
 	e.Counters.CacheMisses.Add(1)
 	defer func() {
@@ -270,5 +280,5 @@ func (e *Engine) CheckViaVerdictCtx(v *tech.ViaDef, p geom.Point, net int, sameN
 	}()
 	ent.verdict = len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
 	ent.wg.Done()
-	return ent.verdict
+	return ent.verdict, false
 }

@@ -117,8 +117,10 @@ func TestHistogramQuantile(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		h.Observe(1500 * time.Microsecond)
 	}
-	if q := h.Quantile(0.5); q != 4*time.Microsecond {
-		t.Errorf("p50 = %v, want 4us (bucket upper bound)", q)
+	// p50 lands rank 50 of 90 inside the [2,4)us bucket; interpolation puts
+	// it strictly inside the bucket, not on the upper bound.
+	if q := h.Quantile(0.5); q <= 2*time.Microsecond || q >= 4*time.Microsecond {
+		t.Errorf("p50 = %v, want interpolated inside (2us, 4us)", q)
 	}
 	if q := h.Quantile(0.99); q != 1500*time.Microsecond {
 		t.Errorf("p99 = %v, want 1.5ms (capped at max)", q)
@@ -129,12 +131,87 @@ func TestHistogramQuantile(t *testing.T) {
 
 	// The exported snapshot must agree (in milliseconds).
 	s := h.Snapshot()
-	if q := s.Quantile(0.5); q != 0.004 {
-		t.Errorf("snapshot p50 = %v, want 0.004", q)
+	if q := s.Quantile(0.5); q <= 0.002 || q >= 0.004 {
+		t.Errorf("snapshot p50 = %v, want inside (0.002, 0.004)", q)
 	}
 	if q := s.Quantile(0.99); q != 1.5 {
 		t.Errorf("snapshot p99 = %v, want 1.5", q)
 	}
+}
+
+// TestHistogramMerge: fixed shared bucket boundaries make the merge exact —
+// the merged histogram is indistinguishable from one that saw every
+// observation directly.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	durs := []time.Duration{
+		500 * time.Nanosecond, 3 * time.Microsecond, 3 * time.Microsecond,
+		90 * time.Microsecond, 1500 * time.Microsecond, 40 * time.Millisecond,
+	}
+	for i, d := range durs {
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	var m Histogram
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.Count() != all.Count() || m.Sum() != all.Sum() {
+		t.Fatalf("merge count/sum = %d/%v, want %d/%v", m.Count(), m.Sum(), all.Count(), all.Sum())
+	}
+	ms, as := m.Snapshot(), all.Snapshot()
+	if len(ms.Buckets) != len(as.Buckets) {
+		t.Fatalf("merge buckets = %+v, want %+v", ms.Buckets, as.Buckets)
+	}
+	for i := range ms.Buckets {
+		if ms.Buckets[i] != as.Buckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, ms.Buckets[i], as.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if m.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f = %v, want %v", q, m.Quantile(q), all.Quantile(q))
+		}
+	}
+	// Nil safety both directions.
+	var nilH *Histogram
+	nilH.Merge(&a)
+	m.Merge(nilH)
+}
+
+// TestHistogramQuantileConcurrent hammers Quantile while writers observe;
+// under -race this proves the estimator reads a consistent bucket snapshot,
+// and the returned estimate must always be a plausible duration (never past
+// the largest value ever observed).
+func TestHistogramQuantileConcurrent(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(time.Duration(1+i%1000) * time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		if q := h.Quantile(0.99); q < 0 || q > time.Millisecond {
+			t.Errorf("racing p99 = %v, want within [0, 1ms]", q)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestRegistryConcurrent: get-or-create and Add race-free from many

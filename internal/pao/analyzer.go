@@ -11,6 +11,7 @@ import (
 	"repro/internal/drc"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // Fault-hook site names. The hooks exist for the deterministic fault
@@ -52,6 +53,13 @@ type Analyzer struct {
 	// cell engines and "global" for the global engine, keeping injection
 	// deterministic across worker schedules.
 	DRCFaultHook func(site, detail string) []drc.Violation
+
+	// Rec, when set before a run, receives a decision record at every Step-1
+	// candidate validation, Step-2 pattern iteration and Step-3 selection
+	// (explain.go). Nil by default; every call site gates on it, so the hot
+	// path pays nothing when disabled. With Workers > 1 the recorder must be
+	// goroutine-safe.
+	Rec DecisionRecorder
 
 	// viaCache is the shared via-drop verdict memo attached to every DRC
 	// engine the analyzer creates (content-keyed, so per-cell contexts and
@@ -99,12 +107,21 @@ func NewAnalyzer(d *db.Design, cfg Config) *Analyzer {
 // into the observer's registry. Call once per analyzer, after its last Run.
 func (a *Analyzer) PublishObs() {
 	if reg := a.Obs.Reg(); reg != nil {
-		reg.AddAll(a.DRC.Snapshot())
-		if a.pairs != nil {
-			reg.Counter("pao.paircache.hit").Add(a.pairs.hits.Load())
-			reg.Counter("pao.paircache.miss").Add(a.pairs.misses.Load())
-		}
+		reg.AddAll(a.LiveCounters())
 	}
+}
+
+// LiveCounters returns the analyzer's accumulated counters as of now. Safe to
+// call while a run executes (everything underneath is atomic), which is what
+// a mid-run -metrics-listen scrape folds into its exposition — PublishObs
+// moves the same totals into the registry permanently once the run is done.
+func (a *Analyzer) LiveCounters() map[string]int64 {
+	m := a.DRC.Snapshot()
+	if a.pairs != nil {
+		m["pao.paircache.hit"] = a.pairs.hits.Load()
+		m["pao.paircache.miss"] = a.pairs.misses.Load()
+	}
+	return m
 }
 
 // CacheStats is a snapshot of the analyzer's memoization counters: the shared
@@ -472,7 +489,9 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	a.step2NS.Store(0)
 	reg := a.Obs.Reg()
 	spRun := a.Obs.Root().Start("pao.run")
+	ctx, corr := telemetry.EnsureCorrID(ctx)
 	res := &Result{
+		CorrID:     corr,
 		ByInstance: make(map[int]*UniqueAccess),
 		Selected:   make(map[int]int),
 		Health:     newHealth(),

@@ -100,7 +100,7 @@ func (a *Analyzer) genAccessPointsOnLayer(eng *drc.Engine, qc *drc.QueryCtx, piv
 							continue
 						}
 						seen[pt] = true
-						ap := a.validateAP(eng, qc, pt, layer, net, allPinRects, vias, pivot.Master.Class, t0, t1, l.Dir)
+						ap := a.validateAP(eng, qc, pt, layer, net, pin.Name, allPinRects, vias, pivot.Master.Class, t0, t1, l.Dir)
 						if ap != nil {
 							pa.APs = append(pa.APs, ap)
 						}
@@ -187,10 +187,18 @@ func (a *Analyzer) axisCandidates(tracks []db.TrackPattern, lo, hi int64, vias [
 // via must drop DRC-free (up access) and/or a planar escape stub must be
 // DRC-clean. Standard cells require via access when Cfg.RequireVia is set
 // (footnote 1); macro pins accept planar-only access points.
-func (a *Analyzer) validateAP(eng *drc.Engine, qc *drc.QueryCtx, pt geom.Point, layer, net int, pinRects []geom.Rect,
-	vias []*tech.ViaDef, class db.MasterClass, t0, t1 CoordType, dir tech.Dir) *AccessPoint {
+//
+// When a.Rec is attached (explain path) every decision — including rejects —
+// is recorded with per-via verdict provenance; with Rec nil the function is
+// byte-for-byte the plain validation loop.
+func (a *Analyzer) validateAP(eng *drc.Engine, qc *drc.QueryCtx, pt geom.Point, layer, net int, pinName string,
+	pinRects []geom.Rect, vias []*tech.ViaDef, class db.MasterClass, t0, t1 CoordType, dir tech.Dir) *AccessPoint {
 
+	rec := a.Rec
 	if !geom.CoversPt(pinRects, pt) {
+		if rec != nil {
+			rec.RecordAP(pinName, apAudit(pt, layer, t0, t1, dir, RejectOffPin, nil, nil))
+		}
 		return nil
 	}
 	ap := &AccessPoint{Pos: pt, Layer: layer, OnPref: t0}
@@ -202,8 +210,17 @@ func (a *Analyzer) validateAP(eng *drc.Engine, qc *drc.QueryCtx, pt geom.Point, 
 	// Up (via) access: collect the DRC-clean via variants; the first valid
 	// one is primary. The verdict cache short-circuits repeats of the same
 	// local geometry across candidate points and unique-instance classes.
+	var viaAudits []ViaAudit
 	for _, v := range vias {
-		if eng.CheckViaVerdictCtx(v, pt, net, pinRects, qc) == 0 {
+		if rec == nil {
+			if eng.CheckViaVerdictCtx(v, pt, net, pinRects, qc) == 0 {
+				ap.Vias = append(ap.Vias, v)
+			}
+			continue
+		}
+		verdict, cached := eng.CheckViaVerdictProvCtx(v, pt, net, pinRects, qc)
+		viaAudits = append(viaAudits, ViaAudit{Via: v.Name, Violations: verdict, FromCache: cached})
+		if verdict == 0 {
 			ap.Vias = append(ap.Vias, v)
 		}
 	}
@@ -230,10 +247,43 @@ func (a *Analyzer) validateAP(eng *drc.Engine, qc *drc.QueryCtx, pt geom.Point, 
 		}
 	}
 	if a.Cfg.RequireVia && class == db.ClassCore && !ap.Dirs[DirUp] {
+		if rec != nil {
+			rec.RecordAP(pinName, apAudit(pt, layer, t0, t1, dir, RejectViaRequired, viaAudits, ap))
+		}
 		return nil
 	}
 	if !ap.Dirs[DirUp] && !ap.Dirs[DirEast] && !ap.Dirs[DirWest] && !ap.Dirs[DirNorth] && !ap.Dirs[DirSouth] {
+		if rec != nil {
+			rec.RecordAP(pinName, apAudit(pt, layer, t0, t1, dir, RejectNoAccess, viaAudits, ap))
+		}
 		return nil
 	}
+	if rec != nil {
+		rec.RecordAP(pinName, apAudit(pt, layer, t0, t1, dir, "", viaAudits, ap))
+	}
 	return ap
+}
+
+// apAudit assembles the decision record for one candidate point; ap may be
+// nil when the candidate was rejected before validation started.
+func apAudit(pt geom.Point, layer int, t0, t1 CoordType, dir tech.Dir, reject string,
+	vias []ViaAudit, ap *AccessPoint) APAudit {
+
+	au := APAudit{
+		X: pt.X, Y: pt.Y, Layer: layer,
+		Accepted: reject == "", Reject: reject, Vias: vias,
+	}
+	if dir == tech.Horizontal {
+		au.TypeY, au.TypeX = t0.String(), t1.String()
+	} else {
+		au.TypeX, au.TypeY = t0.String(), t1.String()
+	}
+	if ap != nil {
+		for d := DirUp; d <= DirSouth; d++ {
+			if ap.Dirs[d] {
+				au.Dirs = append(au.Dirs, d.String())
+			}
+		}
+	}
+	return au
 }

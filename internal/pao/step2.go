@@ -95,10 +95,14 @@ func (a *Analyzer) genPatterns(ua *UniqueAccess) {
 	}
 	used := make(map[*AccessPoint]bool)
 	seenPatterns := make(map[string]bool)
+	rec := a.Rec
 	for it := 0; it < a.Cfg.MaxPatterns; it++ {
 		choice := a.dpOnce(ua, groups, used)
 		key := patternKey(choice)
 		if seenPatterns[key] {
+			if rec != nil {
+				rec.RecordPattern(patternAudit(it, choice, a.patternCost(ua, choice), "duplicate", -1))
+			}
 			break // no diversity left; further iterations would repeat
 		}
 		seenPatterns[key] = true
@@ -114,9 +118,28 @@ func (a *Analyzer) genPatterns(ua *UniqueAccess) {
 		pat := &AccessPattern{Choice: choice, Cost: a.patternCost(ua, choice)}
 		if !a.validatePattern(ua, choice) {
 			ua.DroppedPatterns++
+			if rec != nil {
+				rec.RecordPattern(patternAudit(it, choice, pat.Cost, "drc-conflict", -1))
+			}
 			continue
 		}
 		ua.Patterns = append(ua.Patterns, pat)
+		if rec != nil {
+			rec.RecordPattern(patternAudit(it, choice, pat.Cost, "", len(ua.Patterns)-1))
+		}
+	}
+}
+
+// patternAudit assembles the decision record for one DP iteration, copying
+// the choice vector so the audit stays valid after the pattern mutates.
+func patternAudit(it int, choice []int, cost int, reason string, index int) PatternAudit {
+	return PatternAudit{
+		Iteration: it,
+		Choice:    append([]int(nil), choice...),
+		Cost:      cost,
+		Accepted:  reason == "",
+		Reason:    reason,
+		Index:     index,
 	}
 }
 

@@ -267,6 +267,13 @@ func (a *Analyzer) selectForCluster(res *Result, eng *drc.Engine, cl db.Cluster,
 		out[insts[gi].ID] = bestNi
 		bestNi = dp[gi][bestNi].prev
 	}
+	if rec := a.Rec; rec != nil {
+		for _, inst := range insts {
+			if ni, ok := out[inst.ID]; ok {
+				rec.RecordSelection(inst.ID, ni, bestCost)
+			}
+		}
+	}
 	return out
 }
 

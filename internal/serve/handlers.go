@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/pao"
+	"repro/internal/telemetry"
 )
 
 // PinAnswer is one pin's access point in a query response.
@@ -104,6 +105,109 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg().Snapshot())
 }
 
+// handleMetrics is the Prometheus text exposition: the labeled families
+// (pao_queries_total, pao_query_seconds, pao_step_seconds, pao_access_points)
+// plus every flat obs metric stamped with a design label.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.publishGauges()
+	fams := append(s.prom.Gather(),
+		telemetry.ObsFamilies(s.reg().Snapshot(), telemetry.Label{Name: "design", Value: s.design.Name})...)
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = telemetry.WriteProm(w, fams)
+}
+
+// handleSlowlog dumps the bounded slow-query ring, newest first, with trace
+// exemplars for sampled queries.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slow.Snapshot())
+}
+
+// VersionResponse answers /version: what binary, over what design, under what
+// configuration.
+type VersionResponse struct {
+	Build             telemetry.BuildInfo `json:"build"`
+	Design            string              `json:"design"`
+	DesignHash        string              `json:"design_hash"`
+	ConfigFingerprint string              `json:"config_fingerprint"`
+	Source            string              `json:"source,omitempty"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		Build:             telemetry.Build(),
+		Design:            s.design.Name,
+		DesignHash:        s.designHash,
+		ConfigFingerprint: pao.ConfigFingerprint(s.paoCfg),
+		Source:            s.Source(),
+	})
+}
+
+// ExplainResponse answers /v1/access/explain?inst=NAME&pin=NAME: the decision
+// audit from a fresh re-derivation of the instance's class, joined with what
+// the live serving state actually answers for it.
+type ExplainResponse struct {
+	Inst string `json:"inst"`
+	*pao.ExplainReport
+	// Pattern/Status/Source describe the live serving state for the instance
+	// (the explain audit itself is a re-derivation and cannot disagree with
+	// the served answer unless the design or config changed under the server).
+	Pattern        int    `json:"pattern"`
+	Status         string `json:"status"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Source         string `json:"source"`
+}
+
+// handleExplain re-derives one pin's access decision with the audit recorder
+// attached. Wrapped by admitted(), so explain traffic is rate-limited and
+// slot-bounded like any query — a re-derivation runs Steps 1-2 for the whole
+// class and is far heavier than an access lookup.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	st := s.curState.Load()
+	if st == nil {
+		http.Error(w, "analysis not loaded", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	name, pin := q.Get("inst"), q.Get("pin")
+	if name == "" || pin == "" {
+		http.Error(w, "missing ?inst= or ?pin= parameter", http.StatusBadRequest)
+		return
+	}
+	inst := s.design.InstByName(name)
+	if inst == nil {
+		http.Error(w, "unknown instance "+name, http.StatusNotFound)
+		return
+	}
+	sp := telemetry.SpanFrom(r.Context()).Start("explain.rederive")
+	rep, err := pao.Explain(s.design, s.paoCfg, inst, pin)
+	sp.End()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.reg().Counter("serve.explains").Inc()
+	resp := ExplainResponse{
+		Inst: inst.Name, ExplainReport: rep,
+		Pattern: -1, Status: pao.StatusOK.String(), Source: st.source,
+	}
+	res := st.res
+	if idx, ok := res.Selected[inst.ID]; ok && idx >= 0 {
+		resp.Pattern = idx
+	}
+	if h := res.Health; h != nil {
+		status := h.Status(rep.Class)
+		resp.Status = status.String()
+		if status != pao.StatusOK {
+			resp.DegradedReason = h.String()
+		}
+	}
+	if res.ByInstance[inst.ID] == nil {
+		resp.Status = pao.StatusFailed.String()
+		resp.DegradedReason = "class has no analysis data (quarantined or unanalyzed); live answers are fallbacks"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.curState.Load()
 	if st == nil {
@@ -160,7 +264,9 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	if h := s.FaultHook; h != nil {
 		h(SiteQuery, name)
 	}
+	sp := telemetry.SpanFrom(r.Context()).Start("access.answer")
 	resp := s.answer(st, inst)
+	sp.End()
 	if resp.Degraded {
 		s.reg().Counter("serve.degraded.answers").Inc()
 	}

@@ -27,7 +27,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"net"
 	"net/http"
@@ -41,6 +40,7 @@ import (
 	"repro/internal/drc"
 	"repro/internal/obs"
 	"repro/internal/pao"
+	"repro/internal/telemetry"
 )
 
 // Fault-hook site names (test-only, nil hooks in production — the same
@@ -89,6 +89,15 @@ type Config struct {
 	BreakerCooldown  time.Duration
 	// DrainTimeout caps Shutdown's wait for in-flight requests (0 means 10s).
 	DrainTimeout time.Duration
+	// TraceSample is the fraction of admitted queries that record a full
+	// span-tree exemplar into the slow-query log (0 disables tracing, 1
+	// traces every query). Sampling is deterministic, not random.
+	TraceSample float64
+	// SlowLogSize bounds the /debug/slowlog ring (0 means 128).
+	SlowLogSize int
+	// SlowThreshold is the latency at or above which a query enters the slow
+	// log even when unsampled (0 means 100ms).
+	SlowThreshold time.Duration
 }
 
 // state is the immutable serving snapshot readers load atomically. Swapping
@@ -108,8 +117,9 @@ type Server struct {
 	// Obs receives the server's metrics; defaults to a private observer.
 	// Set before Init.
 	Obs *obs.Observer
-	// Log receives one-line operational messages; defaults to io.Discard.
-	Log io.Writer
+	// Logger receives structured operational log lines (JSON, one per line);
+	// nil (the default) discards them. Set before Init.
+	Logger *telemetry.Logger
 
 	// FaultHook, when set before Init, fires at the Site* points above.
 	// Test-only; nil in production.
@@ -133,6 +143,17 @@ type Server struct {
 	lastSnapshotNS atomic.Int64
 	snapMu         chan struct{} // 1-slot semaphore: context-aware mutex
 
+	// Labeled Prometheus families (exposed at /metrics alongside the flat
+	// obs registry) and the per-query trace/slow-log machinery.
+	prom       *telemetry.Registry
+	slow       *telemetry.SlowLog
+	sampler    *telemetry.Sampler
+	qTotal     *telemetry.CounterVec   // pao_queries_total{design,status}
+	qSeconds   *telemetry.HistogramVec // pao_query_seconds{design}
+	stepSecs   *telemetry.HistogramVec // pao_step_seconds{design,step}
+	apGauge    *telemetry.GaugeVec     // pao_access_points{design,layer}
+	designHash string
+
 	ln       net.Listener
 	http     *http.Server
 	bgCtx    context.Context
@@ -148,12 +169,14 @@ func New(d *db.Design, paoCfg pao.Config, cfg Config) *Server {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 100 * time.Millisecond
+	}
 	s := &Server{
 		cfg:    cfg,
 		design: d,
 		paoCfg: paoCfg,
 		Obs:    obs.NewObserver("paoserve"),
-		Log:    io.Discard,
 		now:    time.Now,
 		snapMu: make(chan struct{}, 1),
 	}
@@ -161,11 +184,20 @@ func New(d *db.Design, paoCfg pao.Config, cfg Config) *Server {
 	s.bucket = newTokenBucket(cfg.RatePerSec, cfg.Burst, func() time.Time { return s.now() })
 	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func() time.Time { return s.now() })
 	s.bgCtx, s.bgCancel = context.WithCancel(context.Background())
-	return s
-}
 
-func (s *Server) logf(format string, args ...any) {
-	fmt.Fprintf(s.Log, "paoserve: "+format+"\n", args...)
+	s.prom = telemetry.NewRegistry()
+	s.slow = telemetry.NewSlowLog(cfg.SlowLogSize, cfg.SlowThreshold)
+	s.sampler = telemetry.NewSampler(cfg.TraceSample)
+	s.qTotal = s.prom.Counter("pao_queries_total",
+		"Access queries answered by the oracle, by outcome.", "design", "status")
+	s.qSeconds = s.prom.Histogram("pao_query_seconds",
+		"End-to-end latency of admitted access queries.", "design")
+	s.stepSecs = s.prom.Histogram("pao_step_seconds",
+		"Pipeline step durations of each analysis run served.", "design", "step")
+	s.apGauge = s.prom.Gauge("pao_access_points",
+		"Access points in the current serving result, by metal layer.", "design", "layer")
+	s.designHash = pao.DesignHash(d)
+	return s
 }
 
 func (s *Server) reg() *obs.Registry { return s.Obs.Reg() }
@@ -194,6 +226,40 @@ func (s *Server) Breaker() BreakerState { return s.brk.current() }
 func (s *Server) swap(res *pao.Result, source string) {
 	s.curState.Store(&state{res: res, source: source})
 	s.publishGauges()
+	s.publishResultMetrics(res)
+}
+
+// publishResultMetrics folds the swapped-in result into the labeled families:
+// per-step pipeline durations and per-layer access point counts. Called on
+// every swap, so reanalyses accumulate into the same histogram series.
+func (s *Server) publishResultMetrics(res *pao.Result) {
+	d := s.design.Name
+	st := res.Stats.Steps
+	for _, step := range []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"step1", st.Step1},
+		{"step2", st.Step2},
+		{"step12_wall", st.Step12Wall},
+		{"step3", st.Step3},
+		{"failed_pins", st.FailedPins},
+		{"total", st.Total},
+	} {
+		s.stepSecs.With(d, step.name).Observe(step.dur)
+	}
+	byLayer := make(map[int]int)
+	for _, ua := range res.Unique {
+		n := len(ua.UI.Insts)
+		for _, pa := range ua.Pins {
+			for _, ap := range pa.APs {
+				byLayer[ap.Layer] += n
+			}
+		}
+	}
+	for layer, n := range byLayer {
+		s.apGauge.With(d, "M"+strconv.Itoa(layer)).Set(float64(n))
+	}
 }
 
 func (s *Server) publishGauges() {
@@ -261,13 +327,15 @@ func (s *Server) Init(ctx context.Context) error {
 			s.lastSnapshotNS.Store(s.now().UnixNano())
 			s.swap(res, "snapshot")
 			reg.Counter("serve.restart.warm").Inc()
-			s.logf("warm restart: restored %d classes from %s", len(res.Unique), path)
+			s.Logger.Info("warm restart from snapshot",
+				telemetry.F("classes", len(res.Unique)), telemetry.F("path", path))
 			return nil
 		case errors.Is(err, fs.ErrNotExist):
-			s.logf("no snapshot at %s, computing", path)
+			s.Logger.Info("no snapshot, computing", telemetry.F("path", path))
 		default:
 			reg.Counter("serve.snapshot.corrupt").Inc()
-			s.logf("snapshot rejected (%v), falling back to recompute", err)
+			s.Logger.Warn("snapshot rejected, falling back to recompute",
+				telemetry.F("path", path), telemetry.F("err", err))
 		}
 	}
 	res, err := s.compute(ctx)
@@ -276,7 +344,8 @@ func (s *Server) Init(ctx context.Context) error {
 	}
 	s.swap(res, "recompute")
 	reg.Counter("serve.restart.recompute").Inc()
-	s.logf("cold start: analyzed %d classes (%s)", len(res.Unique), res.Health)
+	s.Logger.Info("cold start analysis complete",
+		telemetry.F("classes", len(res.Unique)), telemetry.F("health", res.Health))
 	return nil
 }
 
@@ -311,7 +380,8 @@ func (s *Server) WriteSnapshot(ctx context.Context) error {
 	})
 	if err != nil {
 		reg.Counter("serve.snapshot.write_errors").Inc()
-		s.logf("snapshot write failed: %v", err)
+		s.Logger.Error("snapshot write failed",
+			telemetry.F("path", s.cfg.SnapshotPath), telemetry.F("err", err))
 		return err
 	}
 	s.lastSnapshotNS.Store(s.now().UnixNano())
@@ -347,7 +417,8 @@ func (s *Server) reanalyze(ctx context.Context) {
 			reg.Counter("serve.panics").Inc()
 			s.brk.failure()
 			s.publishGauges()
-			s.logf("re-analysis panic (breaker %s): %v", s.brk.current(), rec)
+			s.Logger.Error("re-analysis panic",
+				telemetry.F("breaker", s.brk.current()), telemetry.F("panic", fmt.Sprint(rec)))
 		}
 	}()
 	if h := s.FaultHook; h != nil {
@@ -358,14 +429,15 @@ func (s *Server) reanalyze(ctx context.Context) {
 	case err != nil:
 		reg.Counter("serve.reanalyze.failed").Inc()
 		s.brk.failure()
-		s.logf("re-analysis aborted: %v", err)
+		s.Logger.Warn("re-analysis aborted", telemetry.F("err", err))
 	case len(res.Health.Errors()) > 0:
 		reg.Counter("serve.reanalyze.failed").Inc()
 		s.brk.failure()
 		if old := s.curState.Load(); old == nil {
 			s.swap(res, "recompute") // degraded beats nothing
 		} else {
-			s.logf("re-analysis degraded (%s), keeping stale result", res.Health)
+			s.Logger.Warn("re-analysis degraded, keeping stale result",
+				telemetry.F("health", res.Health))
 		}
 	default:
 		reg.Counter("serve.reanalyze.ok").Inc()
@@ -401,7 +473,7 @@ func (s *Server) Start() error {
 	s.http = &http.Server{Handler: s.Handler()}
 	go func() {
 		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.logf("serve error: %v", err)
+			s.Logger.Error("serve error", telemetry.F("err", err))
 		}
 	}()
 	if s.cfg.SnapshotInterval > 0 && s.cfg.SnapshotPath != "" {
@@ -460,27 +532,66 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("/version", s.handleVersion)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/access", s.admitted(s.handleAccess))
+	mux.HandleFunc("/v1/access", s.admitted("access", s.handleAccess))
+	mux.HandleFunc("/v1/access/explain", s.admitted("explain", s.handleExplain))
 	mux.HandleFunc("/v1/reanalyze", s.handleReanalyze)
 	return mux
 }
 
+// statusWriter captures the response status code for query accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusLabel collapses an HTTP status into the low-cardinality label used by
+// pao_queries_total.
+func statusLabel(code int) string {
+	switch {
+	case code < 300:
+		return "ok"
+	case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+		return "shed"
+	case code < 500:
+		return "client_error"
+	default:
+		return "error"
+	}
+}
+
 // admitted wraps a query handler with the full admission pipeline: rate
 // limit (429), bounded queue + per-request deadline (503), panic recovery
-// (500 + breaker), and latency accounting.
-func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+// (500 + breaker), latency accounting, and per-query telemetry — every
+// request gets a correlation ID (propagated from X-Correlation-Id or newly
+// minted, echoed back on the response), sampled requests carry a span tree
+// through ctx, and slow or sampled queries land in /debug/slowlog.
+func (s *Server) admitted(op string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reg := s.reg()
 		reg.Counter("serve.requests").Inc()
 		t0 := s.now()
+		corr := r.Header.Get("X-Correlation-Id")
+		if corr == "" {
+			corr = telemetry.NewCorrID()
+		}
+		w.Header().Set("X-Correlation-Id", corr)
 		if ok, retry := s.bucket.take(); !ok {
 			reg.Counter("serve.shed.rate").Inc()
+			s.qTotal.With(s.design.Name, "shed").Inc()
 			w.Header().Set("Retry-After", retryAfterSecs(retry))
 			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 			return
 		}
-		ctx := r.Context()
+		ctx := telemetry.WithCorrID(r.Context(), corr)
 		if s.cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -494,22 +605,42 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			} else {
 				reg.Counter("serve.shed.queue").Inc()
 			}
+			s.qTotal.With(s.design.Name, "shed").Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server overloaded, request shed", http.StatusServiceUnavailable)
 			return
 		}
 		defer release()
+		var root *obs.Span
+		if s.sampler.Sample() {
+			root = obs.NewTrace("serve." + op).Root
+			ctx = telemetry.WithSpan(ctx, root)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
-			reg.Histogram("serve.latency").Observe(s.now().Sub(t0))
+			d := s.now().Sub(t0)
+			reg.Histogram("serve.latency").Observe(d)
 			if rec := recover(); rec != nil {
 				reg.Counter("serve.panics").Inc()
 				s.brk.failure()
 				s.publishGauges()
-				s.logf("query panic recovered (breaker %s): %v", s.brk.current(), rec)
-				http.Error(w, "internal error (recovered)", http.StatusInternalServerError)
+				s.Logger.ErrorCtx(ctx, "query panic recovered",
+					telemetry.F("breaker", s.brk.current()), telemetry.F("panic", fmt.Sprint(rec)))
+				http.Error(sw, "internal error (recovered)", http.StatusInternalServerError)
 			}
+			s.qTotal.With(s.design.Name, statusLabel(sw.code)).Inc()
+			s.qSeconds.With(s.design.Name).Observe(d)
+			entry := telemetry.Entry{
+				CorrID: corr, Op: op, Detail: r.URL.RawQuery, Status: sw.code,
+				Start: t0, DurMS: float64(d) / 1e6,
+			}
+			if root != nil {
+				root.End()
+				entry.Trace = root.Export()
+			}
+			s.slow.Observe(entry, d)
 		}()
-		h(w, r.WithContext(ctx))
+		h(sw, r.WithContext(ctx))
 	}
 }
 

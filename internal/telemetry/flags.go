@@ -1,0 +1,147 @@
+package telemetry
+
+// The batch-tool telemetry surface: -metrics-listen exposes /metrics and
+// /debug/slowlog on a side HTTP listener for the duration of a run (so long
+// analyses are scrapeable while they execute, not only dump-at-exit), and
+// -trace-sample controls how many operations get full span-tree exemplars.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Flags is the shared telemetry CLI surface, registered next to obs.Flags on
+// every tool.
+type Flags struct {
+	Listen      string  // -metrics-listen address ("" = disabled)
+	TraceSample float64 // -trace-sample rate in [0,1]
+}
+
+// RegisterFlags registers the telemetry flags on fs.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Listen, "metrics-listen", "",
+		"serve Prometheus /metrics and /debug/slowlog on this address while the run executes (e.g. 127.0.0.1:9100)")
+	fs.Float64Var(&f.TraceSample, "trace-sample", 0,
+		"fraction of operations that record a full span-tree exemplar in the slow-query log (0..1)")
+	return f
+}
+
+// Telemetry is the per-run handle: the sampler, the slow log, and (when
+// -metrics-listen was given) the side HTTP server exposing them.
+type Telemetry struct {
+	Slow    *SlowLog
+	Sampler *Sampler
+
+	ln    net.Listener
+	srv   *http.Server
+	extra atomic.Pointer[func() map[string]int64]
+}
+
+// SetExtra installs a live counter source folded into every /metrics scrape
+// on top of the observer registry's snapshot. Tools whose counters only reach
+// the registry at end of run (Analyzer.PublishObs) set this to
+// Analyzer.LiveCounters so mid-run scrapes see real progress, and clear it
+// (nil) right after PublishObs so the totals are not double-counted.
+func (t *Telemetry) SetExtra(f func() map[string]int64) {
+	if t == nil {
+		return
+	}
+	if f == nil {
+		t.extra.Store(nil)
+		return
+	}
+	t.extra.Store(&f)
+}
+
+// Activate brings the flags to life. The returned observer is o, or a fresh
+// one when telemetry needs a registry to expose and the caller had metrics
+// off; the returned *Telemetry is nil when nothing was requested, and every
+// method on it is nil-safe.
+func (f *Flags) Activate(name string, o *obs.Observer, labels ...Label) (*obs.Observer, *Telemetry, error) {
+	if f == nil || (f.Listen == "" && f.TraceSample <= 0) {
+		return o, nil, nil
+	}
+	if f.TraceSample < 0 || f.TraceSample > 1 {
+		return o, nil, fmt.Errorf("telemetry: -trace-sample %v out of range [0,1]", f.TraceSample)
+	}
+	t := &Telemetry{
+		Slow:    NewSlowLog(128, 100*time.Millisecond),
+		Sampler: NewSampler(f.TraceSample),
+	}
+	if f.Listen == "" {
+		return o, t, nil
+	}
+	o = obs.Ensure(o, name) // a listener needs a registry to expose
+	ln, err := net.Listen("tcp", f.Listen)
+	if err != nil {
+		return o, nil, fmt.Errorf("telemetry: -metrics-listen %s: %w", f.Listen, err)
+	}
+	t.ln = ln
+	t.srv = &http.Server{Handler: t.handler(o, labels...)}
+	go func() { _ = t.srv.Serve(ln) }()
+	return o, t, nil
+}
+
+// Addr returns the listener address ("" when no listener).
+func (t *Telemetry) Addr() string {
+	if t == nil || t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Close shuts the side listener down.
+func (t *Telemetry) Close() error {
+	if t == nil || t.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return t.srv.Shutdown(ctx)
+}
+
+// RecordRun files one finished CLI run in the slow log, attaching the root
+// span tree as an exemplar when the run was sampled.
+func (t *Telemetry) RecordRun(op, detail, corr string, start time.Time, d time.Duration, root *obs.Span) {
+	if t == nil {
+		return
+	}
+	e := Entry{CorrID: corr, Op: op, Detail: detail, Start: start, DurMS: float64(d) / 1e6}
+	if t.Sampler.Sample() {
+		e.Trace = root.Export()
+	}
+	t.Slow.Observe(e, d)
+}
+
+// handler serves GET /metrics (Prometheus text exposition of the observer's
+// registry plus the live extra counters, with the given constant labels) and
+// GET /debug/slowlog (JSON).
+func (t *Telemetry) handler(o *obs.Observer, labels ...Label) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := o.Reg().Snapshot()
+		if f := t.extra.Load(); f != nil {
+			for k, v := range (*f)() {
+				snap.Counters[k] += v
+			}
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteProm(w, ObsFamilies(snap, labels...))
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Slow.Snapshot())
+	})
+	return mux
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+// Structured logging: leveled JSON lines with ordered fields and correlation
+// IDs. One line per event, one JSON object per line, keys emitted in a fixed
+// order (ts, level, logger, corr, msg, then caller fields in call order) so
+// the output is grep-friendly and diff-stable.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+var levelNames = [...]string{"debug", "info", "warn", "error"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel maps a -log-level flag value onto a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Field is one structured key/value pair.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Logger writes leveled JSON lines. Nil-safe: a nil *Logger discards
+// everything, so library code logs unconditionally and the caller decides
+// whether a logger exists.
+type Logger struct {
+	mu   *sync.Mutex // shared across With() children so lines never interleave
+	w    io.Writer
+	min  Level
+	name string
+	base []Field
+	now  func() time.Time
+}
+
+// NewLogger creates a logger writing to w. name tags every line (the tool or
+// subsystem); events below min are dropped.
+func NewLogger(w io.Writer, name string, min Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, name: name, now: nowFunc}
+}
+
+// With returns a child logger whose lines always carry the given fields.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.base = append(append([]Field(nil), l.base...), fields...)
+	return &child
+}
+
+// Enabled reports whether events at the given level are emitted.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.min }
+
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, "", msg, fields) }
+func (l *Logger) Info(msg string, fields ...Field)  { l.log(LevelInfo, "", msg, fields) }
+func (l *Logger) Warn(msg string, fields ...Field)  { l.log(LevelWarn, "", msg, fields) }
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, "", msg, fields) }
+
+// InfoCtx logs at info level, attaching the context's correlation ID.
+func (l *Logger) InfoCtx(ctx context.Context, msg string, fields ...Field) {
+	l.log(LevelInfo, CorrIDFrom(ctx), msg, fields)
+}
+
+// WarnCtx logs at warn level, attaching the context's correlation ID.
+func (l *Logger) WarnCtx(ctx context.Context, msg string, fields ...Field) {
+	l.log(LevelWarn, CorrIDFrom(ctx), msg, fields)
+}
+
+// ErrorCtx logs at error level, attaching the context's correlation ID.
+func (l *Logger) ErrorCtx(ctx context.Context, msg string, fields ...Field) {
+	l.log(LevelError, CorrIDFrom(ctx), msg, fields)
+}
+
+func (l *Logger) log(level Level, corr, msg string, fields []Field) {
+	if l == nil || level < l.min {
+		return
+	}
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString(`{"ts":`)
+	writeJSONString(&b, l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`,"level":`)
+	writeJSONString(&b, level.String())
+	if l.name != "" {
+		b.WriteString(`,"logger":`)
+		writeJSONString(&b, l.name)
+	}
+	if corr != "" {
+		b.WriteString(`,"corr":`)
+		writeJSONString(&b, corr)
+	}
+	b.WriteString(`,"msg":`)
+	writeJSONString(&b, msg)
+	for _, f := range l.base {
+		writeField(&b, f)
+	}
+	for _, f := range fields {
+		writeField(&b, f)
+	}
+	b.WriteString("}\n")
+
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func writeField(b *strings.Builder, f Field) {
+	b.WriteByte(',')
+	writeJSONString(b, f.Key)
+	b.WriteByte(':')
+	switch v := f.Val.(type) {
+	case error:
+		writeJSONString(b, v.Error())
+	case time.Duration:
+		writeJSONString(b, v.String())
+	case fmt.Stringer:
+		writeJSONString(b, v.String())
+	default:
+		enc, err := json.Marshal(f.Val)
+		if err != nil {
+			writeJSONString(b, fmt.Sprintf("%v", f.Val))
+			return
+		}
+		b.Write(enc)
+	}
+}
+
+func writeJSONString(b *strings.Builder, s string) {
+	enc, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string, but stay total
+		b.WriteString(`""`)
+		return
+	}
+	b.Write(enc)
+}

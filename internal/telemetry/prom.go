@@ -1,0 +1,249 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4). We render it by hand —
+// no client_golang dependency — which is easy because the format is small:
+// one # HELP and # TYPE line per family, then one sample line per series,
+// with label values backslash-escaped. Histograms expose the fixed log2
+// buckets as cumulative le= series in seconds plus _sum and _count.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ContentType is the Content-Type header value for /metrics responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one constant name/value pair attached to every series of an
+// exposition (for example design="c17").
+type Label struct {
+	Name  string
+	Value string
+}
+
+// sanitizeName maps an internal dotted metric name ("drc.check.metal") onto
+// the Prometheus name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the text
+// format rules.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes backslash and newline (quotes are legal in HELP text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"} from parallel name/value slices plus an
+// optional extra pair (used for le=). Returns "" when there are no labels.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(sanitizeName(n))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm renders the families as a Prometheus text exposition. Families
+// with the same name are merged (first help/type wins) and duplicate series
+// within a family are dropped, so the output never contains a duplicate
+// sample — the invariant scrapers enforce.
+func WriteProm(w io.Writer, fams []FamilySnapshot) error {
+	merged := make(map[string]*FamilySnapshot)
+	var order []string
+	for i := range fams {
+		f := &fams[i]
+		name := sanitizeName(f.Name)
+		if m, ok := merged[name]; ok {
+			if m.Type == f.Type {
+				m.Series = append(m.Series, f.Series...)
+			}
+			continue
+		}
+		cp := *f
+		cp.Name = name
+		cp.Series = append([]SeriesSnapshot(nil), f.Series...)
+		merged[name] = &cp
+		order = append(order, name)
+	}
+	sort.Strings(order)
+
+	for _, name := range order {
+		f := merged[name]
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *FamilySnapshot) error {
+	name := f.Name
+	help := f.Help
+	if help == "" {
+		help = name
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		name, escapeHelp(help), name, f.Type); err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(f.Series))
+	for _, s := range f.Series {
+		key := strings.Join(s.LabelValues, labelSep)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		switch f.Type {
+		case TypeHistogram:
+			if err := writeHistogram(w, name, f.Labels, s); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				name, labelString(f.Labels, s.LabelValues, "", ""), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one series' fixed log2 buckets as cumulative le=
+// samples in seconds, then _sum and _count. The exported buckets carry each
+// bucket's upper bound in microseconds; boundaries are shared across all
+// histograms (obs.BucketBound) so scrapers can aggregate across processes.
+func writeHistogram(w io.Writer, name string, labels []string, s SeriesSnapshot) error {
+	var cum int64
+	for _, b := range s.Hist.Buckets {
+		cum += b.Count
+		le := formatValue(float64(b.LeUS) / 1e6)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, labelString(labels, s.LabelValues, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, labelString(labels, s.LabelValues, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	plain := labelString(labels, s.LabelValues, "", "")
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, plain, formatValue(s.Hist.SumMS/1e3)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, plain, s.Hist.Count)
+	return err
+}
+
+// ObsFamilies converts a flat obs.Registry snapshot into labeled families:
+// counters become <name>_total counters, gauges stay gauges, histograms
+// become <name>_seconds histograms. constLabels are attached to every series
+// so multiple processes' expositions stay distinguishable after aggregation.
+func ObsFamilies(m obs.Metrics, constLabels ...Label) []FamilySnapshot {
+	names := make([]string, 0, len(constLabels))
+	values := make([]string, 0, len(constLabels))
+	for _, l := range constLabels {
+		names = append(names, l.Name)
+		values = append(values, l.Value)
+	}
+
+	var out []FamilySnapshot
+	for _, name := range sortedNames(m.Counters) {
+		out = append(out, FamilySnapshot{
+			Name: sanitizeName(name) + "_total",
+			Help: "counter " + name,
+			Type: TypeCounter, Labels: names,
+			Series: []SeriesSnapshot{{LabelValues: values, Value: float64(m.Counters[name])}},
+		})
+	}
+	for _, name := range sortedNames(m.Gauges) {
+		out = append(out, FamilySnapshot{
+			Name: sanitizeName(name),
+			Help: "gauge " + name,
+			Type: TypeGauge, Labels: names,
+			Series: []SeriesSnapshot{{LabelValues: values, Value: m.Gauges[name]}},
+		})
+	}
+	for _, name := range sortedNames(m.Histograms) {
+		out = append(out, FamilySnapshot{
+			Name: sanitizeName(name) + "_seconds",
+			Help: "histogram " + name + " (seconds)",
+			Type: TypeHistogram, Labels: names,
+			Series: []SeriesSnapshot{{LabelValues: values, Hist: m.Histograms[name]}},
+		})
+	}
+	return out
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

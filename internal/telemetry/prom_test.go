@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildExposition renders a representative mixed exposition: labeled families
+// from a telemetry.Registry plus a converted obs.Registry snapshot with a
+// constant design label, including a label value that needs escaping.
+func buildExposition(t *testing.T) string {
+	t.Helper()
+	r := NewRegistry()
+	q := r.Counter("pao_queries_total", "queries served by status", "design", "status")
+	q.With(`de"sign\1`, "ok").Add(7)
+	q.With(`de"sign\1`, "degraded").Inc()
+	h := r.Histogram("pao_query_seconds", "query latency", "design")
+	h.With(`de"sign\1`).Observe(3 * time.Microsecond)
+	h.With(`de"sign\1`).Observe(1500 * time.Microsecond)
+	r.Gauge("pao_access_points", "APs per layer", "design", "layer").With(`de"sign\1`, "2").Set(12)
+
+	flat := obs.NewRegistry()
+	flat.Counter("drc.check.metal").Add(41)
+	flat.Gauge("pao.failed.pins").Set(2)
+	flat.Histogram("serve.latency").Observe(time.Millisecond)
+	flat.Histogram("serve.latency").Observe(30 * time.Millisecond)
+
+	fams := append(r.Gather(), ObsFamilies(flat.Snapshot(), Label{Name: "design", Value: `de"sign\1`})...)
+	var b strings.Builder
+	if err := WriteProm(&b, fams); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	return b.String()
+}
+
+// TestPromExpositionParses is the format golden test: the full mixed
+// exposition must survive the strict parser — valid names, escaped labels,
+// HELP/TYPE before samples, no duplicate series, cumulative histogram
+// buckets matching _count.
+func TestPromExpositionParses(t *testing.T) {
+	out := buildExposition(t)
+	scrape, err := CheckProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, out)
+	}
+	if got := scrape.Series[`pao_queries_total{design="de\"sign\\1",status="ok"}`]; got != 7 {
+		t.Fatalf("escaped labeled counter = %v, want 7\n%s", got, out)
+	}
+	if got := scrape.Families["drc_check_metal_total"].Type; got != "counter" {
+		t.Fatalf("obs counter family type = %q\n%s", got, out)
+	}
+	if got := scrape.Families["serve_latency_seconds"].Type; got != "histogram" {
+		t.Fatalf("obs histogram family type = %q\n%s", got, out)
+	}
+	if got := scrape.Series[`serve_latency_seconds_count{design="de\"sign\\1"}`]; got != 2 {
+		t.Fatalf("histogram count = %v, want 2\n%s", got, out)
+	}
+	// Spot-check structural lines.
+	for _, want := range []string{
+		"# TYPE pao_query_seconds histogram",
+		"# HELP pao_queries_total queries served by status",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromDuplicateMergedFamilies: two snapshots of the same family name
+// must merge into one TYPE block with deduplicated series.
+func TestPromDuplicateMergedFamilies(t *testing.T) {
+	fams := []FamilySnapshot{
+		{Name: "x_total", Type: TypeCounter, Labels: []string{"a"},
+			Series: []SeriesSnapshot{{LabelValues: []string{"1"}, Value: 5}}},
+		{Name: "x_total", Type: TypeCounter, Labels: []string{"a"},
+			Series: []SeriesSnapshot{
+				{LabelValues: []string{"1"}, Value: 9}, // dup: dropped
+				{LabelValues: []string{"2"}, Value: 3},
+			}},
+	}
+	var b strings.Builder
+	if err := WriteProm(&b, fams); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE x_total") != 1 {
+		t.Fatalf("family emitted twice:\n%s", out)
+	}
+	scrape, err := CheckProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, out)
+	}
+	if scrape.Series[`x_total{a="1"}`] != 5 || scrape.Series[`x_total{a="2"}`] != 3 {
+		t.Fatalf("bad merged series: %+v", scrape.Series)
+	}
+}
+
+// TestCheckPromRejectsBadInput: the validator must actually validate.
+func TestCheckPromRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"duplicate series": "# TYPE a counter\na 1\na 2\n",
+		"bad name":         "# TYPE ok counter\n9bad 1\n",
+		"bad escape":       "# TYPE a counter\na{l=\"x\\q\"} 1\n",
+		"type after use":   "a 1\n# TYPE a counter\n",
+		"bad value":        "# TYPE a counter\na one\n",
+		"unclosed label":   "# TYPE a counter\na{l=\"x} 1\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_count 6\nh_sum 1\n",
+		"missing inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_count 5\nh_sum 1\n",
+	}
+	for name, in := range cases {
+		if _, err := CheckProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, in)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"drc.check.metal": "drc_check_metal",
+		"serve latency":   "serve_latency",
+		"9lives":          "_9lives",
+		"ok_name:x":       "ok_name:x",
+		"":                "_",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+// Bounded slow-query log: a fixed-capacity ring of the most recent slow (or
+// trace-sampled) operations, each carrying its correlation ID and, when the
+// request was sampled, the full span tree as an exemplar. Served at
+// GET /debug/slowlog; memory is bounded by capacity regardless of traffic.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Entry is one recorded operation.
+type Entry struct {
+	CorrID string          `json:"corr"`
+	Op     string          `json:"op"`               // access | explain | run | ...
+	Detail string          `json:"detail,omitempty"` // query string, case name, ...
+	Status int             `json:"status,omitempty"` // HTTP status (0 for CLI runs)
+	Start  time.Time       `json:"start"`
+	DurMS  float64         `json:"dur_ms"`
+	Trace  *obs.SpanExport `json:"trace,omitempty"` // exemplar when sampled
+}
+
+// SlowLog is the ring buffer. Nil-safe: a nil *SlowLog drops everything.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	buf       []Entry
+	next      int
+	total     int64
+}
+
+// NewSlowLog creates a ring holding up to capacity entries; operations at or
+// above threshold are recorded (Observe), faster ones only when they carry a
+// trace exemplar.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, buf: make([]Entry, 0, capacity)}
+}
+
+// Threshold returns the slow cutoff.
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Observe records the entry when it qualifies — slower than the threshold,
+// or sampled (carrying a trace exemplar) — and reports whether it was kept.
+func (s *SlowLog) Observe(e Entry, d time.Duration) bool {
+	if s == nil || (d < s.threshold && e.Trace == nil) {
+		return false
+	}
+	s.Record(e)
+	return true
+}
+
+// Record unconditionally adds the entry, evicting the oldest at capacity.
+func (s *SlowLog) Record(e Entry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, e)
+		return
+	}
+	s.buf[s.next] = e
+	s.next = (s.next + 1) % len(s.buf)
+}
+
+// LogSnapshot is the exported slow-log state.
+type LogSnapshot struct {
+	Total       int64   `json:"total"` // entries ever recorded (incl. evicted)
+	Capacity    int     `json:"capacity"`
+	ThresholdMS float64 `json:"threshold_ms"`
+	Entries     []Entry `json:"entries"` // newest first
+}
+
+// Snapshot exports the retained entries, newest first.
+func (s *SlowLog) Snapshot() LogSnapshot {
+	if s == nil {
+		return LogSnapshot{Entries: []Entry{}}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := LogSnapshot{
+		Total:       s.total,
+		Capacity:    cap(s.buf),
+		ThresholdMS: float64(s.threshold) / 1e6,
+		Entries:     make([]Entry, 0, len(s.buf)),
+	}
+	// Ring order: s.next is the oldest once full; walk backwards from the
+	// newest.
+	for i := 1; i <= len(s.buf); i++ {
+		out.Entries = append(out.Entries, s.buf[(s.next-i+len(s.buf))%len(s.buf)])
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+// Correlation IDs and trace sampling. A correlation ID is minted at every
+// entry point (HTTP request, CLI run) and rides the context through pao and
+// drc, so one query's log lines, slow-log entry and span tree share a
+// grep-able key across process boundaries.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// corrPrefix is a per-process random prefix so IDs from different processes
+// (or restarts) never collide; corrCtr makes IDs unique within the process.
+var (
+	corrPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	corrCtr atomic.Uint64
+)
+
+// NewCorrID mints a fresh correlation ID: an 8-hex-digit process prefix plus
+// a monotonic per-process counter.
+func NewCorrID() string {
+	var buf [8]byte
+	n := corrCtr.Add(1)
+	for i := 7; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[n&0xf]
+		n >>= 4
+	}
+	return corrPrefix + "-" + string(buf[:])
+}
+
+type corrKey struct{}
+
+// WithCorrID attaches a correlation ID to the context.
+func WithCorrID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, corrKey{}, id)
+}
+
+// CorrIDFrom returns the context's correlation ID, or "".
+func CorrIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(corrKey{}).(string)
+	return id
+}
+
+// EnsureCorrID returns the context's correlation ID, minting and attaching a
+// fresh one when absent.
+func EnsureCorrID(ctx context.Context) (context.Context, string) {
+	if id := CorrIDFrom(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewCorrID()
+	return WithCorrID(ctx, id), id
+}
+
+type spanKey struct{}
+
+// WithSpan attaches a trace span to the context; instrumented code deeper in
+// the stack picks it up with SpanFrom and hangs children off it.
+func WithSpan(ctx context.Context, sp *obs.Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the context's span, or nil (and every obs.Span method is
+// a no-op on nil, so callers never need to check).
+func SpanFrom(ctx context.Context) *obs.Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*obs.Span)
+	return sp
+}
+
+// samplerOne is the fixed-point scale of the sampler accumulator.
+const samplerOne = 1 << 32
+
+// Sampler decides deterministically which requests get a full span tree: an
+// accumulator gains rate per call and every time it crosses an integer
+// boundary the call is sampled. rate=1 samples everything, rate=0.01 every
+// 100th call, rate<=0 nothing. Deterministic (no RNG) so tests and replays
+// see stable sampling; race-safe via a single atomic add.
+type Sampler struct {
+	step int64
+	acc  atomic.Int64
+}
+
+// NewSampler creates a sampler with the given rate in [0, 1].
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 {
+		return nil
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Sampler{step: int64(rate * samplerOne)}
+}
+
+// Sample reports whether this call is sampled. Nil-safe: a nil sampler never
+// samples.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.step <= 0 {
+		return false
+	}
+	n := s.acc.Add(s.step)
+	return n/samplerOne != (n-s.step)/samplerOne
+}
