@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-check experiments \
-	experiments-full examples clean difftest golden-update fuzz-smoke cover \
-	faultinject serve-smoke telemetry-smoke
+.PHONY: all build test vet bench bench-json bench-check bench-eco experiments \
+	experiments-full examples clean difftest eco-difftest golden-update \
+	fuzz-smoke cover faultinject serve-smoke telemetry-smoke
 
 all: build vet test
 
@@ -23,6 +23,18 @@ test:
 # the naive reference checker, failing on any verdict divergence.
 difftest:
 	$(GO) test -race -v -run 'TestDifferential|TestTranslation|TestMirror|TestWorkers|TestRebind' ./internal/difftest
+
+# Differential ECO harness: seeded ECO scripts (moves/swaps/inserts/deletes)
+# applied to a resident session must produce byte-identical snapshots to a
+# fresh analysis of the mutated design, cache-on and cache-off, plus the
+# metamorphic invariants (site-move == Rebind, apply-then-revert == original,
+# disjoint-op order independence), the /v1/eco server path under the race
+# detector, and the scoped via-cache invalidation unit tests.
+eco-difftest:
+	$(GO) test -v -run 'TestECO' ./internal/difftest
+	$(GO) test -race -run 'TestServeECO' ./internal/serve
+	$(GO) test -run 'TestECO' ./internal/pao
+	$(GO) test -run 'TestViaCache' ./internal/drc
 
 # Fault-injection campaign under the race detector: the injector's own unit
 # tests plus the pipeline-level quarantine/cancellation/respawn properties
@@ -90,6 +102,12 @@ bench-json:
 # quiet dedicated host to also gate wall-clock time).
 bench-check:
 	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
+
+# ECO re-analysis scoping report: dirty-class/cluster counts for a single
+# move, the resident-session apply loop vs a fresh full run, and the
+# scoped-vs-wholesale via-cache eviction fractions (BENCH_PR7.json).
+bench-eco:
+	$(GO) run ./cmd/paobench -scale 0.01 -eco-out BENCH_PR7.json
 
 # Laptop-scale experiment sweep (~4 minutes).
 experiments:

@@ -10,6 +10,12 @@
 //
 //	paobench -out BENCH_PR5.json              # refresh the artifact
 //	paobench -compare BENCH_PR5.json          # CI regression gate
+//	paobench -eco-out BENCH_PR7.json          # ECO re-analysis scoping report
+//
+// -eco-out runs the eco_reanalysis scenario instead of the standard set: a
+// single-instance ECO against a resident session versus a fresh full run,
+// plus the dirty-class/cluster counts and the scoped-vs-wholesale cache
+// eviction fractions.
 package main
 
 import (
@@ -32,6 +38,7 @@ func run() int {
 	compare := flag.String("compare", "", "baseline report to gate the fresh run against")
 	tol := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
 	gateNs := flag.Bool("gate-ns", false, "also gate wall-clock ns/op (off by default: CI hosts vary)")
+	ecoOut := flag.String("eco-out", "", "run the eco_reanalysis scenario only and write its report to this file")
 	quiet := flag.Bool("q", false, "suppress per-scenario progress lines")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -52,6 +59,25 @@ func run() int {
 		tel.RecordRun("bench", fmt.Sprintf("scale %g", *scale), telemetry.NewCorrID(),
 			t0, time.Since(t0), nil)
 	}()
+
+	if *ecoOut != "" {
+		rep, err := bench.MeasureECO(*scale, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paobench:", err)
+			return 1
+		}
+		f, err := os.Create(*ecoOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paobench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rep.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paobench:", err)
+			return 1
+		}
+		return 0
+	}
 
 	var base bench.Report
 	if *compare != "" {

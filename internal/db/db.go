@@ -269,6 +269,10 @@ type Design struct {
 
 	masterByName map[string]*Master
 	instByName   map[string]*Instance
+	// nextID is the next instance ID to hand out. IDs are never reused, so
+	// a delete followed by an insert cannot alias result maps keyed by ID
+	// (incremental ECO flows depend on this).
+	nextID int
 }
 
 // NewDesign creates an empty design on the given technology.
@@ -294,15 +298,52 @@ func (d *Design) AddMaster(m *Master) error {
 // MasterByName returns the named master, or nil.
 func (d *Design) MasterByName(name string) *Master { return d.masterByName[name] }
 
-// AddInstance places an instance; duplicate names are an error.
+// AddInstance places an instance; duplicate names are an error. The assigned
+// ID is monotonically increasing and never reused, so ascending ID order is
+// design (insertion) order even after removals.
 func (d *Design) AddInstance(inst *Instance) error {
 	if _, dup := d.instByName[inst.Name]; dup {
 		return fmt.Errorf("db: duplicate instance %q", inst.Name)
 	}
-	inst.ID = len(d.Instances)
+	if d.nextID < len(d.Instances) {
+		// Designs built before removals existed (or literals that filled
+		// Instances directly) start with nextID zero; catch up so fresh IDs
+		// stay unique.
+		d.nextID = len(d.Instances)
+	}
+	inst.ID = d.nextID
+	d.nextID++
 	d.Instances = append(d.Instances, inst)
 	d.instByName[inst.Name] = inst
 	return nil
+}
+
+// RemoveInstance deletes a placed instance and every net terminal attached to
+// it, preserving the order of the remaining instances. It reports whether the
+// instance existed. Nets keep their identity (an emptied net stays in Nets so
+// net indexes remain stable for incremental flows).
+func (d *Design) RemoveInstance(name string) bool {
+	inst := d.instByName[name]
+	if inst == nil {
+		return false
+	}
+	delete(d.instByName, name)
+	for i, it := range d.Instances {
+		if it == inst {
+			d.Instances = append(d.Instances[:i], d.Instances[i+1:]...)
+			break
+		}
+	}
+	for _, net := range d.Nets {
+		kept := net.Terms[:0]
+		for _, t := range net.Terms {
+			if t.Inst != inst {
+				kept = append(kept, t)
+			}
+		}
+		net.Terms = kept
+	}
+	return true
 }
 
 // InstByName returns the named instance, or nil.

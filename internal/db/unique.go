@@ -53,6 +53,12 @@ func instanceOffsets(d *Design, inst *Instance) []int64 {
 	return out
 }
 
+// OffsetsOf returns the per-track-pattern placement phases of an instance —
+// the offsets component of its unique-instance signature under its current
+// placement. Incremental flows use it to build a class for a placement phase
+// the full partition has never seen.
+func (d *Design) OffsetsOf(inst *Instance) []int64 { return instanceOffsets(d, inst) }
+
 // UniqueInstances partitions the design's CORE and BLOCK instances into
 // unique-instance classes. The result is deterministic: classes are sorted by
 // master name, then orientation, then offsets; members keep design order.

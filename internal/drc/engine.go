@@ -166,10 +166,16 @@ type Counters struct {
 
 	// Via-verdict cache instrumentation (see ViaCache): lookups answered from
 	// the cache, lookups that ran the full check, and cache invalidations
-	// triggered by engine mutation.
+	// triggered by engine mutation (one per Add/Remove noted against an
+	// attached cache).
 	CacheHits        atomic.Int64
 	CacheMisses      atomic.Int64
 	CacheInvalidates atomic.Int64
+	// CacheEvictScoped counts entries evicted because their query-window
+	// region overlapped a mutated rectangle; CacheEvictWholesale counts
+	// entries dropped by a whole-cache flush (mutation-queue overflow).
+	CacheEvictScoped    atomic.Int64
+	CacheEvictWholesale atomic.Int64
 }
 
 // Snapshot exports the counters under their canonical metric names.
@@ -178,19 +184,21 @@ func (c *Counters) Snapshot() map[string]int64 {
 		return nil
 	}
 	return map[string]int64{
-		"drc.query.count":         c.Queries.Load(),
-		"drc.query.objects":       c.QueryObjects.Load(),
-		"drc.check.metal":         c.MetalChecks.Load(),
-		"drc.check.cut":           c.CutChecks.Load(),
-		"drc.check.eol":           c.EOLChecks.Load(),
-		"drc.check.minstep":       c.MinStepChecks.Load(),
-		"drc.check.pair":          c.PairChecks.Load(),
-		"drc.via.attempted":       c.ViaChecks.Load(),
-		"drc.via.clean":           c.ViaClean.Load(),
-		"drc.violations":          c.Violations.Load(),
-		"drc.viacache.hit":        c.CacheHits.Load(),
-		"drc.viacache.miss":       c.CacheMisses.Load(),
-		"drc.viacache.invalidate": c.CacheInvalidates.Load(),
+		"drc.query.count":                   c.Queries.Load(),
+		"drc.query.objects":                 c.QueryObjects.Load(),
+		"drc.check.metal":                   c.MetalChecks.Load(),
+		"drc.check.cut":                     c.CutChecks.Load(),
+		"drc.check.eol":                     c.EOLChecks.Load(),
+		"drc.check.minstep":                 c.MinStepChecks.Load(),
+		"drc.check.pair":                    c.PairChecks.Load(),
+		"drc.via.attempted":                 c.ViaChecks.Load(),
+		"drc.via.clean":                     c.ViaClean.Load(),
+		"drc.violations":                    c.Violations.Load(),
+		"drc.viacache.hit":                  c.CacheHits.Load(),
+		"drc.viacache.miss":                 c.CacheMisses.Load(),
+		"drc.viacache.invalidate":           c.CacheInvalidates.Load(),
+		"drc.viacache.invalidate.scoped":    c.CacheEvictScoped.Load(),
+		"drc.viacache.invalidate.wholesale": c.CacheEvictWholesale.Load(),
 	}
 }
 
@@ -280,7 +288,7 @@ func (e *Engine) ViaCacheAttached() bool { return e.cache != nil }
 // Add registers a shape and returns its ID.
 func (e *Engine) Add(o Obj) int {
 	if e.cache != nil {
-		e.cache.invalidate(e.Counters)
+		e.cache.noteMutation(o.Rect, e.Counters)
 	}
 	o.ID = len(e.objs)
 	e.objs = append(e.objs, o)
@@ -311,7 +319,7 @@ func (e *Engine) Remove(id int) {
 		return
 	}
 	if e.cache != nil {
-		e.cache.invalidate(e.Counters)
+		e.cache.noteMutation(e.objs[id].Rect, e.Counters)
 	}
 	o := &e.objs[id]
 	switch {

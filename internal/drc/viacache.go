@@ -24,10 +24,16 @@ import (
 // the same key run the underlying check once and share the verdict, keeping
 // the engine's check counters deterministic across worker schedules.
 //
-// Invalidation: engines with an attached cache clear it on every Add/Remove.
-// Content addressing alone already keeps stale entries from answering wrongly
-// (a mutated environment hashes to a new signature), so invalidation here is
-// memory hygiene — it bounds the cache to verdicts about live geometry.
+// Invalidation: engines with an attached cache note the mutated rectangle on
+// every Add/Remove, and the next lookup (or Len) sweeps the cache, evicting
+// only the entries whose recorded query-window region overlaps a mutated
+// rectangle. Content addressing alone already keeps stale entries from
+// answering wrongly (a mutated environment hashes to a new signature), so
+// invalidation here is memory hygiene — it bounds the cache to verdicts about
+// live geometry. When too many mutations pile up between sweeps the pending
+// list degrades to a wholesale flush (the pre-scoped behaviour); the
+// drc.viacache.invalidate.scoped / .wholesale counters make the split
+// observable.
 type ViaCache struct {
 	shards [viaCacheShards]viaShard
 
@@ -36,7 +42,19 @@ type ViaCache struct {
 	// workers), engines over a different Technology refuse the cache.
 	tech atomic.Pointer[tech.Technology]
 
-	invalidations atomic.Int64
+	invalidations    atomic.Int64
+	scopedEvicted    atomic.Int64
+	wholesaleEvicted atomic.Int64
+
+	// dirty flags queued mutations; the hot lookup path pays one atomic load
+	// when the queue is empty. pending holds the mutated rectangles (absolute
+	// coordinates) guarded by pmu; overflow past viaPendingMax sets
+	// pendingWholesale and drops the list.
+	dirty            atomic.Bool
+	pmu              sync.Mutex
+	pending          []geom.Rect
+	pendingWholesale bool
+	pendingCtrs      *Counters
 }
 
 const (
@@ -44,6 +62,13 @@ const (
 	// viaShardCap bounds each shard; an overflowing shard is reset wholesale
 	// (the cache is a memo, not a store — losing entries only costs misses).
 	viaShardCap = 1 << 15
+	// viaPendingMax bounds the queued mutation rectangles per sweep; a burst
+	// beyond it (bulk engine edits) degrades to a wholesale flush, which is
+	// cheaper than testing every entry against hundreds of rects. A single
+	// instance re-placement enqueues roughly twice its shape count (removes
+	// plus adds), so the bound comfortably covers a several-op ECO while
+	// keeping the worst-case sweep at entries x 256 rectangle tests.
+	viaPendingMax = 256
 )
 
 type viaShard struct {
@@ -63,6 +88,13 @@ type viaEntry struct {
 	wg      sync.WaitGroup
 	verdict int
 	failed  bool // the fill panicked; waiters fall back to an uncached check
+	// region is the union of the absolute query windows every lookup that
+	// reached this entry opened (the signature is translation invariant, so
+	// one entry may describe drops at many positions; hits grow the union).
+	// A mutation outside region cannot change which key a future lookup at
+	// any of those positions computes, so the scoped sweep keeps the entry.
+	// Guarded by the owning shard's mutex.
+	region geom.Rect
 }
 
 // NewViaCache creates an empty verdict cache.
@@ -74,8 +106,10 @@ func NewViaCache() *ViaCache {
 	return c
 }
 
-// Len returns the number of cached verdicts.
+// Len returns the number of cached verdicts, after applying any pending
+// invalidations (so a mutation's eviction effect is visible immediately).
 func (c *ViaCache) Len() int {
+	c.sweep()
 	n := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -86,25 +120,91 @@ func (c *ViaCache) Len() int {
 	return n
 }
 
-// Invalidations returns how many times the cache was cleared by engine
-// mutation.
+// Invalidations returns how many engine mutations (Add/Remove) were noted
+// against the cache.
 func (c *ViaCache) Invalidations() int64 { return c.invalidations.Load() }
 
-// invalidate drops every entry. Engines call it from Add/Remove; the engine
-// mutation contract (no concurrent queries during mutation) covers the cache
-// too.
-func (c *ViaCache) invalidate(ctrs *Counters) {
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		if len(sh.m) > 0 {
-			sh.m = make(map[viaKey]*viaEntry)
+// ScopedEvicted returns the number of entries evicted by halo-overlap-scoped
+// sweeps; WholesaleEvicted the number dropped by whole-cache flushes
+// (pending-queue overflow).
+func (c *ViaCache) ScopedEvicted() int64    { return c.scopedEvicted.Load() }
+func (c *ViaCache) WholesaleEvicted() int64 { return c.wholesaleEvicted.Load() }
+
+// noteMutation queues a mutated rectangle for the next sweep. Engines call it
+// from Add/Remove; the engine mutation contract (no concurrent queries during
+// mutation) covers the queue's consistency with the entries, and the sweep
+// itself is safe against concurrent lookups.
+func (c *ViaCache) noteMutation(r geom.Rect, ctrs *Counters) {
+	c.pmu.Lock()
+	c.pendingCtrs = ctrs
+	if !c.pendingWholesale {
+		if len(c.pending) >= viaPendingMax {
+			c.pendingWholesale = true
+			c.pending = c.pending[:0]
+		} else {
+			c.pending = append(c.pending, r)
 		}
-		sh.mu.Unlock()
 	}
+	c.pmu.Unlock()
+	c.dirty.Store(true)
 	c.invalidations.Add(1)
 	if ctrs != nil {
 		ctrs.CacheInvalidates.Add(1)
+	}
+}
+
+// sweep applies the queued invalidations: scoped (evict entries whose region
+// overlaps a mutated rect) or wholesale on queue overflow. Runs at the next
+// lookup or Len call after a mutation; a clean queue costs one atomic load.
+func (c *ViaCache) sweep() {
+	if !c.dirty.Load() {
+		return
+	}
+	c.pmu.Lock()
+	if !c.dirty.Swap(false) {
+		c.pmu.Unlock()
+		return
+	}
+	rects := append([]geom.Rect(nil), c.pending...)
+	whole := c.pendingWholesale
+	ctrs := c.pendingCtrs
+	c.pending = c.pending[:0]
+	c.pendingWholesale = false
+	c.pmu.Unlock()
+
+	var evicted int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		switch {
+		case whole:
+			if n := len(sh.m); n > 0 {
+				evicted += int64(n)
+				sh.m = make(map[viaKey]*viaEntry)
+			}
+		default:
+			for k, ent := range sh.m {
+				for _, r := range rects {
+					if ent.region.Touches(r) {
+						delete(sh.m, k)
+						evicted++
+						break
+					}
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if whole {
+		c.wholesaleEvicted.Add(evicted)
+		if ctrs != nil {
+			ctrs.CacheEvictWholesale.Add(evicted)
+		}
+	} else {
+		c.scopedEvicted.Add(evicted)
+		if ctrs != nil {
+			ctrs.CacheEvictScoped.Add(evicted)
+		}
 	}
 }
 
@@ -125,6 +225,29 @@ type sigEntry struct {
 	cls   uint8 // 0 = metal below, 1 = metal above, 2 = cut, 3 = same-net rect
 	flags uint8 // bit 0: same net as the candidate; bit 1: NoNet blockage
 	r     geom.Rect
+}
+
+// SigHalo is the exported form of sigHalo: the halo distance that covers
+// every query window a via check opens on the layer. Incremental flows use it
+// to bound how far an engine mutation can influence cached via verdicts.
+func SigHalo(l *tech.RoutingLayer) int64 { return sigHalo(l) }
+
+// viaRegion returns the union of the query windows a CheckVia of v at p opens
+// — exactly the geometry viaSignature canonicalizes. A mutation that does not
+// touch this region cannot change the signature (hence the verdict) of a drop
+// at p.
+func (e *Engine) viaRegion(v *tech.ViaDef, p geom.Point) geom.Rect {
+	k := v.CutBelow
+	r := v.BotRect(p).Bloat(sigHalo(e.Tech.Metal(k)))
+	r = r.UnionBBox(v.TopRect(p).Bloat(sigHalo(e.Tech.Metal(k + 1))))
+	if c := e.Tech.Cut(k); c != nil && len(v.Cuts) > 0 {
+		win := v.Cuts[0].Shift(p)
+		for _, cr := range v.Cuts[1:] {
+			win = win.UnionBBox(cr.Shift(p))
+		}
+		r = r.UnionBBox(win.Bloat(c.Spacing))
+	}
+	return r
 }
 
 // sigHalo returns the halo distance that covers every query window CheckVia
@@ -249,7 +372,9 @@ func (e *Engine) CheckViaVerdictProvCtx(v *tech.ViaDef, p geom.Point, net int, s
 	if e.cache == nil || qc == nil || e.FaultHook != nil {
 		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc)), false
 	}
+	e.cache.sweep()
 	key := viaKey{via: v, sig: e.viaSignature(v, p, net, sameNetRects, qc)}
+	region := e.viaRegion(v, p)
 	sh := e.cache.shard(key.sig)
 	sh.mu.Lock()
 	ent, ok := sh.m[key]
@@ -257,9 +382,14 @@ func (e *Engine) CheckViaVerdictProvCtx(v *tech.ViaDef, p geom.Point, net int, s
 		if len(sh.m) >= viaShardCap {
 			sh.m = make(map[viaKey]*viaEntry)
 		}
-		ent = &viaEntry{}
+		ent = &viaEntry{region: region}
 		ent.wg.Add(1)
 		sh.m[key] = ent
+	} else {
+		// The signature is translation invariant, so this hit may be a drop at
+		// a new absolute position; grow the region so a future mutation near
+		// it still evicts the entry.
+		ent.region = ent.region.UnionBBox(region)
 	}
 	sh.mu.Unlock()
 	if ok {

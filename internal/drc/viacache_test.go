@@ -187,3 +187,98 @@ func TestViaCacheBypass(t *testing.T) {
 		t.Fatalf("bypass paths touched cache counters: %d", n)
 	}
 }
+
+// TestViaCacheScopedEviction pins the surgical invalidation contract: a
+// mutation evicts exactly the entries whose recorded query windows overlap
+// the mutated rect. An entry far away survives and keeps serving hits.
+func TestViaCacheScopedEviction(t *testing.T) {
+	e, v, bar, c, qc := viaCacheFixture(t)
+	// A second, far-away bar on a different net: its signature differs from
+	// the near bar's (different net relation distances), giving a second
+	// cache entry with a region around x~50000.
+	farBar := geom.R(50000, 400, 51000, 470)
+	e.AddMetal(1, farBar, 3, KindPin, "pin-far")
+	qc = e.NewQueryCtx()
+
+	pNear, pFar := geom.Pt(500, 435), geom.Pt(50500, 460)
+	if got, want := e.CheckViaVerdictCtx(v, pNear, 1, []geom.Rect{bar}, qc), len(e.CheckVia(v, pNear, 1, []geom.Rect{bar})); got != want {
+		t.Fatalf("near verdict %d != live %d", got, want)
+	}
+	if got, want := e.CheckViaVerdictCtx(v, pFar, 3, []geom.Rect{farBar}, qc), len(e.CheckVia(v, pFar, 3, []geom.Rect{farBar})); got != want {
+		t.Fatalf("far verdict %d != live %d", got, want)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache Len = %d, want 2 distinct signatures", c.Len())
+	}
+
+	// Mutate next to the near drop only.
+	blocker := e.AddMetal(1, geom.R(0, 530, 1000, 600), 2, KindPin, "blocker")
+	if c.Len() != 1 {
+		t.Fatalf("scoped eviction left Len = %d, want 1 (near entry only)", c.Len())
+	}
+	if n := c.ScopedEvicted(); n != 1 {
+		t.Fatalf("ScopedEvicted = %d, want 1", n)
+	}
+	if n := c.WholesaleEvicted(); n != 0 {
+		t.Fatalf("WholesaleEvicted = %d, want 0", n)
+	}
+	if n := e.Counters.CacheEvictScoped.Load(); n != 1 {
+		t.Fatalf("drc.viacache.invalidate.scoped = %d, want 1", n)
+	}
+	if n := e.Counters.CacheEvictWholesale.Load(); n != 0 {
+		t.Fatalf("drc.viacache.invalidate.wholesale = %d, want 0", n)
+	}
+
+	// The surviving far entry still answers from cache.
+	qc = e.NewQueryCtx()
+	hits := e.Counters.CacheHits.Load()
+	if got, want := e.CheckViaVerdictCtx(v, pFar, 3, []geom.Rect{farBar}, qc), len(e.CheckVia(v, pFar, 3, []geom.Rect{farBar})); got != want {
+		t.Fatalf("far verdict after scoped eviction %d != live %d", got, want)
+	}
+	if e.Counters.CacheHits.Load() != hits+1 {
+		t.Fatal("surviving entry did not serve a hit after scoped eviction")
+	}
+	// The evicted near entry recomputes against the new world.
+	misses := e.Counters.CacheMisses.Load()
+	if got, want := e.CheckViaVerdictCtx(v, pNear, 1, []geom.Rect{bar}, qc), len(e.CheckVia(v, pNear, 1, []geom.Rect{bar})); got != want {
+		t.Fatalf("near verdict after scoped eviction %d != live %d", got, want)
+	}
+	if e.Counters.CacheMisses.Load() != misses+1 {
+		t.Fatal("evicted entry did not recompute")
+	}
+	_ = blocker
+}
+
+// TestViaCacheWholesaleOverflow: more pending mutations than the bounded
+// rect list holds degrade to a wholesale flush, booked on the wholesale
+// counter rather than the scoped one.
+func TestViaCacheWholesaleOverflow(t *testing.T) {
+	e, v, bar, c, qc := viaCacheFixture(t)
+	p := geom.Pt(500, 435)
+	if got := e.CheckViaVerdictCtx(v, p, 1, []geom.Rect{bar}, qc); got != 0 {
+		t.Fatalf("verdict = %d, want 0", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache Len = %d, want 1", c.Len())
+	}
+
+	// Far more mutations than the pending-rect bound, all far from the entry.
+	var ids []int
+	for i := 0; i < 300; i++ {
+		x := int64(200000 + i*1000)
+		ids = append(ids, e.AddMetal(1, geom.R(x, 0, x+100, 70), NoNet, KindObs, ""))
+	}
+	if c.Len() != 0 {
+		t.Fatalf("overflowed invalidation left Len = %d, want 0 (wholesale)", c.Len())
+	}
+	if n := c.WholesaleEvicted(); n != 1 {
+		t.Fatalf("WholesaleEvicted = %d, want 1", n)
+	}
+	if n := c.ScopedEvicted(); n != 0 {
+		t.Fatalf("ScopedEvicted = %d, want 0", n)
+	}
+	if n := e.Counters.CacheEvictWholesale.Load(); n != 1 {
+		t.Fatalf("drc.viacache.invalidate.wholesale = %d, want 1", n)
+	}
+	_ = ids
+}

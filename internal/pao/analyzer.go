@@ -128,7 +128,11 @@ func (a *Analyzer) LiveCounters() map[string]int64 {
 // via-drop verdict cache (drc layer) and the via-pair cache (Step 2/3).
 type CacheStats struct {
 	ViaHits, ViaMisses, ViaInvalidations int64
-	PairHits, PairMisses                 int64
+	// ViaEvictScoped/ViaEvictWholesale split the entries evicted from the
+	// via-verdict cache by mutation handling: halo-overlap-scoped sweeps vs
+	// whole-cache flushes (see drc.ViaCache).
+	ViaEvictScoped, ViaEvictWholesale int64
+	PairHits, PairMisses              int64
 }
 
 // HitRate returns hits/(hits+misses), or 0 with no lookups.
@@ -148,9 +152,11 @@ func (s CacheStats) PairHitRate() float64 { return hitRate(s.PairHits, s.PairMis
 // CacheStats reports the analyzer's cache counters accumulated so far.
 func (a *Analyzer) CacheStats() CacheStats {
 	s := CacheStats{
-		ViaHits:          a.DRC.CacheHits.Load(),
-		ViaMisses:        a.DRC.CacheMisses.Load(),
-		ViaInvalidations: a.DRC.CacheInvalidates.Load(),
+		ViaHits:           a.DRC.CacheHits.Load(),
+		ViaMisses:         a.DRC.CacheMisses.Load(),
+		ViaInvalidations:  a.DRC.CacheInvalidates.Load(),
+		ViaEvictScoped:    a.DRC.CacheEvictScoped.Load(),
+		ViaEvictWholesale: a.DRC.CacheEvictWholesale.Load(),
 	}
 	if a.pairs != nil {
 		s.PairHits = a.pairs.hits.Load()
@@ -158,6 +164,12 @@ func (a *Analyzer) CacheStats() CacheStats {
 	}
 	return s
 }
+
+// SharedViaCache exposes the analyzer's shared via-verdict cache (nil with
+// Cfg.NoCache) for introspection: benchmarks read its entry count and
+// eviction counters directly, unpolluted by the private scratch caches the
+// ECO path spins up.
+func (a *Analyzer) SharedViaCache() *drc.ViaCache { return a.viaCache }
 
 // NetOf returns the net index of an instance pin, allocating a pseudo net for
 // unconnected pins (stable across calls).
@@ -213,30 +225,51 @@ func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]in
 // their real nets, obstructions and power shapes as blockages, IO pins) for
 // Step-3 inter-cell checks and failed-pin accounting.
 func (a *Analyzer) GlobalEngine() *drc.Engine {
+	return a.globalEngine(a.viaCache, nil)
+}
+
+// globalEngine is GlobalEngine with an explicit verdict cache (so mutating
+// flows can use a private one and leave the shared warm cache untouched) and
+// an optional per-object callback that reports which instance contributed
+// each engine object — the ECO engine uses it to remove exactly an instance's
+// shapes later. IO-pin objects are not reported (they never mutate).
+func (a *Analyzer) globalEngine(cache *drc.ViaCache, record func(inst *db.Instance, objID int)) *drc.Engine {
 	eng := drc.NewEngine(a.Design.Tech)
 	eng.Counters = a.DRC
 	if hook := a.DRCFaultHook; hook != nil {
 		eng.FaultHook = func(site string) []drc.Violation { return hook(site, "global") }
 	}
 	for _, inst := range a.Design.Instances {
-		for _, pin := range inst.Master.Pins {
-			net := drc.NoNet
-			if pin.Use == db.UseSignal || pin.Use == db.UseClock {
-				net = a.NetOf(inst, pin)
+		for _, id := range a.addInstanceShapes(eng, inst) {
+			if record != nil {
+				record(inst, id)
 			}
-			for _, s := range inst.PinShapes(pin) {
-				eng.AddMetal(s.Layer, s.Rect, net, drc.KindPin, "")
-			}
-		}
-		for _, s := range inst.ObsShapes() {
-			eng.AddMetal(s.Layer, s.Rect, drc.NoNet, drc.KindObs, "")
 		}
 	}
 	for _, io := range a.Design.IOPins {
 		eng.AddMetal(io.Shape.Layer, io.Shape.Rect, a.ioNet(io), drc.KindIOPin, io.Name)
 	}
-	eng.AttachViaCache(a.viaCache)
+	eng.AttachViaCache(cache)
 	return eng
+}
+
+// addInstanceShapes registers one instance's pin and obstruction shapes with
+// the engine exactly as the global engine does, returning the object IDs.
+func (a *Analyzer) addInstanceShapes(eng *drc.Engine, inst *db.Instance) []int {
+	var ids []int
+	for _, pin := range inst.Master.Pins {
+		net := drc.NoNet
+		if pin.Use == db.UseSignal || pin.Use == db.UseClock {
+			net = a.NetOf(inst, pin)
+		}
+		for _, s := range inst.PinShapes(pin) {
+			ids = append(ids, eng.AddMetal(s.Layer, s.Rect, net, drc.KindPin, ""))
+		}
+	}
+	for _, s := range inst.ObsShapes() {
+		ids = append(ids, eng.AddMetal(s.Layer, s.Rect, drc.NoNet, drc.KindObs, ""))
+	}
+	return ids
 }
 
 func (a *Analyzer) ioNet(io *db.IOPin) int {

@@ -33,13 +33,17 @@ type PinAnswer struct {
 
 // QueryResponse answers /v1/access?inst=NAME.
 type QueryResponse struct {
-	Inst     string      `json:"inst"`
-	Class    string      `json:"class"`
-	Status   string      `json:"status"` // ok | degraded | failed
-	Degraded bool        `json:"degraded"`
-	Pattern  int         `json:"pattern"` // selected pattern index, -1 when none
-	Source   string      `json:"source"`  // snapshot | recompute
-	Pins     []PinAnswer `json:"pins"`
+	Inst     string `json:"inst"`
+	Class    string `json:"class"`
+	Status   string `json:"status"` // ok | degraded | failed
+	Degraded bool   `json:"degraded"`
+	// EcoPending marks the transient window where an ECO has re-placed this
+	// instance but its re-analysis has not merged yet; the pins are degraded
+	// fallbacks until the post-ECO result swaps in.
+	EcoPending bool        `json:"eco_pending,omitempty"`
+	Pattern    int         `json:"pattern"` // selected pattern index, -1 when none
+	Source     string      `json:"source"`  // snapshot | recompute | eco
+	Pins       []PinAnswer `json:"pins"`
 }
 
 // HealthzResponse answers /healthz (always 200: liveness + health summary).
@@ -136,7 +140,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, VersionResponse{
 		Build:             telemetry.Build(),
 		Design:            s.design.Name,
-		DesignHash:        s.designHash,
+		DesignHash:        s.DesignHash(),
 		ConfigFingerprint: pao.ConfigFingerprint(s.paoCfg),
 		Source:            s.Source(),
 	})
@@ -173,6 +177,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?inst= or ?pin= parameter", http.StatusBadRequest)
 		return
 	}
+	// Explain re-derives over the live design; hold the read lock so an ECO
+	// can't re-place instances underneath the derivation.
+	s.designMu.RLock()
+	defer s.designMu.RUnlock()
 	inst := s.design.InstByName(name)
 	if inst == nil {
 		http.Error(w, "unknown instance "+name, http.StatusNotFound)
@@ -256,8 +264,12 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?inst= parameter", http.StatusBadRequest)
 		return
 	}
+	// The read side of the design lock: an ECO's Begin briefly holds the
+	// write side while it re-places instances.
+	s.designMu.RLock()
 	inst := s.design.InstByName(name)
 	if inst == nil {
+		s.designMu.RUnlock()
 		http.Error(w, "unknown instance "+name, http.StatusNotFound)
 		return
 	}
@@ -267,6 +279,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	sp := telemetry.SpanFrom(r.Context()).Start("access.answer")
 	resp := s.answer(st, inst)
 	sp.End()
+	s.designMu.RUnlock()
 	if resp.Degraded {
 		s.reg().Counter("serve.degraded.answers").Inc()
 	}
@@ -277,6 +290,20 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 func (s *Server) answer(st *state, inst *db.Instance) QueryResponse {
 	res := st.res
 	resp := QueryResponse{Inst: inst.Name, Source: st.source, Pattern: -1, Pins: []PinAnswer{}}
+	if st.ecoDirty[inst.ID] {
+		// Mid-ECO window and this instance's class binding is stale: the
+		// stored analysis describes its old placement, so synthesize
+		// clearly-marked geometric fallbacks at the new placement.
+		s.reg().Counter("serve.eco.degraded.answers").Inc()
+		resp.Class = s.design.InstanceSignature(inst)
+		resp.Status = pao.StatusDegraded.String()
+		resp.Degraded = true
+		resp.EcoPending = true
+		for _, pin := range inst.Master.SignalPins() {
+			resp.Pins = append(resp.Pins, fallbackAnswer(inst, pin))
+		}
+		return resp
+	}
 	ua := res.ByInstance[inst.ID]
 	if ua != nil {
 		resp.Class = ua.UI.Signature()

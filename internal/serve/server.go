@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,7 +105,12 @@ type Config struct {
 // the pointer is the only write, so queries never take a lock.
 type state struct {
 	res    *pao.Result
-	source string // "snapshot" or "recompute"
+	source string // "snapshot", "recompute" or "eco"
+	// ecoDirty, when non-nil, marks the window between an ECO's design
+	// mutation and its merged result: the listed instance IDs have a stale
+	// class binding in res and answer with degraded fallbacks until the
+	// post-ECO state swaps in. Everything else still answers exactly.
+	ecoDirty map[int]bool
 }
 
 // Server is the resident oracle. Create with New, then Init (warm restart or
@@ -137,6 +143,15 @@ type Server struct {
 	brk         *breaker
 	reanalyzing atomic.Bool
 	draining    atomic.Bool
+
+	// ecoMu serializes everything that needs a quiescent design for a long
+	// stretch: ECO transactions, background re-analysis and snapshot writes.
+	// Queries never take it. designMu guards the design database itself:
+	// queries hold the read side, and an ECO holds the write side only for
+	// the brief Begin mutation — never across re-analysis.
+	ecoMu    sync.Mutex
+	designMu sync.RWMutex
+	eco      *pao.ECOSession // guarded by ecoMu; rebuilt when the result moved
 
 	// lastSnapshotNS is the unix-nano time of the newest on-disk snapshot
 	// (0 = none); snapMu serializes writers.
@@ -356,6 +371,10 @@ func (s *Server) WriteSnapshot(ctx context.Context) error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
 	}
+	// A snapshot pairs the design with the result; taking ecoMu keeps an ECO
+	// from mutating the design between the state load and the file write.
+	s.ecoMu.Lock()
+	defer s.ecoMu.Unlock()
 	st := s.curState.Load()
 	if st == nil {
 		return nil
@@ -424,6 +443,10 @@ func (s *Server) reanalyze(ctx context.Context) {
 	if h := s.FaultHook; h != nil {
 		h(SiteReanalyze, "")
 	}
+	// Re-analysis reads the whole design; hold ecoMu (not designMu) so an
+	// ECO can't mutate it mid-run while queries stay unblocked.
+	s.ecoMu.Lock()
+	defer s.ecoMu.Unlock()
 	res, err := s.compute(ctx)
 	switch {
 	case err != nil:
@@ -539,7 +562,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/access", s.admitted("access", s.handleAccess))
 	mux.HandleFunc("/v1/access/explain", s.admitted("explain", s.handleExplain))
 	mux.HandleFunc("/v1/reanalyze", s.handleReanalyze)
+	mux.HandleFunc("/v1/eco", s.admitted("eco", s.handleECO))
 	return mux
+}
+
+// DesignHash returns the hash of the design as currently placed (ECOs update
+// it).
+func (s *Server) DesignHash() string {
+	s.designMu.RLock()
+	defer s.designMu.RUnlock()
+	return s.designHash
 }
 
 // statusWriter captures the response status code for query accounting.
