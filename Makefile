@@ -5,7 +5,8 @@ GO ?= go
 
 .PHONY: all build test vet bench bench-json bench-check bench-eco experiments \
 	experiments-full examples clean difftest eco-difftest golden-update \
-	fuzz-smoke cover faultinject serve-smoke telemetry-smoke
+	fuzz-smoke cover faultinject serve-smoke telemetry-smoke dist-difftest \
+	dist-smoke
 
 all: build vet test
 
@@ -68,6 +69,25 @@ telemetry-smoke:
 	$(GO) test -race -v -run 'TestTelemetrySmoke' ./cmd/paoserve
 	$(GO) test -race ./internal/telemetry ./internal/serve
 	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
+
+# Distributed-analysis acceptance campaign under the race detector: the
+# coordinator/worker shard-out must produce snapshots byte-identical to the
+# single-process run — across three testcases with the memoization caches on
+# and off, with network faults tearing at the wire (dropped dispatches,
+# corrupted responses, jittered delays), and with a real worker subprocess
+# SIGKILLed mid-run (shards relocate, health stays clean). Also covers the
+# consistent-hash ring properties, the frame/partial-snapshot wire format,
+# and the pao-level slice/merge round trip.
+dist-difftest:
+	$(GO) test -race -v ./internal/dist
+	$(GO) test -race -v -run 'TestDistributedSingleProcess' ./internal/difftest
+	$(GO) test -race -run 'TestPartial|TestAnalyzeSelect|TestAnalyzeClasses|TestSelectClusters' ./internal/pao
+
+# Distributed smoke: boot a real paoworker (ready probe, SIGTERM drain) and
+# run paorun -distributed against in-process shard workers, requiring reports
+# identical to the single-process run.
+dist-smoke:
+	$(GO) test -race -v -run 'TestDistSmoke' ./cmd/paoworker ./cmd/paorun
 
 # Re-pin the golden per-testcase result snapshots after an intentional
 # behaviour change (testdata/golden/*.json).

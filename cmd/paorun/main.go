@@ -7,10 +7,16 @@
 // telemetry and span timing tree; -trace writes the span tree as JSON to a
 // file; -cpuprofile/-memprofile write runtime/pprof profiles.
 //
+// With -distributed the analysis shards out across paoworker processes
+// (consistent-hash placement, retry/hedge/relocate on worker loss) and the
+// result is byte-identical to the single-process run.
+//
 // Usage:
 //
 //	paorun -lef design.lef -def design.def [-dump] [-nobca] [-k 3] [-workers 4]
 //	       [-v] [-metrics text|json] [-trace out.json] [-cpuprofile cpu.pb.gz]
+//	paorun -lef design.lef -def design.def -distributed \
+//	       -workers-addr 127.0.0.1:8451,127.0.0.1:8452
 package main
 
 import (
@@ -18,10 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/def"
+	"repro/internal/dist"
 	"repro/internal/lef"
 	"repro/internal/obs"
 	"repro/internal/pao"
@@ -29,12 +37,26 @@ import (
 	"repro/internal/telemetry"
 )
 
+// splitAddrs parses the -workers-addr list, tolerating spaces and trailing
+// commas.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // options holds the parsed command line; parseFlags keeps it testable with
 // an injected FlagSet and argument list.
 type options struct {
 	lefPath, defPath     string
 	dump, verbose, noBCA bool
 	k, workers           int
+	distributed          bool
+	workersAddr          string
 	run                  *cliutil.RunFlags
 	obs                  *obs.Flags
 	tel                  *telemetry.Flags
@@ -50,6 +72,8 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	fs.BoolVar(&o.noBCA, "nobca", false, "disable boundary conflict awareness")
 	fs.IntVar(&o.k, "k", 3, "target access points per pin")
 	fs.IntVar(&o.workers, "workers", 1, "analysis worker goroutines")
+	fs.BoolVar(&o.distributed, "distributed", false, "shard the analysis across paoworker processes")
+	fs.StringVar(&o.workersAddr, "workers-addr", "", "comma-separated paoworker addresses for -distributed")
 	o.run = cliutil.RegisterRunFlags(fs)
 	o.obs = obs.RegisterFlags(fs)
 	o.tel = telemetry.RegisterFlags(fs)
@@ -58,6 +82,12 @@ func parseFlags(fs *flag.FlagSet, args []string) (*options, error) {
 	}
 	if o.lefPath == "" || o.defPath == "" {
 		return nil, fmt.Errorf("-lef and -def are required")
+	}
+	if o.distributed && o.workersAddr == "" {
+		return nil, fmt.Errorf("-distributed requires -workers-addr")
+	}
+	if !o.distributed && o.workersAddr != "" {
+		return nil, fmt.Errorf("-workers-addr requires -distributed")
 	}
 	return o, nil
 }
@@ -119,12 +149,30 @@ func run(opts *options) error {
 	cfg.BCA = !opts.noBCA
 	cfg.Workers = opts.workers
 	cfg.FailFast = opts.run.FailFastSet()
-	a := pao.NewAnalyzer(d, cfg)
-	a.Obs = o
-	tel.SetExtra(a.LiveCounters) // mid-run -metrics-listen scrapes see progress
-	res, runErr := a.RunContext(ctx)
-	a.PublishObs()
-	tel.SetExtra(nil) // totals now live in the registry; don't double-count
+	var (
+		res    *pao.Result
+		runErr error
+	)
+	if opts.distributed {
+		// Shard the run across paoworker processes. The coordinator degrades
+		// gracefully — unreachable or lost workers relocate shards and, with
+		// nobody left, it computes shards locally — so a distributed run never
+		// fails harder than a local one.
+		c := &dist.Coordinator{
+			Design:  d,
+			Cfg:     cfg,
+			Workers: splitAddrs(opts.workersAddr),
+			Obs:     o,
+		}
+		res, runErr = c.Run(ctx)
+	} else {
+		a := pao.NewAnalyzer(d, cfg)
+		a.Obs = o
+		tel.SetExtra(a.LiveCounters) // mid-run -metrics-listen scrapes see progress
+		res, runErr = a.RunContext(ctx)
+		a.PublishObs()
+		tel.SetExtra(nil) // totals now live in the registry; don't double-count
+	}
 
 	t := report.New(fmt.Sprintf("Pin access summary for %s", d.Name),
 		"#Inst", "#Unique", "#APs", "#OffTrack", "#Patterns", "#Pins", "#Failed")

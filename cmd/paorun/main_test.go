@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,12 @@ import (
 
 	"repro/internal/clitest"
 	"repro/internal/cliutil"
+	"repro/internal/db"
+	"repro/internal/def"
+	"repro/internal/dist"
+	"repro/internal/lef"
 	"repro/internal/obs"
+	"repro/internal/pao"
 )
 
 func newFlagSet() *flag.FlagSet {
@@ -31,6 +37,12 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags(newFlagSet(), []string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-def", "a.def", "-distributed"}); err == nil {
+		t.Fatal("-distributed without -workers-addr must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-def", "a.def", "-workers-addr", "h:1"}); err == nil {
+		t.Fatal("-workers-addr without -distributed must be an error")
 	}
 	o, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef", "-def", "a.def"})
 	if err != nil {
@@ -99,6 +111,81 @@ func TestRunMetricsAndTrace(t *testing.T) {
 	if span.Name != "paorun" || len(span.Children) == 0 {
 		t.Errorf("trace root = %q with %d children", span.Name, len(span.Children))
 	}
+}
+
+// TestDistSmokeRunMatchesLocal runs paorun end to end twice over the same
+// LEF/DEF pair — once single-process, once -distributed against two in-process
+// shard workers — and requires identical reports plus evidence in -metrics
+// that shards actually crossed the wire.
+func TestDistSmokeRunMatchesLocal(t *testing.T) {
+	lefPath, defPath := clitest.WriteLEFDEF(t, clitest.SmallSpec(), nil)
+
+	var local bytes.Buffer
+	if err := run(&options{
+		lefPath: lefPath, defPath: defPath, k: 3, workers: 2,
+		obs: &obs.Flags{}, out: &local,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard workers load the design from the same files, like paoworker does.
+	servers := make([]string, 2)
+	for i := range servers {
+		wopts := &options{lefPath: lefPath, defPath: defPath}
+		d, err := loadWorkerDesign(wopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := pao.DefaultConfig()
+		cfg.K = 3
+		srv := httptest.NewServer(dist.NewWorker(d, cfg).Handler())
+		t.Cleanup(srv.Close)
+		servers[i] = srv.URL
+	}
+
+	var out, metrics bytes.Buffer
+	if err := run(&options{
+		lefPath: lefPath, defPath: defPath, k: 3, workers: 2,
+		distributed: true, workersAddr: strings.Join(servers, ","),
+		obs: &obs.Flags{Metrics: "json", Out: &metrics},
+		out: &out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != local.String() {
+		t.Errorf("distributed report differs from single-process:\n%s\nvs\n%s",
+			out.String(), local.String())
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(metrics.Bytes(), &rep); err != nil {
+		t.Fatalf("-metrics json output is not a Report: %v\n%s", err, metrics.Bytes())
+	}
+	if rep.Counters["dist.shards.ok"] == 0 {
+		t.Error("distributed run dispatched no shards; the smoke test is vacuous")
+	}
+	if rep.Counters["dist.shards.local"] != 0 {
+		t.Errorf("healthy workers must serve every shard, got %d local", rep.Counters["dist.shards.local"])
+	}
+}
+
+// loadWorkerDesign mirrors cmd/paoworker's design loading for the in-process
+// shard workers of the smoke test.
+func loadWorkerDesign(opts *options) (*db.Design, error) {
+	lf, err := os.Open(opts.lefPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	lib, err := lef.Parse(lf)
+	if err != nil {
+		return nil, err
+	}
+	df, err := os.Open(opts.defPath)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	return def.Parse(df, lib.Tech, lib.Masters)
 }
 
 func TestRunBadPath(t *testing.T) {

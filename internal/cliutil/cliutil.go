@@ -162,6 +162,12 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 	}
 	var err error
 	for n := 1; ; n++ {
+		// Checking before every attempt (not only inside the timer select)
+		// means a pre-cancelled context never invokes fn, and the sleep test
+		// seam path still honors cancellation between attempts.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		if err = fn(); err == nil {
 			return nil
 		}

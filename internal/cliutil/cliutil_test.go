@@ -105,6 +105,47 @@ func TestRetryContextCancelDuringBackoff(t *testing.T) {
 	}
 }
 
+// TestRetryPreCancelledContext pins the between-attempt cancellation
+// contract: a context that is already done must stop Retry before it invokes
+// fn at all — a SIGTERM arriving between attempts aborts the next one rather
+// than letting it run.
+func TestRetryPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, RetryPolicy{Attempts: 5}, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("fn ran %d times on a pre-cancelled context, want 0", calls)
+	}
+}
+
+// TestRetrySleepSeamHonorsCancel covers the test-seam path: with p.sleep set
+// there is no real timer select, so only the loop-top ctx check can stop a
+// cancellation that lands mid-backoff.
+func TestRetrySleepSeamHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	p := RetryPolicy{Attempts: 100, BaseDelay: time.Millisecond}
+	p.sleep = func(time.Duration) { cancel() } // cancellation arrives during the backoff
+	err := Retry(ctx, p, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want exactly 1 (no attempt after cancel)", calls)
+	}
+}
+
 func TestRetryPolicyDelayGrowthAndCap(t *testing.T) {
 	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
 	want := []time.Duration{10, 20, 40, 50, 50} // ms; doubled then capped

@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pao"
+	"repro/internal/suite"
+)
+
+// workerMainEnv flags a re-exec of the test binary into worker-server mode:
+// the chaos test needs a worker it can SIGKILL, and killing a goroutine is
+// not a thing — only a real subprocess dies the way a real worker does.
+const workerMainEnv = "PAO_DIST_WORKER_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerMainEnv) == "1" {
+		workerMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// workerMain is the subprocess body: serve shards for the chaos-test design
+// on an ephemeral port, printing the address on stdout for the parent.
+func workerMain() {
+	d, err := suite.Generate(suite.Testcases[0].Scale(0.01).WithSeed(7))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker subprocess:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker subprocess:", err)
+		os.Exit(1)
+	}
+	fmt.Println(ln.Addr().String())
+	if err := http.Serve(ln, NewWorker(d, pao.DefaultConfig()).Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "worker subprocess:", err)
+		os.Exit(1)
+	}
+}
+
+// startWorkerProc launches the test binary as a worker subprocess and waits
+// for it to report its listen address.
+func startWorkerProc(t *testing.T) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), workerMainEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("worker subprocess printed no address: %v", sc.Err())
+	}
+	return cmd, "http://" + strings.TrimSpace(sc.Text())
+}
+
+// TestChaosWorkerKilledMidRun is the worker-loss drill: a real worker
+// subprocess is SIGKILLed while the run is demonstrably mid-flight. The
+// coordinator must relocate the dead worker's shards to the survivor (or
+// compute them locally), finish byte-identical to the single-process run, and
+// quarantine nothing — worker loss is a transport event, not a result event.
+func TestChaosWorkerKilledMidRun(t *testing.T) {
+	d := distDesign(t)
+	cfg := pao.DefaultConfig()
+	want := snapshotBytes(t, d, cfg, pao.NewAnalyzer(d, cfg).Run())
+
+	victim, victimURL := startWorkerProc(t)
+	_, survivor := startWorker(t, cfg)
+
+	c := fastCoordinator(d, cfg, []string{victimURL, survivor.URL})
+	// One class per analyze shard: plenty of shards in flight behind the kill.
+	c.ShardClasses = 1
+	c.ShardClusters = 2
+	c.RequestTimeout = 2 * time.Second
+
+	var (
+		res    *pao.Result
+		runErr error
+		done   = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		res, runErr = c.Run(context.Background())
+	}()
+
+	// Kill once at least two shards have completed, so the run is past probe
+	// and provably mid-stream with work still queued for the victim.
+	deadline := time.Now().Add(30 * time.Second)
+	for c.ShardsDone() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never reached two completed shards")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	got := snapshotBytes(t, d, cfg, res)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("snapshot after worker kill differs from single-process: %d vs %d bytes",
+			len(got), len(want))
+	}
+	// Single-process health on this design is clean, so any quarantine growth
+	// here would be the kill leaking into the result.
+	if !res.Health.OK() {
+		t.Errorf("worker kill must not quarantine classes: %s", res.Health)
+	}
+	m := c.Obs.Reg().Snapshot()
+	recovered := m.Counters["dist.shards.relocated"] + m.Counters["dist.shards.local"]
+	if recovered == 0 {
+		t.Error("killing a worker mid-run must relocate shards or fall back locally")
+	}
+}

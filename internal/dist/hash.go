@@ -1,0 +1,94 @@
+package dist
+
+// Consistent hashing for shard placement. Class signatures are
+// translation-invariant, so every member of a class produces identical
+// via-drop cache keys — routing a signature to the same worker run after run
+// keeps that worker's ViaCache warm for exactly its share of the key space,
+// and losing a worker remaps only that worker's arc of the ring instead of
+// reshuffling everything.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual nodes per worker: enough to spread
+// small fleets evenly without making candidate walks expensive.
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash   uint64
+	worker int // index into the worker list
+}
+
+// ring is a consistent-hash ring over worker indexes.
+type ring struct {
+	points []ringPoint
+	n      int // distinct workers
+}
+
+// hash64 hashes s onto the ring. FNV-1a alone has almost no avalanche on
+// short, similar strings ("w0#1" vs "w0#2" differ in a handful of bits, and
+// all of a worker's virtual nodes land in one tiny arc), which degenerates
+// the ring into a single owner — so the FNV sum is finished with the
+// murmur3 fmix64 bit mixer to spread points uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds a ring over n workers identified by their list index. The
+// virtual-node keys use the index, not the URL, so the mapping depends only
+// on fleet size and order — a worker restarting on a new port keeps its arc.
+func newRing(n int) *ring {
+	r := &ring{n: n}
+	for w := 0; w < n; w++ {
+		for rep := 0; rep < ringReplicas; rep++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("w%d#%d", w, rep)), w})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// candidates returns up to max distinct workers for key, in ring order
+// starting at the key's home worker — the dispatch preference order: home
+// first (cache warmth), then the workers that would inherit the key if the
+// home died.
+func (r *ring) candidates(key string, max int) []int {
+	if r.n == 0 || len(r.points) == 0 {
+		return nil
+	}
+	if max > r.n {
+		max = r.n
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool, max)
+	var out []int
+	for i := 0; len(out) < max && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}
+
+// owner returns the home worker for key.
+func (r *ring) owner(key string) int {
+	c := r.candidates(key, 1)
+	if len(c) == 0 {
+		return -1
+	}
+	return c[0]
+}

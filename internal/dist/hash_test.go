@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingCandidatesDistinctAndStable(t *testing.T) {
+	r := newRing(5)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("CELL_%d/N/0", i)
+		c1 := r.candidates(key, 3)
+		if len(c1) != 3 {
+			t.Fatalf("want 3 candidates, got %v", c1)
+		}
+		seen := map[int]bool{}
+		for _, w := range c1 {
+			if w < 0 || w >= 5 || seen[w] {
+				t.Fatalf("candidates must be distinct worker indexes, got %v", c1)
+			}
+			seen[w] = true
+		}
+		c2 := r.candidates(key, 3)
+		for j := range c1 {
+			if c1[j] != c2[j] {
+				t.Fatalf("candidate order not deterministic: %v vs %v", c1, c2)
+			}
+		}
+		if r.owner(key) != c1[0] {
+			t.Fatalf("owner must be the first candidate")
+		}
+	}
+}
+
+func TestRingDistributionNonDegenerate(t *testing.T) {
+	const workers, keys = 4, 400
+	r := newRing(workers)
+	counts := make([]int, workers)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("sig-%d", i))]++
+	}
+	for w, n := range counts {
+		// With 64 virtual nodes each the split is rough, but a worker owning
+		// under 10% or over 60% of the space means the ring is broken.
+		if n < keys/10 || n > keys*6/10 {
+			t.Fatalf("worker %d owns %d/%d keys; distribution degenerate: %v", w, n, keys, counts)
+		}
+	}
+}
+
+// TestRingRemappingIsMinimal pins the consistent-hashing property the shard
+// placement relies on: keys whose home worker survives a fleet shrink keep
+// their home (only the removed worker's arc remaps), so ViaCache warmth
+// survives worker loss.
+func TestRingRemappingIsMinimal(t *testing.T) {
+	big, small := newRing(4), newRing(3)
+	moved := 0
+	const keys = 500
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("sig-%d", i)
+		was := big.owner(key)
+		now := small.owner(key)
+		if was < 3 && was != now {
+			moved++
+		}
+	}
+	// Shrinking the ring by one worker must not reshuffle surviving arcs
+	// wholesale; allow a small boundary slop from virtual-node interleaving.
+	if moved > keys/5 {
+		t.Fatalf("%d/%d keys with surviving homes remapped; hashing is not consistent", moved, keys)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing(0)
+	if got := r.candidates("x", 3); got != nil {
+		t.Fatalf("empty ring must have no candidates, got %v", got)
+	}
+	if r.owner("x") != -1 {
+		t.Fatal("empty ring owner must be -1")
+	}
+}

@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -31,9 +32,22 @@ const (
 	// Spurious returns a fabricated DRC violation (DRC hooks only; it is a
 	// no-op on plain site hooks, which cannot return violations).
 	Spurious
+	// ConnDrop makes a network hook fail with ErrConnDrop, simulating a
+	// connection torn down before the payload arrives (NetHook only; plain
+	// and DRC hooks record the firing but cannot return errors).
+	ConnDrop
+	// Corrupt flips one payload byte at a position derived deterministically
+	// from the fault's firing ordinal, simulating in-flight corruption the
+	// receiver's checksum must catch (NetHook only).
+	Corrupt
+	// DelayJitter sleeps for Sleep scaled by a deterministic pseudo-random
+	// factor in [1-Jitter, 1+Jitter], simulating variable network latency.
+	// Unlike Delay, repeated firings of the same fault sleep different (but
+	// seed-stable) durations.
+	DelayJitter
 )
 
-var kindNames = [...]string{"panic", "delay", "spurious"}
+var kindNames = [...]string{"panic", "delay", "spurious", "conndrop", "corrupt", "delayjitter"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -41,6 +55,10 @@ func (k Kind) String() string {
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
+
+// ErrConnDrop is the error ConnDrop faults surface through NetHook. Callers
+// treat it like any transport failure: retry, hedge, or relocate the work.
+var ErrConnDrop = errors.New("faultinject: injected connection drop")
 
 // PanicValue is the value injected panics carry, so tests can distinguish
 // them from genuine faults.
@@ -69,12 +87,35 @@ type Fault struct {
 	// 0 fires on every matching invocation.
 	Call int64
 	Kind Kind
-	// Sleep is the Delay duration.
+	// Sleep is the Delay duration (and the DelayJitter base duration).
 	Sleep time.Duration
+	// Jitter is the DelayJitter spread fraction: each firing sleeps
+	// Sleep * u with u uniform in [1-Jitter, 1+Jitter]. Values outside
+	// [0, 1] are clamped; 0 behaves like Delay.
+	Jitter float64
+	// Seed drives the DelayJitter randomness; faults with equal seeds sleep
+	// identical schedules run to run.
+	Seed int64
 	// Note tags the fault in panic values and the fired log.
 	Note string
 
 	count int64 // matching invocations seen so far
+	rng   *rand.Rand
+}
+
+// jitterFactor returns the deterministic per-firing scale for DelayJitter.
+func (f *Fault) jitterFactor() float64 {
+	j := f.Jitter
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return 1 - j + 2*j*f.rng.Float64()
 }
 
 // Event records one fired fault.
@@ -183,6 +224,64 @@ func act(site, detail string, hit []*Fault) []drc.Violation {
 		panic(&PanicValue{Site: site, Detail: detail, Note: boom.Note})
 	}
 	return vs
+}
+
+// netAct executes the network-site effects of fired faults, in order: sleeps
+// (Delay and DelayJitter) first, then payload corruption, then at most one
+// connection drop, then at most one panic. The returned payload is a corrupted
+// copy when a Corrupt fault fired (the input slice is never modified).
+func (in *Injector) netAct(site, detail string, payload []byte, hit []*Fault) ([]byte, error) {
+	var boom, drop *Fault
+	corrupted := false
+	for _, f := range hit {
+		switch f.Kind {
+		case Delay:
+			time.Sleep(f.Sleep)
+		case DelayJitter:
+			in.mu.Lock()
+			u := f.jitterFactor()
+			in.mu.Unlock()
+			time.Sleep(time.Duration(float64(f.Sleep) * u))
+		case Corrupt:
+			if len(payload) > 0 {
+				if !corrupted {
+					payload = append([]byte(nil), payload...)
+					corrupted = true
+				}
+				in.mu.Lock()
+				pos := int(f.count-1) % len(payload)
+				in.mu.Unlock()
+				payload[pos] ^= 0xa5
+			}
+		case ConnDrop:
+			if drop == nil {
+				drop = f
+			}
+		case Panic:
+			if boom == nil {
+				boom = f
+			}
+		}
+	}
+	if boom != nil {
+		panic(&PanicValue{Site: site, Detail: detail, Note: boom.Note})
+	}
+	if drop != nil {
+		return nil, fmt.Errorf("%w at %s [%s] %s", ErrConnDrop, site, detail, drop.Note)
+	}
+	return payload, nil
+}
+
+// NetHook adapts the injector to network fault points (dist.dispatch,
+// dist.response, dist.heartbeat, ...): the hook receives the payload about to
+// cross the wire and returns it possibly delayed (Delay, DelayJitter),
+// corrupted (Corrupt — one byte flipped, forcing the receiver's checksum
+// validation to reject it), or replaced by a transport error (ConnDrop).
+// Panic faults still panic; Spurious faults are recorded but have no effect.
+func (in *Injector) NetHook() func(site, detail string, payload []byte) ([]byte, error) {
+	return func(site, detail string, payload []byte) ([]byte, error) {
+		return in.netAct(site, detail, payload, in.match(site, detail))
+	}
 }
 
 // SiteHook adapts the injector to pao.Analyzer.FaultHook. Spurious faults

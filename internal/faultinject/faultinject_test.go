@@ -1,6 +1,8 @@
 package faultinject
 
 import (
+	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -91,6 +93,102 @@ func TestScriptDeterministic(t *testing.T) {
 			t.Errorf("call ordinal %d outside [1, 100]", c)
 		}
 	}
+}
+
+func TestNetHookConnDrop(t *testing.T) {
+	in := New().Add(&Fault{Site: "net", Call: 2, Kind: ConnDrop, Note: "cut"})
+	hook := in.NetHook()
+	payload := []byte("hello")
+	if out, err := hook("net", "w1", payload); err != nil || string(out) != "hello" {
+		t.Fatalf("call 1 must pass through, got %q err %v", out, err)
+	}
+	out, err := hook("net", "w1", payload)
+	if !errors.Is(err, ErrConnDrop) {
+		t.Fatalf("call 2 must drop the connection, got %q err %v", out, err)
+	}
+	if out != nil {
+		t.Errorf("dropped call must not return a payload, got %q", out)
+	}
+	if _, err := hook("net", "w1", payload); err != nil {
+		t.Errorf("one-shot fault must not fire again: %v", err)
+	}
+}
+
+func TestNetHookCorruptPayload(t *testing.T) {
+	in := New().Add(&Fault{Site: "net", Kind: Corrupt})
+	hook := in.NetHook()
+	orig := []byte("checksummed payload bytes")
+	keep := append([]byte(nil), orig...)
+	out, err := hook("net", "w1", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, orig) {
+		t.Fatal("corrupt fault must change the payload")
+	}
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("corrupt fault must not modify the caller's slice in place")
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("want exactly one flipped byte, got %d", diff)
+	}
+	// Repeated firings corrupt different positions (ordinal-derived), so a
+	// receiver retrying a corrupted transfer cannot get lucky at position 0
+	// forever.
+	out2, _ := hook("net", "w1", orig)
+	if bytes.Equal(out2, out) {
+		t.Errorf("second firing must corrupt a different position")
+	}
+}
+
+func TestNetHookDelayJitterDeterministic(t *testing.T) {
+	// Two identically seeded faults must sleep the same schedule; the sleeps
+	// must stay within [1-Jitter, 1+Jitter] of the base.
+	factors := func(seed int64) []float64 {
+		f := &Fault{Kind: DelayJitter, Sleep: time.Millisecond, Jitter: 0.5, Seed: seed}
+		var out []float64
+		for i := 0; i < 8; i++ {
+			out = append(out, f.jitterFactor())
+		}
+		return out
+	}
+	a, b := factors(7), factors(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at firing %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0.5 || a[i] > 1.5 {
+			t.Errorf("factor %v outside [0.5, 1.5]", a[i])
+		}
+	}
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Errorf("jitter factors must vary across firings: %v", a)
+	}
+	// And the hook actually sleeps at least the lower bound.
+	in := New().Add(&Fault{Site: "net", Kind: DelayJitter, Sleep: 20 * time.Millisecond, Jitter: 0.5})
+	t0 := time.Now()
+	if _, err := in.NetHook()("net", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Errorf("delay-jitter fault slept only %v, want >= 10ms", d)
+	}
+}
+
+func TestNetHookPanicStillPanics(t *testing.T) {
+	in := New().Add(&Fault{Site: "net", Kind: Panic, Note: "boom"})
+	defer func() {
+		if _, ok := recover().(*PanicValue); !ok {
+			t.Fatal("panic fault through NetHook must panic with *PanicValue")
+		}
+	}()
+	_, _ = in.NetHook()("net", "x", []byte("p"))
 }
 
 func TestInjectorConcurrentHooks(t *testing.T) {

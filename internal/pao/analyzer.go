@@ -539,27 +539,12 @@ func (a *Analyzer) RunContext(ctx context.Context) (*Result, error) {
 	step12Wall := time.Since(t12)
 	sp12.End()
 	for i, ui := range uis {
-		ua := uas[i]
-		if ua == nil {
+		if uas[i] == nil {
 			// Failed or never analyzed (cancellation): the class has no
 			// access data; its pins count as failed downstream.
 			continue
 		}
-		res.Unique = append(res.Unique, ua)
-		for _, inst := range ui.Insts {
-			res.ByInstance[inst.ID] = ua
-		}
-		res.Stats.NumUnique++
-		res.Stats.TotalAPs += ua.TotalAPs()
-		res.Stats.PatternsBuilt += len(ua.Patterns)
-		res.Stats.PatternsDropped += ua.DroppedPatterns
-		for _, pa := range ua.Pins {
-			for _, ap := range pa.APs {
-				if ap.OffTrack() {
-					res.Stats.OffTrackAPs++
-				}
-			}
-		}
+		foldClass(res, ui, uas[i])
 	}
 	res.indexSignatures(a.Design)
 

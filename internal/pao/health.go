@@ -124,6 +124,19 @@ func (h *Health) errCount() int {
 	return len(h.errors)
 }
 
+// Degrade marks a class degraded from outside the pipeline — the distributed
+// coordinator uses it to fold a worker's reported degradations into the
+// merged result's health. Same never-downgrade semantics as the internal path.
+func (h *Health) Degrade(sig string) { h.degradeClass(sig) }
+
+// Record logs a recovered pipeline error from outside the pipeline (the
+// distributed coordinator replaying a worker's reported errors).
+func (h *Health) Record(e *PipelineError) { h.record(e) }
+
+// MarkCancelled latches the cancelled flag from outside the pipeline (the
+// distributed coordinator, when its own context ends a run mid-flight).
+func (h *Health) MarkCancelled() { h.markCancelled() }
+
 // Status returns the class's health; classes never touched by a fault are ok.
 func (h *Health) Status(sig string) ClassStatus {
 	h.mu.Lock()
