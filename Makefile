@@ -5,8 +5,8 @@ GO ?= go
 
 .PHONY: all build test vet bench bench-json bench-check bench-eco experiments \
 	experiments-full examples clean difftest eco-difftest golden-update \
-	fuzz-smoke cover faultinject serve-smoke telemetry-smoke dist-difftest \
-	dist-smoke
+	fuzz-smoke cover faultinject serve-smoke telemetry-smoke tenant-smoke \
+	dist-difftest dist-smoke
 
 all: build vet test
 
@@ -70,6 +70,19 @@ telemetry-smoke:
 	$(GO) test -race ./internal/telemetry ./internal/serve
 	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
 
+# Multi-tenant smoke campaign under the race detector: one paoserve process
+# serving three designs (one at boot, two registered over POST /v1/designs), a
+# flood tenant storming one design's deliberately tiny bulkhead while a steady
+# tenant queries the other two. The storm must shed strictly inside its
+# bulkhead (other designs all 200 and ready), the merged /metrics must parse
+# strictly with per-design/per-tenant labels, an explicit evict + lazy warm
+# restart must answer byte-identically, and SIGTERM must snapshot every
+# resident design. The serve package tests cover DRR fairness, eviction
+# round-trips, registration hardening and the register/evict/query/ECO chaos.
+tenant-smoke:
+	$(GO) test -race -v -run 'TestTenantSmoke' ./cmd/paoserve
+	$(GO) test -race -run 'TestManager|TestBulkhead|TestEvict|TestLRU|TestWarmWait|TestFair|TestFlood|TestTenant|TestConcurrentRegisterEvictQueryECO' ./internal/serve
+
 # Distributed-analysis acceptance campaign under the race detector: the
 # coordinator/worker shard-out must produce snapshots byte-identical to the
 # single-process run — across three testcases with the memoization caches on
@@ -99,6 +112,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/lef
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/def
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/guide
+	$(GO) test -fuzz=FuzzRegisterRequest -fuzztime=10s ./internal/serve
 
 # Coverage over the core analysis/check packages (the CI floor gates on this).
 cover:

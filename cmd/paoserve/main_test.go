@@ -32,14 +32,21 @@ func newFlagSet() *flag.FlagSet {
 }
 
 func TestParseFlags(t *testing.T) {
-	if _, err := parseFlags(newFlagSet(), nil); err == nil {
-		t.Fatal("neither -case nor -lef/-def must be an error")
+	// No initial design is allowed now: the registry starts empty and designs
+	// arrive over POST /v1/designs.
+	if o, err := parseFlags(newFlagSet(), nil); err != nil {
+		t.Fatalf("empty registry start must parse: %v", err)
+	} else if o.hasInitialDesign() {
+		t.Fatal("no flags must mean no initial design")
 	}
 	if _, err := parseFlags(newFlagSet(), []string{"-case", "pao_test1", "-lef", "a.lef", "-def", "a.def"}); err == nil {
 		t.Fatal("both -case and -lef/-def must be an error")
 	}
 	if _, err := parseFlags(newFlagSet(), []string{"-lef", "a.lef"}); err == nil {
 		t.Fatal("-lef without -def must be an error")
+	}
+	if _, err := parseFlags(newFlagSet(), []string{"-snapshot", "s.snap"}); err == nil {
+		t.Fatal("-snapshot without an initial design must be an error")
 	}
 	o, err := parseFlags(newFlagSet(), []string{"-case", "pao_test1"})
 	if err != nil {
@@ -76,15 +83,16 @@ func TestLoadDesignBadInputs(t *testing.T) {
 // smokeOptions is the shared server setup of the smoke test: a small suite
 // testcase, ephemeral port, snapshotting on, admission bounds tight enough to
 // be real but loose enough not to shed the test's own queries.
-func smokeOptions(snap string, ready chan *serve.Server) *options {
+func smokeOptions(snap string, ready chan *serve.Manager) *options {
 	return &options{
 		caseName: "pao_test1", scale: 0.01, seed: 7,
 		addr: "127.0.0.1:0", snapshotPath: snap,
 		queue: 64, requestTimeout: 10 * time.Second, drainTimeout: 10 * time.Second,
 		breakerThreshold: 3, breakerCooldown: 30 * time.Second,
-		k: 3, obs: &obs.Flags{},
+		warmWait: 2 * time.Second,
+		k:        3, obs: &obs.Flags{},
 		log:     io.Discard,
-		onReady: func(s *serve.Server) { ready <- s },
+		onReady: func(m *serve.Manager) { ready <- m },
 	}
 }
 
@@ -153,7 +161,7 @@ func TestServeSmokeSIGTERMWarmRestart(t *testing.T) {
 	snap := filepath.Join(t.TempDir(), "oracle.snap")
 
 	// First server: quarantine badSig via an injected pipeline panic.
-	ready := make(chan *serve.Server, 1)
+	ready := make(chan *serve.Manager, 1)
 	opts := smokeOptions(snap, ready)
 	inj := faultinject.New().Add(&faultinject.Fault{
 		Site: pao.SiteAnalyzeUnique, Detail: badSig, Kind: faultinject.Panic, Note: "smoke",
@@ -161,8 +169,8 @@ func TestServeSmokeSIGTERMWarmRestart(t *testing.T) {
 	opts.paoFaultHook = inj.SiteHook()
 	done := make(chan error, 1)
 	go func() { done <- run(opts) }()
-	srv1 := <-ready
-	base1 := "http://" + srv1.Addr()
+	mgr1 := <-ready
+	base1 := "http://" + mgr1.Addr()
 
 	first := queryAll(t, base1, insts)
 	for _, name := range badInsts {
@@ -189,15 +197,15 @@ func TestServeSmokeSIGTERMWarmRestart(t *testing.T) {
 
 	// Second server: must warm-restart from the snapshot (no fault hook
 	// needed — the quarantine is persisted state) and answer identically.
-	ready2 := make(chan *serve.Server, 1)
+	ready2 := make(chan *serve.Manager, 1)
 	opts2 := smokeOptions(snap, ready2)
 	done2 := make(chan error, 1)
 	go func() { done2 <- run(opts2) }()
-	srv2 := <-ready2
-	if srv2.Source() != "snapshot" {
-		t.Fatalf("second server source = %q, want snapshot", srv2.Source())
+	mgr2 := <-ready2
+	if src := mgr2.ServerFor(d.Name).Source(); src != "snapshot" {
+		t.Fatalf("second server source = %q, want snapshot", src)
 	}
-	second := queryAll(t, "http://"+srv2.Addr(), insts)
+	second := queryAll(t, "http://"+mgr2.Addr(), insts)
 	for _, name := range insts {
 		if !reflect.DeepEqual(first[name], second[name]) {
 			a, _ := json.Marshal(first[name])
@@ -250,22 +258,23 @@ func TestTelemetrySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var logbuf syncBuffer
-	ready := make(chan *serve.Server, 1)
+	ready := make(chan *serve.Manager, 1)
 	opts := &options{
 		caseName: "pao_test1", scale: 0.01, seed: 7,
 		addr:  "127.0.0.1:0",
 		queue: 64, requestTimeout: 10 * time.Second, drainTimeout: 10 * time.Second,
 		breakerThreshold: 3, breakerCooldown: 30 * time.Second,
+		warmWait:    2 * time.Second,
 		traceSample: 1, slowlogSize: 256, slowThreshold: time.Nanosecond,
 		logLevel: "debug",
 		k:        3, obs: &obs.Flags{},
 		log:     &logbuf,
-		onReady: func(s *serve.Server) { ready <- s },
+		onReady: func(m *serve.Manager) { ready <- m },
 	}
 	done := make(chan error, 1)
 	go func() { done <- run(opts) }()
-	srv := <-ready
-	base := "http://" + srv.Addr()
+	mgr := <-ready
+	base := "http://" + mgr.Addr()
 
 	// Startup line: one JSON object with the build info and design identity.
 	var startup map[string]any
@@ -392,17 +401,22 @@ func TestTelemetrySmoke(t *testing.T) {
 		}
 	}
 
-	// Version: build identity for this serving process.
+	// Version: build identity plus the per-design registry.
 	resp, err = http.Get(base + "/version")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ver serve.VersionResponse
+	var ver struct {
+		Build   telemetry.BuildInfo `json:"build"`
+		Designs map[string]struct {
+			DesignHash string `json:"design_hash"`
+		} `json:"designs"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&ver); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if ver.Design != d.Name || ver.DesignHash == "" || ver.Build.GoVersion == "" {
+	if ver.Designs[d.Name].DesignHash == "" || ver.Build.GoVersion == "" {
 		t.Fatalf("bad /version: %+v", ver)
 	}
 

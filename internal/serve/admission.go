@@ -1,10 +1,18 @@
 package serve
 
-// Admission control: every request passes a token-bucket rate limiter, then
-// competes for one of MaxInFlight execution slots with at most QueueDepth
-// requests waiting. Overload is shed explicitly — 429 for rate, 503 for a
-// full queue — with Retry-After hints, so saturation degrades throughput
-// instead of stretching every caller's latency.
+// Admission control: every request passes a per-tenant token-bucket rate
+// limiter, then competes for one of MaxInFlight execution slots with at most
+// QueueDepth requests waiting. Overload is shed explicitly — 429 for rate,
+// 503 for a full queue — with Retry-After hints, so saturation degrades
+// throughput instead of stretching every caller's latency.
+//
+// Fairness: the waiting line is not a single FIFO. Waiters queue per tenant
+// and a deficit-round-robin scheduler dequeues across tenants, so one
+// tenant's burst lines up behind its own earlier requests instead of
+// starving everyone else. Each waiter carries a cost (1 for a single query,
+// N for an N-instance batch); DRR charges the deficit by cost, so a giant
+// batch cannot monopolize the slots either — other tenants' cheap requests
+// interleave ahead of it in proportion.
 
 import (
 	"context"
@@ -37,8 +45,20 @@ func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket 
 // take consumes one token. On refusal it returns the wait until a token will
 // be available, for the Retry-After header. A nil bucket always admits.
 func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	return b.takeN(1)
+}
+
+// takeN consumes n tokens at once (an N-instance batch is admission-charged
+// per instance). A batch larger than the burst can never be admitted while
+// rate limiting is on; the returned retryAfter still hints when the bucket
+// will be as full as it gets.
+func (b *tokenBucket) takeN(n int) (ok bool, retryAfter time.Duration) {
 	if b == nil {
 		return true, 0
+	}
+	need := float64(n)
+	if need < 1 {
+		need = 1
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -50,57 +70,169 @@ func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
 		}
 	}
 	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= need {
+		b.tokens -= need
 		return true, 0
 	}
-	need := (1 - b.tokens) / b.rate
-	return false, time.Duration(math.Ceil(need)) * time.Second
+	short := need - b.tokens
+	if need > b.burst {
+		short = b.burst - b.tokens // the bucket will never hold more
+	}
+	wait := math.Ceil(short / b.rate)
+	if wait < 1 {
+		wait = 1 // a refusal always hints a positive backoff
+	}
+	return false, time.Duration(wait) * time.Second
 }
 
-// admission bounds concurrent execution and the waiting line in front of it.
+// waiter is one queued request: its tenant queue position, its DRR cost, and
+// the channel a dispatcher grants a slot on.
+type waiter struct {
+	tenant    string
+	cost      int
+	grant     chan struct{} // buffered(1): dispatch never blocks on a waiter
+	cancelled bool          // guarded by admission.mu; skipped by dispatch
+}
+
+// admission bounds concurrent execution and the waiting lines in front of it.
+// Slots count requests (a batch holds one slot); fairness between tenants is
+// enforced at dequeue time by deficit round robin over per-tenant FIFOs.
 type admission struct {
-	sem     chan struct{}
-	mu      sync.Mutex
-	waiting int
-	depth   int // max waiting requests; < 0 means unbounded
+	mu       sync.Mutex
+	inflight int
+	max      int
+	depth    int // max waiting requests across all tenants; < 0 means unbounded
+	waiting  int // live (non-cancelled) waiters
+	queues   map[string][]*waiter
+	order    []string // round-robin ring of tenants with queued waiters
+	rr       int      // ring index of the next tenant to visit
+	deficit  map[string]int
 }
 
 func newAdmission(maxInFlight, queueDepth int) *admission {
 	if maxInFlight < 1 {
 		maxInFlight = 1
 	}
-	return &admission{sem: make(chan struct{}, maxInFlight), depth: queueDepth}
+	return &admission{
+		max:     maxInFlight,
+		depth:   queueDepth,
+		queues:  make(map[string][]*waiter),
+		deficit: make(map[string]int),
+	}
 }
 
-// acquire claims an execution slot, queueing up to the depth bound. It
-// returns a release func on success; a nil release means the request was shed
-// (queue full, or ctx expired while waiting — both a 503 to the caller).
-func (a *admission) acquire(ctx context.Context) (release func(), queued int, ok bool) {
-	select {
-	case a.sem <- struct{}{}:
-		return func() { <-a.sem }, 0, true
-	default:
+// acquire claims an execution slot for tenant, queueing up to the depth
+// bound. It returns a release func on success; a nil release means the
+// request was shed (queue full, or ctx expired while waiting — both a 503 to
+// the caller). cost weights the fair dequeue; it does not consume extra
+// slots.
+func (a *admission) acquire(ctx context.Context, tenant string, cost int) (release func(), queued int, ok bool) {
+	if cost < 1 {
+		cost = 1
 	}
 	a.mu.Lock()
+	// Fast path only when nobody is waiting: a free slot must not let a
+	// newcomer jump tenants already in line.
+	if a.inflight < a.max && a.waiting == 0 {
+		a.inflight++
+		a.mu.Unlock()
+		return a.release, 0, true
+	}
 	if a.depth >= 0 && a.waiting >= a.depth {
 		a.mu.Unlock()
 		return nil, a.depth, false
 	}
+	w := &waiter{tenant: tenant, cost: cost, grant: make(chan struct{}, 1)}
+	if len(a.queues[tenant]) == 0 {
+		a.order = append(a.order, tenant)
+	}
+	a.queues[tenant] = append(a.queues[tenant], w)
 	a.waiting++
 	queued = a.waiting
+	// A slot may be free right now (e.g. freed between our depth check and
+	// enqueue, or inflight < max with waiters ahead of us): dispatch.
+	a.dispatchLocked()
 	a.mu.Unlock()
-	defer func() {
+
+	select {
+	case <-w.grant:
+		return a.release, queued, true
+	case <-ctx.Done():
 		a.mu.Lock()
+		select {
+		case <-w.grant:
+			// Granted concurrently with cancellation: hand the slot on.
+			a.inflight--
+			a.dispatchLocked()
+			a.mu.Unlock()
+			return nil, queued, false
+		default:
+		}
+		w.cancelled = true
 		a.waiting--
 		a.mu.Unlock()
-	}()
-	select {
-	case a.sem <- struct{}{}:
-		return func() { <-a.sem }, queued, true
-	case <-ctx.Done():
 		return nil, queued, false
 	}
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.dispatchLocked()
+	a.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to queued waiters in DRR order.
+func (a *admission) dispatchLocked() {
+	for a.inflight < a.max && a.waiting > 0 {
+		w := a.nextLocked()
+		if w == nil {
+			return
+		}
+		a.inflight++
+		a.waiting--
+		w.grant <- struct{}{}
+	}
+}
+
+// nextLocked is the deficit-round-robin scheduler: visit tenants in ring
+// order, add one quantum per visit, and serve a tenant's head waiter once
+// its deficit covers the waiter's cost. Cost-1 waiters dequeue every visit;
+// an N-cost batch waits N visits, letting other tenants pass in between.
+func (a *admission) nextLocked() *waiter {
+	for len(a.order) > 0 {
+		if a.rr >= len(a.order) {
+			a.rr = 0
+		}
+		t := a.order[a.rr]
+		q := a.queues[t]
+		for len(q) > 0 && q[0].cancelled {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(a.queues, t)
+			delete(a.deficit, t)
+			a.order = append(a.order[:a.rr], a.order[a.rr+1:]...)
+			continue
+		}
+		a.queues[t] = q
+		a.deficit[t]++
+		if a.deficit[t] >= q[0].cost {
+			w := q[0]
+			a.deficit[t] -= w.cost
+			if len(q) == 1 {
+				delete(a.queues, t)
+				delete(a.deficit, t)
+				a.order = append(a.order[:a.rr], a.order[a.rr+1:]...)
+			} else {
+				a.queues[t] = q[1:]
+				a.rr++
+			}
+			return w
+		}
+		a.rr++
+	}
+	return nil
 }
 
 // queueDepth returns the number of requests currently waiting.

@@ -1,0 +1,413 @@
+package serve
+
+// Eviction correctness: evict → lazy warm restart → query must answer
+// byte-identical to the never-evicted answers (modulo the source-provenance
+// field, which legitimately flips to "snapshot"), with the result cache on
+// and off; corrupt snapshots fall back to recompute; the LRU budget evicts
+// the coldest design; and a register/evict/query/ECO storm survives -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pao"
+)
+
+// answersFor queries every listed instance and returns the responses with
+// Source cleared (provenance legitimately differs across a warm restart) but
+// everything else byte-exact, re-marshalled for comparison.
+func answersFor(t *testing.T, h http.Handler, design string, insts []string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(insts))
+	for _, name := range insts {
+		code, body := do(t, h, http.MethodGet, "/v1/access?design="+design+"&inst="+name, nil)
+		if code != http.StatusOK {
+			t.Fatalf("query %s = %d: %s", name, code, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		qr.Source = ""
+		norm, err := json.Marshal(qr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = norm
+	}
+	return out
+}
+
+func TestEvictWarmRestartByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		noCache bool
+	}{
+		{"cache-on", false},
+		{"cache-off", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			paoCfg := pao.DefaultConfig()
+			paoCfg.NoCache = tc.noCache
+			m := NewManager(paoCfg, ManagerConfig{
+				SnapshotDir: t.TempDir(),
+				WarmWait:    10 * time.Second,
+			})
+			t.Cleanup(m.bgCancel)
+			d := registerTestDesign(t, m, "evictme", nil)
+			h := m.Handler()
+			srv := m.ServerFor("evictme")
+
+			var insts []string
+			for _, inst := range d.Instances {
+				insts = append(insts, inst.Name)
+				if len(insts) == 16 {
+					break
+				}
+			}
+			before := answersFor(t, h, "evictme", insts)
+			var beforeSnap bytes.Buffer
+			if err := pao.EncodeSnapshot(&beforeSnap, d, paoCfg, srv.Result()); err != nil {
+				t.Fatal(err)
+			}
+
+			// Evict: snapshot written, result released.
+			code, body := do(t, h, http.MethodPost, "/v1/designs/evictme/evict", nil)
+			if code != http.StatusOK {
+				t.Fatalf("evict = %d: %s", code, body)
+			}
+			if st, _ := m.StateFor("evictme"); st != DesignEvicted {
+				t.Fatalf("state after evict = %v, want evicted", st)
+			}
+			if srv.Result() != nil {
+				t.Fatal("result still resident after evict")
+			}
+			// Double evict is a no-op conflict, not a crash.
+			if code, _ = do(t, h, http.MethodPost, "/v1/designs/evictme/evict", nil); code != http.StatusConflict {
+				t.Fatalf("double evict = %d, want 409", code)
+			}
+
+			// Next query lazily warm-restarts from the snapshot and must
+			// answer byte-identical.
+			after := answersFor(t, h, "evictme", insts)
+			if src := srv.Source(); src != "snapshot" {
+				t.Fatalf("post-evict source = %q, want snapshot (recompute means the snapshot was ignored)", src)
+			}
+			for _, name := range insts {
+				if !bytes.Equal(before[name], after[name]) {
+					t.Fatalf("%s: answer changed across evict/warm-restart:\n%s\n%s",
+						name, before[name], after[name])
+				}
+			}
+			// The restored result re-encodes to the identical snapshot stream.
+			var afterSnap bytes.Buffer
+			if err := pao.EncodeSnapshot(&afterSnap, d, paoCfg, srv.Result()); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(beforeSnap.Bytes(), afterSnap.Bytes()) {
+				t.Fatalf("snapshot streams differ across evict/warm-restart (%d vs %d bytes)",
+					beforeSnap.Len(), afterSnap.Len())
+			}
+			if got := m.reg().Counter("serve.evictions").Load(); got != 1 {
+				t.Fatalf("serve.evictions = %d, want 1", got)
+			}
+			if got := m.reg().Counter("serve.warm_restarts").Load(); got != 1 {
+				t.Fatalf("serve.warm_restarts = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestEvictWithoutSnapshotDirRecomputes(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{WarmWait: 10 * time.Second})
+	d := registerTestDesign(t, m, "nodisk", nil)
+	h := m.Handler()
+	insts := []string{d.Instances[0].Name, d.Instances[1].Name}
+	before := answersFor(t, h, "nodisk", insts)
+
+	if err := m.EvictDesign(context.Background(), "nodisk"); err != nil {
+		t.Fatal(err)
+	}
+	after := answersFor(t, h, "nodisk", insts)
+	if src := m.ServerFor("nodisk").Source(); src != "recompute" {
+		t.Fatalf("source = %q, want recompute (no snapshot dir)", src)
+	}
+	for _, name := range insts {
+		if !bytes.Equal(before[name], after[name]) {
+			t.Fatalf("%s: recompute after evict changed the answer", name)
+		}
+	}
+}
+
+func TestEvictCorruptSnapshotFallsBackToRecompute(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(pao.DefaultConfig(), ManagerConfig{SnapshotDir: dir, WarmWait: 10 * time.Second})
+	t.Cleanup(m.bgCancel)
+	d := registerTestDesign(t, m, "corrupted", nil)
+	h := m.Handler()
+	insts := []string{d.Instances[0].Name, d.Instances[1].Name, d.Instances[2].Name}
+	before := answersFor(t, h, "corrupted", insts)
+
+	if err := m.EvictDesign(context.Background(), "corrupted"); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in the middle of the snapshot: the checksum must catch it.
+	path := m.snapPath("corrupted")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+8 && i < len(raw); i++ {
+		raw[i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	after := answersFor(t, h, "corrupted", insts)
+	srv := m.ServerFor("corrupted")
+	if src := srv.Source(); src != "recompute" {
+		t.Fatalf("source = %q, want recompute after corruption", src)
+	}
+	if got := srv.reg().Counter("serve.snapshot.corrupt").Load(); got == 0 {
+		t.Fatal("serve.snapshot.corrupt = 0, want > 0")
+	}
+	for _, name := range insts {
+		if !bytes.Equal(before[name], after[name]) {
+			t.Fatalf("%s: corrupt-fallback recompute changed the answer", name)
+		}
+	}
+}
+
+func TestLRUBudgetEvictsColdestDesign(t *testing.T) {
+	m := NewManager(pao.DefaultConfig(), ManagerConfig{
+		SnapshotDir: t.TempDir(),
+		MaxResident: 2,
+		WarmWait:    10 * time.Second,
+	})
+	t.Cleanup(m.bgCancel)
+	h := m.Handler()
+	registerTestDesign(t, m, "old", nil)
+	dWarm := registerTestDesign(t, m, "warm", nil)
+
+	// Touch "warm" so "old" is the coldest ready design.
+	if code, _ := do(t, h, http.MethodGet, "/v1/access?design=warm&inst="+dWarm.Instances[0].Name, nil); code != http.StatusOK {
+		t.Fatal("touch query failed")
+	}
+	// A third registration exceeds the budget: "old" must evict, not "warm".
+	registerTestDesign(t, m, "new", nil)
+	if st, _ := m.StateFor("old"); st != DesignEvicted {
+		t.Fatalf("old state = %v, want evicted (LRU)", st)
+	}
+	for _, id := range []string{"warm", "new"} {
+		if st, _ := m.StateFor(id); st != DesignReady {
+			t.Fatalf("%s state = %v, want ready", id, st)
+		}
+	}
+	if got := m.reg().Counter("serve.evictions").Load(); got != 1 {
+		t.Fatalf("serve.evictions = %d, want 1", got)
+	}
+	// Querying the evicted design warms it back and re-evicts the new
+	// coldest; the registry never exceeds its budget for long.
+	if code, _ := do(t, h, http.MethodGet, "/v1/access?design=old&inst="+dWarm.Instances[0].Name, nil); code != http.StatusOK {
+		t.Fatal("warm-restart query failed")
+	}
+	waitFor(t, func() bool { return m.residentCount() <= 2 })
+}
+
+func TestWarmWaitZeroAnswers202(t *testing.T) {
+	m := NewManager(pao.DefaultConfig(), ManagerConfig{SnapshotDir: t.TempDir(), WarmWait: 0})
+	t.Cleanup(m.bgCancel)
+	d := registerTestDesign(t, m, "lazy", nil)
+	h := m.Handler()
+	if err := m.EvictDesign(context.Background(), "lazy"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, h, http.MethodGet, "/v1/access?design=lazy&inst="+d.Instances[0].Name, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("query on evicted design = %d, want 202: %s", code, body)
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["status"] != "warming" || resp["design"] != "lazy" {
+		t.Fatalf("202 body = %v", resp)
+	}
+	// The 202 kicked off the warm restart; once ready, queries serve again.
+	waitFor(t, func() bool { st, _ := m.StateFor("lazy"); return st == DesignReady })
+	if code, _ := do(t, h, http.MethodGet, "/v1/access?design=lazy&inst="+d.Instances[0].Name, nil); code != http.StatusOK {
+		t.Fatalf("post-warm query = %d, want 200", code)
+	}
+}
+
+func TestRegisterFromUploadedSnapshot(t *testing.T) {
+	// First manager computes the design and yields its snapshot stream.
+	m1 := newTestManager(t, ManagerConfig{})
+	d1 := registerTestDesign(t, m1, "snapme", nil)
+	var snap bytes.Buffer
+	if err := pao.EncodeSnapshot(&snap, d1, m1.paoCfg, m1.ServerFor("snapme").Result()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second manager registers the same case with the uploaded snapshot:
+	// no recompute, source is "snapshot".
+	m2 := newTestManager(t, ManagerConfig{})
+	h := m2.Handler()
+	reg, _ := json.Marshal(RegisterRequest{
+		ID: "snapme", Case: "pao_test1", Scale: 0.01, Seed: 7,
+		Snapshot: snap.Bytes(),
+	})
+	code, body := do(t, h, http.MethodPost, "/v1/designs", reg)
+	if code != http.StatusCreated {
+		t.Fatalf("snapshot register = %d: %s", code, body)
+	}
+	if src := m2.ServerFor("snapme").Source(); src != "snapshot" {
+		t.Fatalf("source = %q, want snapshot", src)
+	}
+
+	// A corrupt upload falls back to compute — registration still succeeds.
+	m3 := newTestManager(t, ManagerConfig{})
+	bad := append([]byte{}, snap.Bytes()...)
+	for i := len(bad) / 2; i < len(bad)/2+8 && i < len(bad); i++ {
+		bad[i] ^= 0xFF
+	}
+	reg, _ = json.Marshal(RegisterRequest{
+		ID: "snapme", Case: "pao_test1", Scale: 0.01, Seed: 7, Snapshot: bad,
+	})
+	code, body = do(t, m3.Handler(), http.MethodPost, "/v1/designs", reg)
+	if code != http.StatusCreated {
+		t.Fatalf("corrupt-snapshot register = %d: %s", code, body)
+	}
+	if src := m3.ServerFor("snapme").Source(); src != "recompute" {
+		t.Fatalf("source = %q, want recompute fallback", src)
+	}
+	if got := m3.reg().Counter("serve.register.snapshot_rejected").Load(); got != 1 {
+		t.Fatalf("serve.register.snapshot_rejected = %d, want 1", got)
+	}
+}
+
+// TestConcurrentRegisterEvictQueryECO is the chaos race test: registrations,
+// deletions, evictions, queries and ECO transactions hammer the manager
+// concurrently; nothing may 500, deadlock, or trip the race detector.
+func TestConcurrentRegisterEvictQueryECO(t *testing.T) {
+	m := NewManager(pao.DefaultConfig(), ManagerConfig{
+		SnapshotDir: t.TempDir(),
+		WarmWait:    5 * time.Second,
+	})
+	t.Cleanup(m.bgCancel)
+	dBase := registerTestDesign(t, m, "base", nil)
+	dECO := registerTestDesign(t, m, "ecotgt", nil)
+	h := m.Handler()
+
+	flux := serveDesign(t)
+	flux.Name = "flux"
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(3*time.Second, func() { close(stop) })
+
+	// Register/delete churn on "flux".
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, err := m.RegisterDesign(context.Background(), "flux", flux, m.paoCfg, nil)
+			if err == nil {
+				_ = m.DeleteDesign("flux")
+			}
+		}
+	}()
+	// Eviction pressure on "base".
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = m.EvictDesign(context.Background(), "base")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Query storms on "base" and "ecotgt": 200/202 only, never 5xx/404.
+	for _, target := range []struct {
+		id string
+		d  []string
+	}{
+		{"base", []string{dBase.Instances[0].Name, dBase.Instances[1].Name}},
+		{"ecotgt", []string{dECO.Instances[0].Name, dECO.Instances[1].Name}},
+	} {
+		target := target
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				inst := target.d[i%len(target.d)]
+				code, body := do(t, h, http.MethodGet, "/v1/access?design="+target.id+"&inst="+inst, nil)
+				switch code {
+				case http.StatusOK, http.StatusAccepted, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("chaos query %s = %d: %s", target.id, code, body)
+					return
+				}
+			}
+		}()
+	}
+	// ECO churn on "ecotgt": move an instance back and forth.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inst := dECO.Instances[0]
+		x, y := inst.Pos.X, inst.Pos.Y
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dx := int64(i%2) * 10
+			op := fmt.Sprintf(`{"ops":[{"op":"move","inst":%q,"x":%d,"y":%d}]}`, inst.Name, x+dx, y)
+			code, body := do(t, h, http.MethodPost, "/v1/eco?design=ecotgt", []byte(op))
+			switch code {
+			case http.StatusOK, http.StatusAccepted, http.StatusConflict, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			default:
+				t.Errorf("chaos ECO = %d: %s", code, body)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	// The registry must still be fully serviceable afterwards.
+	for _, id := range []string{"base", "ecotgt"} {
+		waitFor(t, func() bool {
+			code, _ := do(t, h, http.MethodGet, "/v1/access?design="+id+"&inst="+dBase.Instances[0].Name, nil)
+			return code == http.StatusOK || code == http.StatusNotFound
+		})
+	}
+	code, body := do(t, h, http.MethodGet, "/v1/designs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("final list = %d: %s", code, body)
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+// Registration-parsing hardening: table tests over ParseRegisterRequest's
+// rejection matrix and a fuzz target proving hostile bodies never panic.
+// Seed corpus lives in testdata/fuzz/FuzzRegisterRequest/.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"a", "alpha", "A1", "chip-2.rev_3", strings.Repeat("x", 64)} {
+		if err := ValidateID(ok); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"", ".", "..", ".hidden", "-lead", "_lead",
+		"a/b", "a\\b", "../escape", "a b", "a\nb", "a\x00b",
+		"ünïcode", strings.Repeat("x", 65),
+	} {
+		if err := ValidateID(bad); err == nil {
+			t.Errorf("ValidateID(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestParseRegisterRequest(t *testing.T) {
+	qNeg2 := `{"id":"a","case":"c1","queue":-2}`
+	cases := []struct {
+		name   string
+		body   string
+		ok     bool
+		errSub string // substring the error must contain
+	}{
+		{"case source", `{"id":"a","case":"pao_test1","scale":0.5,"seed":3}`, true, ""},
+		{"lef+def source", `{"id":"a","lef":"LAYER M1","def":"DESIGN top"}`, true, ""},
+		{"full tuning", `{"id":"a","case":"c1","k":8,"workers":4,"max_inflight":2,"queue":0,"rate":5,"burst":10}`, true, ""},
+		{"queue -1 unbounded", `{"id":"a","case":"c1","queue":-1}`, true, ""},
+		{"empty body", ``, false, "bad registration JSON"},
+		{"not json", `hello`, false, "bad registration JSON"},
+		{"truncated", `{"id":"a","case":`, false, "bad registration JSON"},
+		{"trailing data", `{"id":"a","case":"c1"} {"x":1}`, false, "trailing data"},
+		{"unknown field", `{"id":"a","case":"c1","bogus":true}`, false, "bad registration JSON"},
+		{"missing id", `{"case":"c1"}`, false, "bad design ID"},
+		{"traversal id", `{"id":"../etc","case":"c1"}`, false, "bad design ID"},
+		{"long id", `{"id":"` + strings.Repeat("x", 65) + `","case":"c1"}`, false, "bad design ID"},
+		{"no source", `{"id":"a"}`, false, "exactly one design source"},
+		{"both sources", `{"id":"a","case":"c1","lef":"x","def":"y"}`, false, "mutually exclusive"},
+		{"lef without def", `{"id":"a","lef":"x"}`, false, "both"},
+		{"def without lef", `{"id":"a","def":"y"}`, false, "both"},
+		{"bad case name", `{"id":"a","case":"../c"}`, false, "bad case name"},
+		{"scale too big", `{"id":"a","case":"c1","scale":1.5}`, false, "scale"},
+		{"scale negative", `{"id":"a","case":"c1","scale":-0.1}`, false, "scale"},
+		{"k out of range", `{"id":"a","case":"c1","k":65}`, false, "k"},
+		{"workers out of range", `{"id":"a","case":"c1","workers":2048}`, false, "workers"},
+		{"inflight out of range", `{"id":"a","case":"c1","max_inflight":5000}`, false, "max_inflight"},
+		{"queue below -1", qNeg2, false, "queue"},
+		{"negative rate", `{"id":"a","case":"c1","rate":-1}`, false, "non-negative"},
+		{"snapshot not base64", `{"id":"a","case":"c1","snapshot":"%%%"}`, false, "bad registration JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := ParseRegisterRequest([]byte(tc.body))
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ParseRegisterRequest(%s) = %v, want ok", tc.body, err)
+				}
+				if req.ID != "a" {
+					t.Fatalf("parsed ID = %q", req.ID)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseRegisterRequest(%s) accepted, want error containing %q", tc.body, tc.errSub)
+			}
+			if !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("error = %q, want substring %q", err, tc.errSub)
+			}
+		})
+	}
+}
+
+func TestParseRegisterRequestSizeCaps(t *testing.T) {
+	big := strings.Repeat("x", maxInlineSource+1)
+	body, _ := json.Marshal(RegisterRequest{ID: "a", LEF: big, DEF: "y"})
+	if _, err := ParseRegisterRequest(body); err == nil || !strings.Contains(err.Error(), "LEF/DEF") {
+		t.Fatalf("oversized LEF: err = %v, want size-cap rejection", err)
+	}
+	snap := make([]byte, maxInlineSnap+1)
+	body, _ = json.Marshal(RegisterRequest{ID: "a", Case: "c1", Snapshot: snap})
+	if _, err := ParseRegisterRequest(body); err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("oversized snapshot: err = %v, want size-cap rejection", err)
+	}
+}
+
+// FuzzRegisterRequest: hostile registration bodies must be rejected with an
+// error, never a panic; accepted ones must satisfy every invariant the
+// handler depends on downstream (valid IDs, one source, bounded knobs).
+func FuzzRegisterRequest(f *testing.F) {
+	f.Add([]byte(`{"id":"a","case":"pao_test1","scale":0.01,"seed":7}`))
+	f.Add([]byte(`{"id":"chip-1","lef":"LAYER M1 ;","def":"DESIGN top ;"}`))
+	f.Add([]byte(`{"id":"a","case":"c1","k":8,"workers":4,"max_inflight":2,"queue":-1,"rate":5,"burst":10}`))
+	f.Add([]byte(`{"id":"a","case":"c1","snapshot":"cGFvc25hcA=="}`))
+	f.Add([]byte(`{"id":"../../etc/passwd","case":"c1"}`))
+	f.Add([]byte(`{"id":"a","case":"c1"} trailing`))
+	f.Add([]byte(`{"id":"a","case":"c1","bogus":1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"id":"a","case":"c1","scale":1e308}`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRegisterRequest(data)
+		if err != nil {
+			return
+		}
+		if e := ValidateID(req.ID); e != nil {
+			t.Fatalf("accepted invalid ID %q: %v", req.ID, e)
+		}
+		haveCase := req.Case != ""
+		haveFiles := req.LEF != "" && req.DEF != ""
+		if haveCase == haveFiles {
+			t.Fatalf("accepted request without exactly one source: %+v", req)
+		}
+		if haveCase {
+			if e := ValidateID(req.Case); e != nil {
+				t.Fatalf("accepted invalid case %q: %v", req.Case, e)
+			}
+			if req.Scale < 0 || req.Scale > 1 {
+				t.Fatalf("accepted scale %v", req.Scale)
+			}
+		}
+		if req.K < 0 || req.K > 64 || req.Workers < 0 || req.Workers > 1024 ||
+			req.MaxInFlight < 0 || req.MaxInFlight > 4096 {
+			t.Fatalf("accepted out-of-range knobs: %+v", req)
+		}
+		if req.Queue != nil && (*req.Queue < -1 || *req.Queue > 1<<20) {
+			t.Fatalf("accepted queue %d", *req.Queue)
+		}
+		if req.Rate < 0 || req.Burst < 0 {
+			t.Fatalf("accepted negative rate/burst: %+v", req)
+		}
+	})
+}

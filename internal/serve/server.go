@@ -99,6 +99,8 @@ type Config struct {
 	// SlowThreshold is the latency at or above which a query enters the slow
 	// log even when unsampled (0 means 100ms).
 	SlowThreshold time.Duration
+	// MaxBatch caps the instances per /v1/access/batch request (0 means 256).
+	MaxBatch int
 }
 
 // state is the immutable serving snapshot readers load atomically. Swapping
@@ -139,10 +141,15 @@ type Server struct {
 
 	curState    atomic.Pointer[state]
 	adm         *admission
-	bucket      *tokenBucket
 	brk         *breaker
 	reanalyzing atomic.Bool
 	draining    atomic.Bool
+
+	// tenantBuckets holds one token bucket per tenant (lazily created with
+	// the configured rate), so one tenant draining its budget never rate-
+	// limits another. Nil buckets (RatePerSec <= 0) admit everything.
+	tenantMu      sync.Mutex
+	tenantBuckets map[string]*tokenBucket
 
 	// ecoMu serializes everything that needs a quiescent design for a long
 	// stretch: ECO transactions, background re-analysis and snapshot writes.
@@ -167,6 +174,8 @@ type Server struct {
 	qSeconds   *telemetry.HistogramVec // pao_query_seconds{design}
 	stepSecs   *telemetry.HistogramVec // pao_step_seconds{design,step}
 	apGauge    *telemetry.GaugeVec     // pao_access_points{design,layer}
+	tAdmit     *telemetry.CounterVec   // serve_tenant_admitted_total{design,tenant}
+	tShed      *telemetry.CounterVec   // serve_tenant_shed_total{design,tenant}
 	designHash string
 
 	ln       net.Listener
@@ -196,7 +205,7 @@ func New(d *db.Design, paoCfg pao.Config, cfg Config) *Server {
 		snapMu: make(chan struct{}, 1),
 	}
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth)
-	s.bucket = newTokenBucket(cfg.RatePerSec, cfg.Burst, func() time.Time { return s.now() })
+	s.tenantBuckets = make(map[string]*tokenBucket)
 	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func() time.Time { return s.now() })
 	s.bgCtx, s.bgCancel = context.WithCancel(context.Background())
 
@@ -211,8 +220,28 @@ func New(d *db.Design, paoCfg pao.Config, cfg Config) *Server {
 		"Pipeline step durations of each analysis run served.", "design", "step")
 	s.apGauge = s.prom.Gauge("pao_access_points",
 		"Access points in the current serving result, by metal layer.", "design", "layer")
+	s.tAdmit = s.prom.Counter("serve_tenant_admitted_total",
+		"Queries admitted past rate limiting and the fair queue, by tenant.", "design", "tenant")
+	s.tShed = s.prom.Counter("serve_tenant_shed_total",
+		"Queries shed by rate limiting or queue overflow, by tenant.", "design", "tenant")
 	s.designHash = pao.DesignHash(d)
 	return s
+}
+
+// tenantBucket returns (lazily creating) the tenant's private token bucket;
+// nil when rate limiting is off.
+func (s *Server) tenantBucket(tenant string) *tokenBucket {
+	if s.cfg.RatePerSec <= 0 {
+		return nil
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	b, ok := s.tenantBuckets[tenant]
+	if !ok {
+		b = newTokenBucket(s.cfg.RatePerSec, s.cfg.Burst, func() time.Time { return s.now() })
+		s.tenantBuckets[tenant] = b
+	}
+	return b
 }
 
 func (s *Server) reg() *obs.Registry { return s.Obs.Reg() }
@@ -409,6 +438,24 @@ func (s *Server) WriteSnapshot(ctx context.Context) error {
 	return nil
 }
 
+// Evict releases the serving result after persisting it: the snapshot (when
+// a path is configured) is written crash-safely with retry, then the atomic
+// state pointer drops to nil so the Result becomes collectable. The design
+// database itself stays resident — a later Init warm-restarts from the
+// snapshot (or recomputes) without re-parsing inputs. The caller must ensure
+// no queries are dispatched to this server between Evict and the next Init
+// (the Manager holds the design's gate write-locked across it).
+func (s *Server) Evict(ctx context.Context) error {
+	if err := s.WriteSnapshot(ctx); err != nil {
+		return err
+	}
+	s.ecoMu.Lock()
+	defer s.ecoMu.Unlock()
+	s.eco = nil
+	s.curState.Store(nil)
+	return nil
+}
+
 // TriggerReanalyze starts one background re-analysis if the breaker admits
 // it and none is running. The fresh result swaps in atomically only when it
 // is at least as healthy as what it replaces; otherwise the server keeps
@@ -560,6 +607,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/version", s.handleVersion)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/access", s.admitted("access", s.handleAccess))
+	mux.HandleFunc("/v1/access/batch", s.admittedCost("batch", s.batchCost, s.handleBatch))
 	mux.HandleFunc("/v1/access/explain", s.admitted("explain", s.handleExplain))
 	mux.HandleFunc("/v1/reanalyze", s.handleReanalyze)
 	mux.HandleFunc("/v1/eco", s.admitted("eco", s.handleECO))
@@ -600,13 +648,41 @@ func statusLabel(code int) string {
 	}
 }
 
-// admitted wraps a query handler with the full admission pipeline: rate
-// limit (429), bounded queue + per-request deadline (503), panic recovery
-// (500 + breaker), latency accounting, and per-query telemetry — every
-// request gets a correlation ID (propagated from X-Correlation-Id or newly
-// minted, echoed back on the response), sampled requests carry a span tree
-// through ctx, and slow or sampled queries land in /debug/slowlog.
+// tenantOf extracts the request's tenant ID from the X-Tenant-Id header or
+// the ?tenant= query parameter; requests without one share the "default"
+// tenant. Tenant IDs feed metric labels and map keys, so they pass the same
+// charset/length validation as design IDs.
+func tenantOf(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Tenant-Id")
+	if t == "" {
+		t = r.URL.Query().Get("tenant")
+	}
+	if t == "" {
+		return "default", nil
+	}
+	if err := ValidateID(t); err != nil {
+		return "", fmt.Errorf("bad tenant ID: %w", err)
+	}
+	return t, nil
+}
+
+// admitted wraps a query handler with the full admission pipeline: per-tenant
+// rate limit (429), fair bounded queue + per-request deadline (503), panic
+// recovery (500 + breaker), latency accounting, and per-query telemetry —
+// every request gets a correlation ID (propagated from X-Correlation-Id or
+// newly minted, echoed back on the response), sampled requests carry a span
+// tree through ctx, and slow or sampled queries land in /debug/slowlog.
 func (s *Server) admitted(op string, h http.HandlerFunc) http.HandlerFunc {
+	return s.admittedCost(op, nil, h)
+}
+
+// admittedCost is admitted with a pluggable admission cost: costFn (when
+// non-nil) runs before rate limiting, may rewrite the request (e.g. stash a
+// parsed batch body in its context), and returns the number of instances the
+// request will answer — the charge taken from the tenant's token bucket and
+// the weight used by the fair dequeue. Errors from costFn answer 400 (or the
+// error's own status for *admitError).
+func (s *Server) admittedCost(op string, costFn func(r *http.Request) (*http.Request, int, error), h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reg := s.reg()
 		reg.Counter("serve.requests").Inc()
@@ -616,9 +692,31 @@ func (s *Server) admitted(op string, h http.HandlerFunc) http.HandlerFunc {
 			corr = telemetry.NewCorrID()
 		}
 		w.Header().Set("X-Correlation-Id", corr)
-		if ok, retry := s.bucket.take(); !ok {
+		tenant, terr := tenantOf(r)
+		if terr != nil {
+			s.qTotal.With(s.design.Name, "client_error").Inc()
+			http.Error(w, terr.Error(), http.StatusBadRequest)
+			return
+		}
+		cost := 1
+		if costFn != nil {
+			r2, n, err := costFn(r)
+			if err != nil {
+				s.qTotal.With(s.design.Name, "client_error").Inc()
+				code := http.StatusBadRequest
+				var ae *admitError
+				if errors.As(err, &ae) {
+					code = ae.code
+				}
+				http.Error(w, err.Error(), code)
+				return
+			}
+			r, cost = r2, n
+		}
+		if ok, retry := s.tenantBucket(tenant).takeN(cost); !ok {
 			reg.Counter("serve.shed.rate").Inc()
 			s.qTotal.With(s.design.Name, "shed").Inc()
+			s.tShed.With(s.design.Name, tenant).Inc()
 			w.Header().Set("Retry-After", retryAfterSecs(retry))
 			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 			return
@@ -629,7 +727,7 @@ func (s *Server) admitted(op string, h http.HandlerFunc) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
-		release, _, ok := s.adm.acquire(ctx)
+		release, _, ok := s.adm.acquire(ctx, tenant, cost)
 		reg.Gauge("serve.queue.depth").Set(float64(s.adm.queueDepth()))
 		if !ok {
 			if ctx.Err() != nil {
@@ -638,11 +736,13 @@ func (s *Server) admitted(op string, h http.HandlerFunc) http.HandlerFunc {
 				reg.Counter("serve.shed.queue").Inc()
 			}
 			s.qTotal.With(s.design.Name, "shed").Inc()
+			s.tShed.With(s.design.Name, tenant).Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server overloaded, request shed", http.StatusServiceUnavailable)
 			return
 		}
 		defer release()
+		s.tAdmit.With(s.design.Name, tenant).Inc()
 		var root *obs.Span
 		if s.sampler.Sample() {
 			root = obs.NewTrace("serve." + op).Root
@@ -675,6 +775,15 @@ func (s *Server) admitted(op string, h http.HandlerFunc) http.HandlerFunc {
 		h(sw, r.WithContext(ctx))
 	}
 }
+
+// admitError lets a costFn pick the HTTP status of its rejection (413 for an
+// oversized body, 405 for a bad method) instead of the default 400.
+type admitError struct {
+	code int
+	msg  string
+}
+
+func (e *admitError) Error() string { return e.msg }
 
 func retryAfterSecs(d time.Duration) string {
 	secs := int64(d / time.Second)
