@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-json bench-check bench-eco experiments \
+.PHONY: all build test vet bench bench-json bench-check bench-cold bench-eco experiments \
 	experiments-full examples clean difftest eco-difftest golden-update \
 	fuzz-smoke cover faultinject serve-smoke telemetry-smoke tenant-smoke \
 	dist-difftest dist-smoke
@@ -68,7 +68,7 @@ serve-smoke:
 telemetry-smoke:
 	$(GO) test -race -v -run 'TestTelemetrySmoke' ./cmd/paoserve
 	$(GO) test -race ./internal/telemetry ./internal/serve
-	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
+	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR10.json
 
 # Multi-tenant smoke campaign under the race detector: one paoserve process
 # serving three designs (one at boot, two registered over POST /v1/designs), a
@@ -129,13 +129,19 @@ bench: bench-json
 # Measure the Step 1/2/3 hot paths with the memoization layers on and off and
 # write the machine-readable report checked in as the perf baseline.
 bench-json:
-	$(GO) run ./cmd/paobench -out BENCH_PR5.json
+	$(GO) run ./cmd/paobench -out BENCH_PR10.json
 
 # CI regression gate: re-measure and fail on >15% regression vs the
 # checked-in baseline (machine-independent metrics only; add -gate-ns on a
 # quiet dedicated host to also gate wall-clock time).
 bench-check:
-	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR5.json
+	$(GO) run ./cmd/paobench -q -out /tmp/bench-current.json -compare BENCH_PR10.json
+
+# Cold-path profile: only the uncached scenario variants — the pure query-
+# core and check-core cost with every memo layer off. Prints to stdout; not
+# gated (cold reports carry no cached metrics to compare).
+bench-cold:
+	$(GO) run ./cmd/paobench -cold
 
 # ECO re-analysis scoping report: dirty-class/cluster counts for a single
 # move, the resident-session apply loop vs a fresh full run, and the

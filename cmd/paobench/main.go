@@ -1,6 +1,6 @@
 // Command paobench measures the PAAF pipeline's hot paths with the
 // memoization layers on and off and emits a machine-readable report
-// (BENCH_PR5.json). With -compare it re-runs the scenarios and gates the
+// (BENCH_PR10.json). With -compare it re-runs the scenarios and gates the
 // result against a checked-in baseline, failing on >tolerance regressions in
 // the machine-independent metrics (allocs/op, cache hit rates, the
 // cached-vs-uncached speedup); add -gate-ns to also gate absolute wall-clock
@@ -8,8 +8,9 @@
 //
 // Usage:
 //
-//	paobench -out BENCH_PR5.json              # refresh the artifact
-//	paobench -compare BENCH_PR5.json          # CI regression gate
+//	paobench -out BENCH_PR10.json             # refresh the artifact
+//	paobench -compare BENCH_PR10.json         # CI regression gate
+//	paobench -cold                            # uncached variants only
 //	paobench -eco-out BENCH_PR7.json          # ECO re-analysis scoping report
 //
 // -eco-out runs the eco_reanalysis scenario instead of the standard set: a
@@ -39,6 +40,7 @@ func run() int {
 	tol := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare")
 	gateNs := flag.Bool("gate-ns", false, "also gate wall-clock ns/op (off by default: CI hosts vary)")
 	ecoOut := flag.String("eco-out", "", "run the eco_reanalysis scenario only and write its report to this file")
+	cold := flag.Bool("cold", false, "measure only the uncached (cold-path) variants; incompatible with -compare")
 	quiet := flag.Bool("q", false, "suppress per-scenario progress lines")
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -79,6 +81,11 @@ func run() int {
 		return 0
 	}
 
+	if *cold && *compare != "" {
+		fmt.Fprintln(os.Stderr, "paobench: -cold reports have no cached metrics and cannot be gated; drop -compare")
+		return 1
+	}
+
 	var base bench.Report
 	if *compare != "" {
 		var err error
@@ -95,7 +102,11 @@ func run() int {
 		}
 	}
 
-	rep, err := bench.Measure(*scale, progress)
+	measure := bench.Measure
+	if *cold {
+		measure = bench.MeasureCold
+	}
+	rep, err := measure(*scale, progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paobench:", err)
 		return 1

@@ -136,11 +136,27 @@ func Scenarios() []Scenario {
 // assembles the report. progress, when non-nil, is called once per variant
 // with a human-readable line.
 func Measure(scale float64, progress func(string)) (Report, error) {
+	return measure(scale, false, progress)
+}
+
+// MeasureCold runs only the uncached (cold-path) variant of every scenario —
+// the pure query-core and check-core cost with every memo layer disabled. The
+// report's cached metrics stay zero and no speedup is computed; cold reports
+// exist for allocation profiling, not for gating against a full baseline.
+func MeasureCold(scale float64, progress func(string)) (Report, error) {
+	return measure(scale, true, progress)
+}
+
+func measure(scale float64, coldOnly bool, progress func(string)) (Report, error) {
 	rep := Report{Scale: scale}
+	variants := []bool{false, true}
+	if coldOnly {
+		variants = []bool{true}
+	}
 	for _, sc := range Scenarios() {
 		var e Entry
 		e.Scenario = sc.Name
-		for _, noCache := range []bool{false, true} {
+		for _, noCache := range variants {
 			sc, noCache := sc, noCache
 			var w *Workload
 			var prepErr error

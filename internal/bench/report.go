@@ -33,7 +33,7 @@ type Entry struct {
 	PairHitRate float64 `json:"pair_hit_rate"`
 }
 
-// Report is the full benchmark artifact (BENCH_PR5.json). It deliberately
+// Report is the full benchmark artifact (BENCH_PR10.json). It deliberately
 // carries no timestamps or host identifiers so diffs against the checked-in
 // baseline show only measurement changes.
 type Report struct {

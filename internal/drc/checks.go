@@ -9,6 +9,14 @@ import (
 	"repro/internal/tech"
 )
 
+// The rule checks come in two flavours sharing one implementation: the
+// report path (notes=true) builds human-readable notes and returns fresh
+// slices, and the count-only verdict path (notes=false) appends bare
+// violations — Rule/Layer/Where only, which is everything Key() encodes —
+// into the QueryCtx arena, allocating nothing after warm-up. Both flavours
+// emit the same violations in the same order and drive the same counters, so
+// a verdict is always len(Dedup(report)) by construction.
+
 // CheckMetalRect validates a hypothetical metal shape on the given layer for
 // the given net against the engine's indexed shapes: shorts (overlap with a
 // different net) and PRL-table spacing. Touching a different-net shape is a
@@ -20,33 +28,43 @@ func (e *Engine) CheckMetalRect(layer int, r geom.Rect, net int) []Violation {
 // CheckMetalRectCtx is CheckMetalRect with caller-owned query state for
 // concurrent read-only checking.
 func (e *Engine) CheckMetalRectCtx(layer int, r geom.Rect, net int, ctx *QueryCtx) []Violation {
+	return e.checkMetalRectInto(layer, r, net, ctx, true, nil)
+}
+
+func (e *Engine) checkMetalRectInto(layer int, r geom.Rect, net int, ctx *QueryCtx, notes bool, out []Violation) []Violation {
 	l := e.Tech.Metal(layer)
 	if l == nil {
-		return nil
+		return out
 	}
 	e.Counters.MetalChecks.Add(1)
-	var out []Violation
+	before := len(out)
 	win := r.Bloat(l.Spacing.MaxSpacing())
 	for _, id := range e.QueryMetalCtx(layer, win, ctx) {
-		o := &e.objs[id]
-		if sameNet(net, o.Net) {
+		oNet := int(e.snet[id])
+		if sameNet(net, oNet) {
 			continue
 		}
-		out = append(out, checkMetalPair(l, r, net, "candidate", o.Rect, o.Net, o.describe())...)
+		var tag string
+		if notes {
+			tag = e.objs[id].describe()
+		}
+		out = checkMetalPairInto(l, r, net, "candidate", e.objs[id].Rect, oNet, tag, notes, out)
 	}
-	e.Counters.Violations.Add(int64(len(out)))
+	e.Counters.Violations.Add(int64(len(out) - before))
 	return out
 }
 
-// checkMetalPair applies short and spacing rules to one pair of different-net
-// shapes on layer l.
-func checkMetalPair(l *tech.RoutingLayer, a geom.Rect, aNet int, aTag string, b geom.Rect, bNet int, bTag string) []Violation {
+// checkMetalPairInto applies short and spacing rules to one pair of
+// different-net shapes on layer l. With notes=false the tags are ignored and
+// the Note field stays empty (the dedup key is unaffected).
+func checkMetalPairInto(l *tech.RoutingLayer, a geom.Rect, aNet int, aTag string, b geom.Rect, bNet int, bTag string, notes bool, out []Violation) []Violation {
 	if a.Overlaps(b) {
 		ov, _ := a.Intersect(b)
-		return []Violation{{
-			Rule: "Short", Layer: l.Name, Where: ov,
-			Note: fmt.Sprintf("%s (net %d) overlaps %s (net %d)", aTag, aNet, bTag, bNet),
-		}}
+		v := Violation{Rule: "Short", Layer: l.Name, Where: ov}
+		if notes {
+			v.Note = fmt.Sprintf("%s (net %d) overlaps %s (net %d)", aTag, aNet, bTag, bNet)
+		}
+		return append(out, v)
 	}
 	w := a.MinDim()
 	if bw := b.MinDim(); bw > w {
@@ -61,20 +79,22 @@ func checkMetalPair(l *tech.RoutingLayer, a geom.Rect, aNet int, aTag string, b 
 	// Diagonal neighbors with a wide participant fall under corner spacing.
 	if diagonal && l.Corner.Enabled() && w >= l.Corner.EligibleWidth && l.Corner.Spacing > req {
 		if a.DistSquared(b) < l.Corner.Spacing*l.Corner.Spacing {
-			return []Violation{{
-				Rule: "CornerSpacing", Layer: l.Name, Where: a.UnionBBox(b),
-				Note: fmt.Sprintf("%s (net %d) corner within %d of %s (net %d)", aTag, aNet, l.Corner.Spacing, bTag, bNet),
-			}}
+			v := Violation{Rule: "CornerSpacing", Layer: l.Name, Where: a.UnionBBox(b)}
+			if notes {
+				v.Note = fmt.Sprintf("%s (net %d) corner within %d of %s (net %d)", aTag, aNet, l.Corner.Spacing, bTag, bNet)
+			}
+			return append(out, v)
 		}
-		return nil
+		return out
 	}
 	if req > 0 && a.DistSquared(b) < req*req {
-		return []Violation{{
-			Rule: "Spacing", Layer: l.Name, Where: a.UnionBBox(b),
-			Note: fmt.Sprintf("%s (net %d) within %d of %s (net %d), prl %d", aTag, aNet, req, bTag, bNet, prl),
-		}}
+		v := Violation{Rule: "Spacing", Layer: l.Name, Where: a.UnionBBox(b)}
+		if notes {
+			v.Note = fmt.Sprintf("%s (net %d) within %d of %s (net %d), prl %d", aTag, aNet, req, bTag, bNet, prl)
+		}
+		return append(out, v)
 	}
-	return nil
+	return out
 }
 
 // CheckMetalPairRects applies the short and spacing rules to one standalone
@@ -84,31 +104,30 @@ func CheckMetalPairRects(l *tech.RoutingLayer, a geom.Rect, aNet int, b geom.Rec
 	if sameNet(aNet, bNet) {
 		return nil
 	}
-	return checkMetalPair(l, a, aNet, "a", b, bNet, "b")
+	return checkMetalPairInto(l, a, aNet, "a", b, bNet, "b", true, nil)
 }
 
 // eolWindows returns the end-of-line clearance windows of a wire-like shape
-// on layer l (empty when the rule is disabled or the end edges are wide).
-func eolWindows(l *tech.RoutingLayer, r geom.Rect) []geom.Rect {
+// on layer l in wins[:n] (n is 0 when the rule is disabled or the end edges
+// are wide). The fixed-size return keeps the hot path allocation-free.
+func eolWindows(l *tech.RoutingLayer, r geom.Rect) (wins [2]geom.Rect, n int) {
 	if !l.EOL.Enabled() {
-		return nil
+		return wins, 0
 	}
 	if r.Width() >= r.Height() {
 		if r.Height() < l.EOL.EOLWidth {
-			return []geom.Rect{
-				geom.R(r.XL-l.EOL.EOLSpace, r.YL-l.EOL.EOLWithin, r.XL, r.YH+l.EOL.EOLWithin),
-				geom.R(r.XH, r.YL-l.EOL.EOLWithin, r.XH+l.EOL.EOLSpace, r.YH+l.EOL.EOLWithin),
-			}
+			wins[0] = geom.R(r.XL-l.EOL.EOLSpace, r.YL-l.EOL.EOLWithin, r.XL, r.YH+l.EOL.EOLWithin)
+			wins[1] = geom.R(r.XH, r.YL-l.EOL.EOLWithin, r.XH+l.EOL.EOLSpace, r.YH+l.EOL.EOLWithin)
+			return wins, 2
 		}
-		return nil
+		return wins, 0
 	}
 	if r.Width() < l.EOL.EOLWidth {
-		return []geom.Rect{
-			geom.R(r.XL-l.EOL.EOLWithin, r.YL-l.EOL.EOLSpace, r.XH+l.EOL.EOLWithin, r.YL),
-			geom.R(r.XL-l.EOL.EOLWithin, r.YH, r.XH+l.EOL.EOLWithin, r.YH+l.EOL.EOLSpace),
-		}
+		wins[0] = geom.R(r.XL-l.EOL.EOLWithin, r.YL-l.EOL.EOLSpace, r.XH+l.EOL.EOLWithin, r.YL)
+		wins[1] = geom.R(r.XL-l.EOL.EOLWithin, r.YH, r.XH+l.EOL.EOLWithin, r.YH+l.EOL.EOLSpace)
+		return wins, 2
 	}
-	return nil
+	return wins, 0
 }
 
 // CheckEOLPairRects applies the end-of-line rule between one standalone pair
@@ -119,13 +138,15 @@ func CheckEOLPairRects(l *tech.RoutingLayer, a geom.Rect, aNet int, b geom.Rect,
 		return nil
 	}
 	var out []Violation
-	for _, win := range eolWindows(l, a) {
+	wins, n := eolWindows(l, a)
+	for _, win := range wins[:n] {
 		if win.Overlaps(b) {
 			out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win,
 				Note: fmt.Sprintf("end-of-line window blocked (nets %d/%d)", aNet, bNet)})
 		}
 	}
-	for _, win := range eolWindows(l, b) {
+	wins, n = eolWindows(l, b)
+	for _, win := range wins[:n] {
 		if win.Overlaps(a) {
 			out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win,
 				Note: fmt.Sprintf("end-of-line window blocked (nets %d/%d)", bNet, aNet)})
@@ -161,12 +182,16 @@ func (e *Engine) CheckCutRect(cutBelow int, r geom.Rect, net int) []Violation {
 
 // CheckCutRectCtx is CheckCutRect with caller-owned query state.
 func (e *Engine) CheckCutRectCtx(cutBelow int, r geom.Rect, net int, ctx *QueryCtx) []Violation {
+	return e.checkCutRectInto(cutBelow, r, net, ctx, true, nil)
+}
+
+func (e *Engine) checkCutRectInto(cutBelow int, r geom.Rect, net int, ctx *QueryCtx, notes bool, out []Violation) []Violation {
 	c := e.Tech.Cut(cutBelow)
 	if c == nil {
-		return nil
+		return out
 	}
 	e.Counters.CutChecks.Add(1)
-	var out []Violation
+	before := len(out)
 	win := r.Bloat(c.Spacing)
 	for _, id := range e.QueryCutCtx(cutBelow, win, ctx) {
 		o := &e.objs[id]
@@ -175,16 +200,22 @@ func (e *Engine) CheckCutRectCtx(cutBelow int, r geom.Rect, net int, ctx *QueryC
 		}
 		if r.Overlaps(o.Rect) {
 			ov, _ := r.Intersect(o.Rect)
-			out = append(out, Violation{Rule: "Short", Layer: c.Name, Where: ov,
-				Note: fmt.Sprintf("cut overlaps %s (net %d)", o.describe(), o.Net)})
+			v := Violation{Rule: "Short", Layer: c.Name, Where: ov}
+			if notes {
+				v.Note = fmt.Sprintf("cut overlaps %s (net %d)", o.describe(), o.Net)
+			}
+			out = append(out, v)
 			continue
 		}
 		if d := r.DistSquared(o.Rect); d < c.Spacing*c.Spacing {
-			out = append(out, Violation{Rule: "CutSpacing", Layer: c.Name, Where: r.UnionBBox(o.Rect),
-				Note: fmt.Sprintf("cut within %d of %s (net %d)", c.Spacing, o.describe(), o.Net)})
+			v := Violation{Rule: "CutSpacing", Layer: c.Name, Where: r.UnionBBox(o.Rect)}
+			if notes {
+				v.Note = fmt.Sprintf("cut within %d of %s (net %d)", c.Spacing, o.describe(), o.Net)
+			}
+			out = append(out, v)
 		}
 	}
-	e.Counters.Violations.Add(int64(len(out)))
+	e.Counters.Violations.Add(int64(len(out) - before))
 	return out
 }
 
@@ -202,34 +233,60 @@ func CheckMinWidth(l *tech.RoutingLayer, r geom.Rect) []Violation {
 // than MinStepLength whose length exceeds MaxEdges is a violation (MaxEdges=0
 // forbids short edges entirely).
 func CheckMinStepUnion(l *tech.RoutingLayer, rects []geom.Rect) []Violation {
+	return checkMinStepUnionInto(l, rects, nil, true, nil)
+}
+
+func checkMinStepUnionInto(l *tech.RoutingLayer, rects []geom.Rect, qc *QueryCtx, notes bool, out []Violation) []Violation {
 	if !l.Step.Enabled() {
-		return nil
+		return out
 	}
-	var out []Violation
-	for _, poly := range geom.UnionRects(rects) {
-		for _, ring := range poly.AllRings() {
-			out = append(out, checkRingSteps(l, ring)...)
+	var polys []geom.Polygon
+	if qc != nil {
+		polys = qc.union.Union(rects)
+	} else {
+		polys = geom.UnionRects(rects)
+	}
+	for _, poly := range polys {
+		out = checkRingStepsInto(l, poly.Outer, qc, notes, out)
+		for _, hole := range poly.Holes {
+			out = checkRingStepsInto(l, hole, qc, notes, out)
 		}
 	}
 	return out
 }
 
-func checkRingSteps(l *tech.RoutingLayer, ring geom.Ring) []Violation {
-	edges := ring.Edges()
-	n := len(edges)
+func checkRingStepsInto(l *tech.RoutingLayer, ring geom.Ring, qc *QueryCtx, notes bool, out []Violation) []Violation {
+	n := len(ring)
 	if n == 0 {
-		return nil
+		return out
 	}
-	short := make([]bool, n)
+	var short []bool
+	if qc != nil {
+		if cap(qc.steps) < n {
+			qc.steps = make([]bool, n)
+		}
+		qc.steps = qc.steps[:n]
+		short = qc.steps
+	} else {
+		short = make([]bool, n)
+	}
+	edgeEnd := func(i int) int {
+		if i == n-1 {
+			return 0
+		}
+		return i + 1
+	}
 	allShort := true
-	for i, e := range edges {
-		short[i] = e.Length() < l.Step.MinStepLength
+	for i := 0; i < n; i++ {
+		short[i] = ring[i].ManhattanDist(ring[edgeEnd(i)]) < l.Step.MinStepLength
 		allShort = allShort && short[i]
 	}
-	var out []Violation
 	if allShort {
-		return []Violation{{Rule: "MinStep", Layer: l.Name, Where: ring.BBox(),
-			Note: fmt.Sprintf("entire contour shorter than min step %d", l.Step.MinStepLength)}}
+		v := Violation{Rule: "MinStep", Layer: l.Name, Where: ring.BBox()}
+		if notes {
+			v.Note = fmt.Sprintf("entire contour shorter than min step %d", l.Step.MinStepLength)
+		}
+		return append(out, v)
 	}
 	// Walk circular runs starting after a non-short edge.
 	start := 0
@@ -241,17 +298,22 @@ func checkRingSteps(l *tech.RoutingLayer, ring geom.Ring) []Violation {
 	for k := 1; k <= n; k++ {
 		i := (start + k) % n
 		if short[i] {
+			a, b := ring[i], ring[edgeEnd(i)]
+			er := geom.R(a.X, a.Y, b.X, b.Y)
 			if run == 0 {
-				runBox = edges[i].Rect()
+				runBox = er
 			} else {
-				runBox = runBox.UnionBBox(edges[i].Rect())
+				runBox = runBox.UnionBBox(er)
 			}
 			run++
 			continue
 		}
 		if run > l.Step.MaxEdges {
-			out = append(out, Violation{Rule: "MinStep", Layer: l.Name, Where: runBox,
-				Note: fmt.Sprintf("%d consecutive edges shorter than %d (max %d)", run, l.Step.MinStepLength, l.Step.MaxEdges)})
+			v := Violation{Rule: "MinStep", Layer: l.Name, Where: runBox}
+			if notes {
+				v.Note = fmt.Sprintf("%d consecutive edges shorter than %d (max %d)", run, l.Step.MinStepLength, l.Step.MaxEdges)
+			}
+			out = append(out, v)
 		}
 		run = 0
 	}
@@ -304,26 +366,33 @@ func (e *Engine) CheckEOLRect(layer int, r geom.Rect, net int) []Violation {
 
 // CheckEOLRectCtx is CheckEOLRect with caller-owned query state.
 func (e *Engine) CheckEOLRectCtx(layer int, r geom.Rect, net int, ctx *QueryCtx) []Violation {
+	return e.checkEOLRectInto(layer, r, net, ctx, true, nil)
+}
+
+func (e *Engine) checkEOLRectInto(layer int, r geom.Rect, net int, ctx *QueryCtx, notes bool, out []Violation) []Violation {
 	l := e.Tech.Metal(layer)
 	if l == nil {
-		return nil
+		return out
 	}
 	e.Counters.EOLChecks.Add(1)
-	var out []Violation
-	for _, win := range eolWindows(l, r) {
+	before := len(out)
+	wins, nw := eolWindows(l, r)
+	for _, win := range wins[:nw] {
 		for _, id := range e.QueryMetalCtx(layer, win, ctx) {
-			o := &e.objs[id]
-			if sameNet(net, o.Net) {
+			if sameNet(net, int(e.snet[id])) {
 				continue
 			}
-			if win.Overlaps(o.Rect) {
-				out = append(out, Violation{Rule: "EOL", Layer: l.Name, Where: win,
-					Note: fmt.Sprintf("end-of-line window blocked by %s (net %d)", o.describe(), o.Net)})
+			if win.Overlaps(e.objs[id].Rect) {
+				v := Violation{Rule: "EOL", Layer: l.Name, Where: win}
+				if notes {
+					v.Note = fmt.Sprintf("end-of-line window blocked by %s (net %d)", e.objs[id].describe(), e.objs[id].Net)
+				}
+				out = append(out, v)
 				break
 			}
 		}
 	}
-	e.Counters.Violations.Add(int64(len(out)))
+	e.Counters.Violations.Add(int64(len(out) - before))
 	return out
 }
 
@@ -345,35 +414,12 @@ func (e *Engine) CheckVia(v *tech.ViaDef, p geom.Point, net int, sameNetRects []
 // CheckViaCtx is CheckVia with caller-owned query state for concurrent
 // read-only validation against a frozen engine.
 func (e *Engine) CheckViaCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, ctx *QueryCtx) []Violation {
-	k := v.CutBelow
-	bot := v.BotRect(p)
-	top := v.TopRect(p)
-
 	e.Counters.ViaChecks.Add(1)
 	var out []Violation
 	if e.FaultHook != nil {
 		out = append(out, e.FaultHook(SiteCheckVia)...)
 	}
-	out = append(out, e.CheckMetalRectCtx(k, bot, net, ctx)...)
-	out = append(out, e.CheckMetalRectCtx(k+1, top, net, ctx)...)
-	for _, cut := range v.CutRects(p) {
-		out = append(out, e.CheckCutRectCtx(k, cut, net, ctx)...)
-	}
-	out = append(out, e.CheckEOLRectCtx(k, bot, net, ctx)...)
-	out = append(out, e.CheckEOLRectCtx(k+1, top, net, ctx)...)
-
-	if lb := e.Tech.Metal(k); lb.Step.Enabled() {
-		e.Counters.MinStepChecks.Add(1)
-		vs := CheckMinStepUnion(lb, connectedTo(bot, sameNetRects))
-		e.Counters.Violations.Add(int64(len(vs)))
-		out = append(out, vs...)
-	}
-	if lt := e.Tech.Metal(k + 1); lt.Step.Enabled() {
-		e.Counters.MinStepChecks.Add(1)
-		vs := CheckMinStepUnion(lt, []geom.Rect{top})
-		e.Counters.Violations.Add(int64(len(vs)))
-		out = append(out, vs...)
-	}
+	out = e.checkViaInto(v, p, net, sameNetRects, ctx, true, out)
 	out = Dedup(out)
 	if len(out) == 0 {
 		e.Counters.ViaClean.Add(1)
@@ -381,10 +427,104 @@ func (e *Engine) CheckViaCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects
 	return out
 }
 
+// checkViaInto is the shared via rule sequence. The verdict path reuses it
+// with notes=false and the QueryCtx violation arena as out.
+func (e *Engine) checkViaInto(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx, notes bool, out []Violation) []Violation {
+	k := v.CutBelow
+	bot := v.BotRect(p)
+	top := v.TopRect(p)
+
+	out = e.checkMetalRectInto(k, bot, net, qc, notes, out)
+	out = e.checkMetalRectInto(k+1, top, net, qc, notes, out)
+	for _, cr := range v.Cuts {
+		out = e.checkCutRectInto(k, cr.Shift(p), net, qc, notes, out)
+	}
+	out = e.checkEOLRectInto(k, bot, net, qc, notes, out)
+	out = e.checkEOLRectInto(k+1, top, net, qc, notes, out)
+
+	if lb := e.Tech.Metal(k); lb.Step.Enabled() {
+		e.Counters.MinStepChecks.Add(1)
+		before := len(out)
+		out = checkMinStepUnionInto(lb, connectedToCtx(bot, sameNetRects, qc), qc, notes, out)
+		e.Counters.Violations.Add(int64(len(out) - before))
+	}
+	if lt := e.Tech.Metal(k + 1); lt.Step.Enabled() {
+		e.Counters.MinStepChecks.Add(1)
+		before := len(out)
+		topArr := [1]geom.Rect{top}
+		out = checkMinStepUnionInto(lt, topArr[:], qc, notes, out)
+		e.Counters.Violations.Add(int64(len(out) - before))
+	}
+	return out
+}
+
+// checkViaVerdictCount is CheckViaCtx without report construction: the number
+// of deduplicated violations the report path would return, computed entirely
+// on the QueryCtx arena. Counters move exactly as on the report path.
+func (e *Engine) checkViaVerdictCount(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx) int {
+	e.Counters.ViaChecks.Add(1)
+	out := e.checkViaInto(v, p, net, sameNetRects, qc, false, qc.viol[:0])
+	qc.viol = out
+	n := countDistinctKeys(out, qc)
+	if n == 0 {
+		e.Counters.ViaClean.Add(1)
+	}
+	return n
+}
+
+// countDistinctKeys counts distinct dedup keys by linear scan — violation
+// lists from one via check are tiny, so this beats a map and allocates
+// nothing.
+func countDistinctKeys(vs []Violation, qc *QueryCtx) int {
+	if len(vs) <= 1 {
+		return len(vs)
+	}
+	keys := qc.keys[:0]
+	for i := range vs {
+		k := vs[i].key()
+		dup := false
+		for _, seen := range keys {
+			if seen == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keys = append(keys, k)
+		}
+	}
+	qc.keys = keys
+	return len(keys)
+}
+
 // connectedTo returns seed plus every rect transitively touching it.
 func connectedTo(seed geom.Rect, rects []geom.Rect) []geom.Rect {
 	out := []geom.Rect{seed}
 	used := make([]bool, len(rects))
+	return connectedInto(seed, rects, out, used)
+}
+
+// connectedToCtx is connectedTo on the QueryCtx arena; the result aliases
+// qc.rects and is valid until the next connectedToCtx call on the same
+// context.
+func connectedToCtx(seed geom.Rect, rects []geom.Rect, qc *QueryCtx) []geom.Rect {
+	if qc == nil {
+		return connectedTo(seed, rects)
+	}
+	out := append(qc.rects[:0], seed)
+	if cap(qc.used) < len(rects) {
+		qc.used = make([]bool, len(rects))
+	}
+	qc.used = qc.used[:len(rects)]
+	for i := range qc.used {
+		qc.used[i] = false
+	}
+	out = connectedInto(seed, rects, out, qc.used)
+	qc.rects = out
+	return out
+}
+
+func connectedInto(seed geom.Rect, rects []geom.Rect, out []geom.Rect, used []bool) []geom.Rect {
 	for changed := true; changed; {
 		changed = false
 		for i, r := range rects {
@@ -408,6 +548,7 @@ func connectedTo(seed geom.Rect, rects []geom.Rect) []geom.Rect {
 // cut spacing over every indexed cut — the post-route full-design check.
 // Each violating pair is reported once.
 func (e *Engine) CheckAll() []Violation {
+	e.Compact() // exclusive caller by the stamp contract; fold churn first
 	var out []Violation
 	pairs := int64(0)
 	for id := range e.objs {
@@ -428,7 +569,7 @@ func (e *Engine) CheckAll() []Violation {
 				if sameNet(o.Net, q.Net) {
 					continue
 				}
-				out = append(out, checkMetalPair(l, o.Rect, o.Net, o.describe(), q.Rect, q.Net, q.describe())...)
+				out = checkMetalPairInto(l, o.Rect, o.Net, o.describe(), q.Rect, q.Net, q.describe(), true, out)
 			}
 		case o.CutBelow > 0:
 			c := e.Tech.Cut(o.CutBelow)
@@ -460,16 +601,15 @@ func (e *Engine) CheckAll() []Violation {
 // checkObjAgainst runs the pairwise checks of one object against the engine
 // using the caller-owned query state; only pairs (id < jd) are reported so
 // the full sweep sees each pair once.
-func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []int) ([]Violation, []int) {
+func (e *Engine) checkObjAgainst(id int, qc *QueryCtx, out []Violation) []Violation {
 	o := &e.objs[id]
-	var out []Violation
+	before := len(out)
 	pairs := int64(0)
 	switch {
 	case o.MetalLayer > 0:
 		l := e.Tech.Metal(o.MetalLayer)
 		win := o.Rect.Bloat(l.Spacing.MaxSpacing())
-		scratch = e.queryIdxInto(e.metal[o.MetalLayer], win, stamp, pass, scratch[:0])
-		for _, jd := range scratch {
+		for _, jd := range e.QueryMetalCtx(o.MetalLayer, win, qc) {
 			if jd <= id {
 				continue
 			}
@@ -478,13 +618,12 @@ func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []in
 			if sameNet(o.Net, q.Net) {
 				continue
 			}
-			out = append(out, checkMetalPair(l, o.Rect, o.Net, o.describe(), q.Rect, q.Net, q.describe())...)
+			out = checkMetalPairInto(l, o.Rect, o.Net, o.describe(), q.Rect, q.Net, q.describe(), true, out)
 		}
 	case o.CutBelow > 0:
 		c := e.Tech.Cut(o.CutBelow)
 		win := o.Rect.Bloat(c.Spacing)
-		scratch = e.queryIdxInto(e.cut[o.CutBelow], win, stamp, pass, scratch[:0])
-		for _, jd := range scratch {
+		for _, jd := range e.QueryCutCtx(o.CutBelow, win, qc) {
 			if jd <= id {
 				continue
 			}
@@ -503,12 +642,12 @@ func (e *Engine) checkObjAgainst(id int, stamp []int32, pass int32, scratch []in
 		}
 	}
 	e.Counters.PairChecks.Add(pairs)
-	e.Counters.Violations.Add(int64(len(out)))
-	return out, scratch
+	e.Counters.Violations.Add(int64(len(out) - before))
+	return out
 }
 
 // CheckAllParallel is CheckAll fanned across worker goroutines (each with its
-// own query state), for post-route full-design checks on large results. The
+// own QueryCtx), for post-route full-design checks on large results. The
 // violation set matches CheckAll; ordering is normalized by sorting on Key.
 func (e *Engine) CheckAllParallel(workers int) []Violation {
 	if workers < 2 {
@@ -516,6 +655,7 @@ func (e *Engine) CheckAllParallel(workers int) []Violation {
 		sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 		return out
 	}
+	e.Compact() // before the fan-out: workers must not race a rebuild
 	n := len(e.objs)
 	results := make([][]Violation, workers)
 	var wg sync.WaitGroup
@@ -523,18 +663,13 @@ func (e *Engine) CheckAllParallel(workers int) []Violation {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			stamp := make([]int32, n)
-			pass := int32(0)
-			var scratch []int
+			qc := e.NewQueryCtx()
 			var local []Violation
 			for id := w; id < n; id += workers {
 				if !e.alive[id] {
 					continue
 				}
-				pass++
-				var vs []Violation
-				vs, scratch = e.checkObjAgainst(id, stamp, pass, scratch)
-				local = append(local, vs...)
+				local = e.checkObjAgainst(id, qc, local)
 			}
 			results[w] = local
 		}(w)

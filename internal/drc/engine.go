@@ -75,6 +75,16 @@ func (v Violation) Key() string {
 	return fmt.Sprintf("%s|%s|%d,%d,%d,%d", v.Rule, v.Layer, v.Where.XL, v.Where.YL, v.Where.XH, v.Where.YH)
 }
 
+// vKey is the comparable dedup key of a violation: everything Key() encodes,
+// without building strings. The two stay equivalent — Key() remains the wire
+// form difftest and the oracle compare on.
+type vKey struct {
+	rule, layer string
+	where       geom.Rect
+}
+
+func (v *Violation) key() vKey { return vKey{v.Rule, v.Layer, v.Where} }
+
 // Dedup removes violations with duplicate keys, preserving order. The input
 // slice is left untouched: the result is a fresh slice (callers routinely keep
 // the original list for reporting, so rewriting its backing array in place —
@@ -83,58 +93,16 @@ func Dedup(vs []Violation) []Violation {
 	if len(vs) <= 1 {
 		return vs
 	}
-	seen := make(map[string]bool, len(vs))
+	seen := make(map[vKey]struct{}, len(vs))
 	out := make([]Violation, 0, len(vs))
-	for _, v := range vs {
-		k := v.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, v)
+	for i := range vs {
+		k := vs[i].key()
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, vs[i])
 		}
 	}
 	return out
-}
-
-// binIndex is a uniform-grid spatial index over object IDs.
-type binIndex struct {
-	size int64
-	bins map[[2]int32][]int32
-}
-
-func newBinIndex(size int64) *binIndex {
-	return &binIndex{size: size, bins: make(map[[2]int32][]int32)}
-}
-
-func (b *binIndex) keyRange(r geom.Rect) (x0, y0, x1, y1 int32) {
-	return int32(floorDiv(r.XL, b.size)), int32(floorDiv(r.YL, b.size)),
-		int32(floorDiv(r.XH, b.size)), int32(floorDiv(r.YH, b.size))
-}
-
-func (b *binIndex) insert(id int32, r geom.Rect) {
-	x0, y0, x1, y1 := b.keyRange(r)
-	for x := x0; x <= x1; x++ {
-		for y := y0; y <= y1; y++ {
-			k := [2]int32{x, y}
-			b.bins[k] = append(b.bins[k], id)
-		}
-	}
-}
-
-func (b *binIndex) remove(id int32, r geom.Rect) {
-	x0, y0, x1, y1 := b.keyRange(r)
-	for x := x0; x <= x1; x++ {
-		for y := y0; y <= y1; y++ {
-			k := [2]int32{x, y}
-			s := b.bins[k]
-			for i, v := range s {
-				if v == id {
-					s[i] = s[len(s)-1]
-					b.bins[k] = s[:len(s)-1]
-					break
-				}
-			}
-		}
-	}
 }
 
 func floorDiv(a, b int64) int64 {
@@ -218,8 +186,17 @@ type Engine struct {
 	// goroutines.
 	FaultHook func(site string) []Violation
 
-	objs    []Obj
-	alive   []bool
+	objs  []Obj
+	alive []bool
+
+	// Struct-of-arrays slabs mirroring objs for the query hot loop: clamped
+	// int32 coordinates plus packed net / kind+saturation / layer columns
+	// (see slab.go for the saturation contract).
+	sxl, syl, sxh, syh []int32
+	snet               []int32
+	sinfo              []uint8 // Kind in the low bits, slabSat in the top bit
+	slay               []int16 // +metal layer, -cut-below layer
+
 	metal   []*binIndex // index 1..NumMetals
 	cut     []*binIndex // index 1..NumMetals-1
 	stamp   []int32     // per-object visit stamp for query dedup
@@ -230,11 +207,23 @@ type Engine struct {
 	cache *ViaCache
 }
 
+// minBinSize floors the spatial-index bin size: a degenerate technology
+// (zero or missing metal-1 pitch) must not produce a zero-sized bin, which
+// would divide by zero on the first insert.
+const minBinSize = 256
+
 // NewEngine creates an empty engine for the given technology. Bin size is
-// derived from the lower-metal pitch.
+// derived from the lower-metal pitch, floored at minBinSize for degenerate
+// rule decks.
 func NewEngine(t *tech.Technology) *Engine {
 	e := &Engine{Tech: t, Counters: &Counters{}}
-	bin := 24 * t.Metal(1).Pitch
+	var bin int64
+	if l := t.Metal(1); l != nil {
+		bin = 24 * l.Pitch
+	}
+	if bin < minBinSize {
+		bin = minBinSize
+	}
 	e.metal = make([]*binIndex, t.NumMetals()+1)
 	for i := 1; i <= t.NumMetals(); i++ {
 		e.metal[i] = newBinIndex(bin)
@@ -294,11 +283,34 @@ func (e *Engine) Add(o Obj) int {
 	e.objs = append(e.objs, o)
 	e.alive = append(e.alive, true)
 	e.stamp = append(e.stamp, 0)
+	xl, yl, xh, yh, sat := clampRect(o.Rect)
+	e.sxl = append(e.sxl, xl)
+	e.syl = append(e.syl, yl)
+	e.sxh = append(e.sxh, xh)
+	e.syh = append(e.syh, yh)
+	e.snet = append(e.snet, int32(o.Net))
+	info := uint8(o.Kind) & slabKindMask
+	if sat {
+		info |= slabSat
+	}
+	e.sinfo = append(e.sinfo, info)
 	switch {
 	case o.CutBelow > 0:
-		e.cut[o.CutBelow].insert(int32(o.ID), o.Rect)
+		e.slay = append(e.slay, -int16(o.CutBelow))
+		idx := e.cut[o.CutBelow]
+		idx.insert(int32(o.ID), o.Rect)
+		if idx.needsCompact() {
+			e.compactIndex(idx)
+		}
 	case o.MetalLayer > 0:
-		e.metal[o.MetalLayer].insert(int32(o.ID), o.Rect)
+		e.slay = append(e.slay, int16(o.MetalLayer))
+		idx := e.metal[o.MetalLayer]
+		idx.insert(int32(o.ID), o.Rect)
+		if idx.needsCompact() {
+			e.compactIndex(idx)
+		}
+	default:
+		e.slay = append(e.slay, 0)
 	}
 	return o.ID
 }
@@ -322,43 +334,31 @@ func (e *Engine) Remove(id int) {
 		e.cache.noteMutation(e.objs[id].Rect, e.Counters)
 	}
 	o := &e.objs[id]
+	e.alive[id] = false
 	switch {
 	case o.CutBelow > 0:
-		e.cut[o.CutBelow].remove(int32(id), o.Rect)
+		idx := e.cut[o.CutBelow]
+		idx.remove(int32(id), o.Rect)
+		if idx.needsCompact() {
+			e.compactIndex(idx)
+		}
 	case o.MetalLayer > 0:
-		e.metal[o.MetalLayer].remove(int32(id), o.Rect)
+		idx := e.metal[o.MetalLayer]
+		idx.remove(int32(id), o.Rect)
+		if idx.needsCompact() {
+			e.compactIndex(idx)
+		}
 	}
-	e.alive[id] = false
 }
 
 // Obj returns the object with the given ID (valid until the next Add).
 func (e *Engine) Obj(id int) *Obj { return &e.objs[id] }
 
-// queryIdx gathers live object IDs from idx touching r, deduped.
+// queryIdx gathers live object IDs from idx touching r, deduped, using the
+// engine-owned stamp state (exclusive-use callers only).
 func (e *Engine) queryIdx(idx *binIndex, r geom.Rect) []int {
-	if idx == nil {
-		return nil
-	}
 	e.curPass++
-	pass := e.curPass
-	var out []int
-	x0, y0, x1, y1 := idx.keyRange(r)
-	for x := x0; x <= x1; x++ {
-		for y := y0; y <= y1; y++ {
-			for _, id := range idx.bins[[2]int32{x, y}] {
-				if !e.alive[id] || e.stamp[id] == pass {
-					continue
-				}
-				e.stamp[id] = pass
-				if e.objs[id].Rect.Touches(r) {
-					out = append(out, int(id))
-				}
-			}
-		}
-	}
-	e.Counters.Queries.Add(1)
-	e.Counters.QueryObjects.Add(int64(len(out)))
-	return out
+	return e.queryIdxInto(idx, r, e.stamp, e.curPass, nil)
 }
 
 // QueryMetal returns IDs of live metal shapes on layer touching r.
@@ -387,25 +387,47 @@ func sameNet(a, b int) bool {
 	return a == b && a != NoNet
 }
 
-// queryIdxInto is the thread-safe variant of queryIdx: the caller owns the
-// visit-stamp buffer (len == len(objs)) and the pass counter, so concurrent
-// readers never share state.
+// queryIdxInto is the thread-safe query core: the caller owns the visit-stamp
+// buffer (len >= len(objs) — the Ctx entry points grow it lazily) and the
+// pass counter, so concurrent readers never share state. Candidates are
+// filtered by a branch-light compare over the int32 coordinate slabs; only
+// saturated rows (or a saturated query window) fall back to the exact int64
+// geometry.
 func (e *Engine) queryIdxInto(idx *binIndex, r geom.Rect, stamp []int32, pass int32, out []int) []int {
 	if idx == nil {
 		return out
 	}
 	before := len(out)
+	qxl, qyl, qxh, qyh, qsat := clampRect(r)
+	scan := func(cands []int32) {
+		for _, id := range cands {
+			if !e.alive[id] || stamp[id] == pass {
+				continue
+			}
+			stamp[id] = pass
+			if e.sxl[id] > qxh || qxl > e.sxh[id] || e.syl[id] > qyh || qyl > e.syh[id] {
+				continue
+			}
+			if (qsat || e.sinfo[id]&slabSat != 0) && !e.objs[id].Rect.Touches(r) {
+				continue
+			}
+			out = append(out, int(id))
+		}
+	}
 	x0, y0, x1, y1 := idx.keyRange(r)
+	dense := idx.runs != nil
+	sparse := len(idx.over) > 0
 	for x := x0; x <= x1; x++ {
 		for y := y0; y <= y1; y++ {
-			for _, id := range idx.bins[[2]int32{x, y}] {
-				if !e.alive[id] || stamp[id] == pass {
-					continue
+			if dense {
+				cx, cy := int(x)-int(idx.gx0), int(y)-int(idx.gy0)
+				if cx >= 0 && cx < int(idx.nx) && cy >= 0 && cy < int(idx.ny) {
+					run := idx.runs[cy*int(idx.nx)+cx]
+					scan(idx.ids[run.off : run.off+run.n])
 				}
-				stamp[id] = pass
-				if e.objs[id].Rect.Touches(r) {
-					out = append(out, int(id))
-				}
+			}
+			if sparse {
+				scan(idx.over[[2]int32{x, y}])
 			}
 		}
 	}
@@ -415,19 +437,42 @@ func (e *Engine) queryIdxInto(idx *binIndex, r geom.Rect, stamp []int32, pass in
 }
 
 // QueryCtx carries per-goroutine query state so read-only checks can run
-// concurrently against one engine. Obtain with NewQueryCtx after all shapes
-// are added; adding shapes afterwards invalidates the context.
+// concurrently against one engine, and doubles as the check cores' scratch
+// arena: every per-check buffer (query results, violation accumulation,
+// dedup keys, min-step union geometry) lives here, so the count-only verdict
+// path allocates nothing after warm-up. Obtain with NewQueryCtx; shapes added
+// afterwards are picked up lazily (the visit-stamp buffer grows on the next
+// query through the context).
 //
-// The context also pools the query result buffer: a slice returned by
-// QueryMetalCtx/QueryCutCtx is only valid until the next query through the
-// same context. Every in-tree caller consumes the IDs before issuing another
-// query; callers that need to keep results across queries must copy them.
+// A slice returned by QueryMetalCtx/QueryCutCtx is only valid until the next
+// query through the same context. Every in-tree caller consumes the IDs
+// before issuing another query; callers that need to keep results across
+// queries must copy them.
 type QueryCtx struct {
 	stamp []int32
 	pass  int32
 	buf   []int      // reused query result buffer
 	sig   []sigEntry // via-signature scratch (viacache.go)
 	enc   []byte     // via-signature encode scratch
+
+	// Check-core arenas (see checks.go): violation accumulation for the
+	// count-only verdict path, dedup keys, connected-component rects, ring
+	// step flags and the rectilinear-union scratch.
+	viol  []Violation
+	keys  []vKey
+	rects []geom.Rect
+	used  []bool
+	steps []bool
+	union geom.UnionScratch
+}
+
+// ensure grows the stamp buffer to cover shapes added after the context was
+// created. New entries stamp 0, which no in-use pass value equals (passes
+// start at 1), so pending passes stay valid.
+func (ctx *QueryCtx) ensure(e *Engine) {
+	if n := len(e.objs); len(ctx.stamp) < n {
+		ctx.stamp = append(ctx.stamp, make([]int32, n-len(ctx.stamp))...)
+	}
 }
 
 // NewQueryCtx allocates query state sized for the engine's current objects.
@@ -445,6 +490,7 @@ func (e *Engine) QueryMetalCtx(layer int, r geom.Rect, ctx *QueryCtx) []int {
 	if layer < 1 || layer >= len(e.metal) {
 		return nil
 	}
+	ctx.ensure(e)
 	ctx.pass++
 	ctx.buf = e.queryIdxInto(e.metal[layer], r, ctx.stamp, ctx.pass, ctx.buf[:0])
 	return ctx.buf
@@ -459,6 +505,7 @@ func (e *Engine) QueryCutCtx(cutBelow int, r geom.Rect, ctx *QueryCtx) []int {
 	if cutBelow < 1 || cutBelow >= len(e.cut) {
 		return nil
 	}
+	ctx.ensure(e)
 	ctx.pass++
 	ctx.buf = e.queryIdxInto(e.cut[cutBelow], r, ctx.stamp, ctx.pass, ctx.buf[:0])
 	return ctx.buf

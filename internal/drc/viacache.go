@@ -369,8 +369,13 @@ func (e *Engine) CheckViaVerdictCtx(v *tech.ViaDef, p geom.Point, net int, sameN
 // and failed-fill fallbacks all ran the check live). The explain path uses
 // this to report where each per-AP verdict came from.
 func (e *Engine) CheckViaVerdictProvCtx(v *tech.ViaDef, p geom.Point, net int, sameNetRects []geom.Rect, qc *QueryCtx) (verdict int, cached bool) {
-	if e.cache == nil || qc == nil || e.FaultHook != nil {
+	if qc == nil || e.FaultHook != nil {
+		// No arena for the count core (or injected violations that only the
+		// report path prepends): run the full report check.
 		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc)), false
+	}
+	if e.cache == nil {
+		return e.checkViaVerdictCount(v, p, net, sameNetRects, qc), false
 	}
 	e.cache.sweep()
 	key := viaKey{via: v, sig: e.viaSignature(v, p, net, sameNetRects, qc)}
@@ -398,7 +403,7 @@ func (e *Engine) CheckViaVerdictProvCtx(v *tech.ViaDef, p geom.Point, net int, s
 			e.Counters.CacheHits.Add(1)
 			return ent.verdict, true
 		}
-		return len(e.CheckViaCtx(v, p, net, sameNetRects, qc)), false
+		return e.checkViaVerdictCount(v, p, net, sameNetRects, qc), false
 	}
 	e.Counters.CacheMisses.Add(1)
 	defer func() {
@@ -408,7 +413,7 @@ func (e *Engine) CheckViaVerdictProvCtx(v *tech.ViaDef, p geom.Point, net int, s
 			panic(r)
 		}
 	}()
-	ent.verdict = len(e.CheckViaCtx(v, p, net, sameNetRects, qc))
+	ent.verdict = e.checkViaVerdictCount(v, p, net, sameNetRects, qc)
 	ent.wg.Done()
 	return ent.verdict, false
 }

@@ -1,6 +1,9 @@
 package geom
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Ring is a closed rectilinear contour. The last vertex implicitly connects
 // back to the first. Edges alternate between horizontal and vertical. Outer
@@ -180,7 +183,7 @@ func dedupSorted(v []int64) []int64 {
 	if len(v) == 0 {
 		return v
 	}
-	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	slices.Sort(v) // allocation-free, unlike sort.Slice
 	out := v[:1]
 	for _, x := range v[1:] {
 		if x != out[len(out)-1] {

@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// copyPolys deep-copies a union result out of scratch-owned memory.
+func copyPolys(ps []Polygon) []Polygon {
+	out := make([]Polygon, len(ps))
+	for i, p := range ps {
+		out[i].Outer = append(Ring(nil), p.Outer...)
+		for _, h := range p.Holes {
+			out[i].Holes = append(out[i].Holes, append(Ring(nil), h...))
+		}
+	}
+	return out
+}
+
+func polysEqual(a, b []Polygon) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Outer, b[i].Outer) {
+			return false
+		}
+		if len(a[i].Holes) != len(b[i].Holes) {
+			return false
+		}
+		for j := range a[i].Holes {
+			if !reflect.DeepEqual(a[i].Holes[j], b[i].Holes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestUnionScratchMatchesUnionRects drives the pooled union and the map-based
+// reference over randomized rect sets (including overlaps, touches, frames
+// with holes and degenerate rects) and requires identical output — polygon
+// order, ring starts, hole order, everything.
+func TestUnionScratchMatchesUnionRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var s UnionScratch
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(9)
+		rects := make([]Rect, 0, n+4)
+		for i := 0; i < n; i++ {
+			x, y := int64(rng.Intn(20)), int64(rng.Intn(20))
+			w, h := int64(rng.Intn(8)), int64(rng.Intn(8))
+			rects = append(rects, R(x, y, x+w, y+h)) // w/h may be 0: degenerate
+		}
+		if trial%5 == 0 {
+			// A frame: exercises hole extraction.
+			o := int64(6 + rng.Intn(6))
+			rects = append(rects,
+				R(30, 30, 30+o, 32), R(30, 28+o, 30+o, 30+o),
+				R(30, 30, 32, 30+o), R(28+o, 30, 30+o, 30+o))
+		}
+		want := UnionRects(rects)
+		got := s.Union(rects)
+		if !polysEqual(copyPolys(got), want) {
+			t.Fatalf("trial %d: scratch union diverges\nrects: %v\ngot:  %+v\nwant: %+v", trial, rects, got, want)
+		}
+	}
+}
+
+// TestUnionScratchReuse reuses one scratch across calls with different
+// geometry and checks the second result is not corrupted by the first.
+func TestUnionScratchReuse(t *testing.T) {
+	var s UnionScratch
+	big := []Rect{R(0, 0, 100, 10), R(0, 0, 10, 100), R(90, 0, 100, 100), R(0, 90, 100, 100)}
+	small := []Rect{R(5, 5, 8, 8)}
+	s.Union(big)
+	got := copyPolys(s.Union(small))
+	want := UnionRects(small)
+	if !polysEqual(got, want) {
+		t.Fatalf("reused scratch diverges: got %+v want %+v", got, want)
+	}
+	// And back to the larger input after shrinking.
+	got = copyPolys(s.Union(big))
+	want = UnionRects(big)
+	if !polysEqual(got, want) {
+		t.Fatalf("regrown scratch diverges: got %+v want %+v", got, want)
+	}
+}
+
+// TestUnionScratchNoAllocsWarm pins the whole point: a warm scratch unions
+// without allocating.
+func TestUnionScratchNoAllocsWarm(t *testing.T) {
+	var s UnionScratch
+	rects := []Rect{R(0, 0, 140, 70), R(40, 0, 110, 120), R(0, 400, 70, 470)}
+	s.Union(rects) // warm-up
+	if n := testing.AllocsPerRun(50, func() { s.Union(rects) }); n != 0 {
+		t.Fatalf("warm Union allocates %v times per run, want 0", n)
+	}
+}

@@ -215,6 +215,9 @@ func (a *Analyzer) cellEngine(ui *db.UniqueInstance) (*drc.Engine, map[string]in
 	for _, s := range pivot.ObsShapes() {
 		eng.AddMetal(s.Layer, s.Rect, drc.NoNet, drc.KindObs, "")
 	}
+	// The engine is frozen from here on: fold the construction churn into the
+	// dense index before queries fan out.
+	eng.Compact()
 	// Attach after construction: Add invalidates an attached cache, and the
 	// shared memo must survive across the per-class engines.
 	eng.AttachViaCache(a.viaCache)
@@ -249,6 +252,7 @@ func (a *Analyzer) globalEngine(cache *drc.ViaCache, record func(inst *db.Instan
 	for _, io := range a.Design.IOPins {
 		eng.AddMetal(io.Shape.Layer, io.Shape.Rect, a.ioNet(io), drc.KindIOPin, io.Name)
 	}
+	eng.Compact() // bulk construction done; Step-3 queries fan out from here
 	eng.AttachViaCache(cache)
 	return eng
 }

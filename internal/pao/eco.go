@@ -590,6 +590,7 @@ func (t *ECOTxn) Commit() (*Result, *ECOReport) {
 	}
 	clusters := d.Clusters()
 	rep.TotalClusters = len(clusters)
+	s.eng.Compact() // ECO mutations are committed; queries only from here on
 	qc := s.eng.NewQueryCtx()
 	for _, cl := range clusters {
 		if !t.clusterDirty(cl, changedSet) {

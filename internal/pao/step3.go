@@ -340,8 +340,10 @@ place:
 			all = append(all, placed{t.Inst, t.Pin, ap, n})
 		}
 	}
-	// The validation pass is read-only over the frozen engine; fan it out
-	// when the analyzer is configured for multi-threading.
+	// The validation pass is read-only over the frozen engine; fold the
+	// placement churn into the dense index, then fan out when the analyzer is
+	// configured for multi-threading.
+	eng.Compact()
 	workers := a.Cfg.workers()
 	if workers == 1 {
 		qc := eng.NewQueryCtx()
